@@ -1,0 +1,172 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every figure/table of the paper's Section VI maps to one module in this
+directory (see DESIGN.md §4).  The synthetic datasets are scaled-down but
+structurally faithful stand-ins for the real IMDB/DBLP dumps; scale can
+be raised with the ``CIRANK_BENCH_SCALE`` environment variable (1 = CI
+defaults, 2/3 = heavier runs closer to the paper's regime).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro import (
+    CIRankSystem,
+    DblpConfig,
+    EvalQuery,
+    ImdbConfig,
+    WorkloadConfig,
+    generate_dblp,
+    generate_imdb,
+    generate_workload,
+)
+from repro.eval.harness import EffectivenessHarness
+
+IMDB_MERGE = ("actor", "actress", "director", "producer")
+
+#: Global scale knob (integer >= 1).
+SCALE = max(1, int(os.environ.get("CIRANK_BENCH_SCALE", "1")))
+
+
+def imdb_config(seed: int = 7) -> ImdbConfig:
+    """The benchmark IMDB size at the current scale."""
+    return ImdbConfig(
+        movies=120 * SCALE,
+        actors=140 * SCALE,
+        actresses=80 * SCALE,
+        directors=40 * SCALE,
+        producers=24 * SCALE,
+        companies=20 * SCALE,
+        seed=seed,
+    )
+
+
+def dblp_config(seed: int = 11) -> DblpConfig:
+    """The benchmark DBLP size at the current scale."""
+    return DblpConfig(
+        conferences=12 * SCALE,
+        papers=220 * SCALE,
+        authors=160 * SCALE,
+        seed=seed,
+    )
+
+
+@dataclass
+class BenchSystem:
+    """One dataset's full stack plus its two workloads."""
+
+    name: str
+    system: CIRankSystem
+    synthetic_queries: List[EvalQuery]
+    aol_queries: Optional[List[EvalQuery]] = None
+
+    def harness(
+        self, queries: Sequence[EvalQuery], top_n: int = 5
+    ) -> EffectivenessHarness:
+        return EffectivenessHarness(
+            self.system.graph,
+            self.system.index,
+            self.system.importance,
+            queries,
+            diameter=4,
+            top_n=top_n,
+        )
+
+
+_CACHE = {}
+
+
+def imdb_bench(queries: int = 20) -> BenchSystem:
+    """The IMDB benchmark system with both query sets (cached)."""
+    key = ("imdb", queries)
+    if key not in _CACHE:
+        db = generate_imdb(imdb_config())
+        system = CIRankSystem.from_database(db, merge_tables=IMDB_MERGE)
+        synthetic = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.synthetic(queries=queries),
+        )
+        aol = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.aol_like(queries=queries),
+        )
+        _CACHE[key] = BenchSystem("IMDB", system, synthetic, aol)
+    return _CACHE[key]
+
+
+def dblp_bench(queries: int = 20) -> BenchSystem:
+    """The DBLP benchmark system with the synthetic query set (cached)."""
+    key = ("dblp", queries)
+    if key not in _CACHE:
+        db = generate_dblp(dblp_config())
+        system = CIRankSystem.from_database(db)
+        synthetic = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.dblp(queries=queries),
+        )
+        _CACHE[key] = BenchSystem("DBLP", system, synthetic)
+    return _CACHE[key]
+
+
+def imdb_efficiency_bench(queries: int = 16) -> BenchSystem:
+    """A larger, *sparser* IMDB stack for the timing benches (Figs. 10-12).
+
+    Index pruning (distance lower bounds, retention upper bounds) only
+    has something to prune when the graph has genuine distance structure;
+    the paper's million-node graphs do, while a few hundred densely
+    connected nodes put everything within the diameter cap of everything.
+    The timing stack therefore uses more movies with smaller casts and
+    fewer recurring collaborations.
+    """
+    key = ("imdb-eff", queries)
+    if key not in _CACHE:
+        config = ImdbConfig(
+            movies=400 * SCALE, actors=520 * SCALE, actresses=280 * SCALE,
+            directors=130 * SCALE, producers=70 * SCALE,
+            companies=50 * SCALE,
+            actors_per_movie=(1, 3), actresses_per_movie=(1, 2),
+            repeat_cast_prob=0.25,
+            communities=10 * SCALE, cross_community_prob=0.02, seed=19,
+        )
+        system = CIRankSystem.from_database(
+            generate_imdb(config), merge_tables=IMDB_MERGE
+        )
+        synthetic = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.synthetic(queries=queries, seed=41),
+        )
+        _CACHE[key] = BenchSystem("IMDB", system, synthetic)
+    return _CACHE[key]
+
+
+def dblp_efficiency_bench(queries: int = 16) -> BenchSystem:
+    """A larger, sparser DBLP stack for the timing benches."""
+    key = ("dblp-eff", queries)
+    if key not in _CACHE:
+        config = DblpConfig(
+            conferences=20 * SCALE, papers=450 * SCALE,
+            authors=380 * SCALE,
+            authors_per_paper=(1, 3), citations_per_paper=(0, 4),
+            repeat_coauthors_prob=0.3,
+            communities=10 * SCALE, cross_community_prob=0.02, seed=23,
+        )
+        system = CIRankSystem.from_database(generate_dblp(config))
+        synthetic = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.dblp(queries=queries, seed=43),
+        )
+        _CACHE[key] = BenchSystem("DBLP", system, synthetic)
+    return _CACHE[key]
+
+
+def efficiency_queries(bench: BenchSystem, count: int) -> List[str]:
+    """Query texts used by the timing benches (pairs first — the paper's
+    complex queries — then whatever else the workload holds)."""
+    ordered = sorted(
+        bench.synthetic_queries,
+        key=lambda q: (q.kind != "distant_pair", q.kind != "adjacent_pair"),
+    )
+    return [q.text for q in ordered[:count]]

@@ -1,0 +1,11 @@
+"""Pytest wiring for the benchmark suite."""
+
+import sys
+from pathlib import Path
+
+# The benchmarks import helpers from this directory, and the library
+# from the source tree when it is not installed.
+sys.path.insert(0, str(Path(__file__).parent))
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,78 @@
+"""Ablation (Section III-C.2) — logarithmic vs. linear dampening.
+
+The paper rejects the straightforward ``d ∝ p`` rate because importance
+spans orders of magnitude, making the linear rate range "too large and
+inflexible"; the logarithmic rate of Equation (2) is their choice.  The
+bench evaluates both on the same workload pools and prints the MRR
+gap, plus the rate spread that explains it.
+"""
+
+import numpy as np
+
+from repro import DampeningModel, RWMPParams, RWMPScorer
+from repro.eval.harness import CI_RANK
+from repro.eval.metrics import mean_reciprocal_rank, reciprocal_rank
+from repro.eval.report import format_table
+from repro.rwmp.dampening import linear_dampening
+
+from common import imdb_bench
+
+
+def evaluate_with_dampening(bench, fn=None):
+    system = bench.system
+    harness = bench.harness(bench.synthetic_queries)
+    rr = []
+    for query in bench.synthetic_queries:
+        match, pool = harness.pool_for(query)
+        dampening = DampeningModel(system.importance, RWMPParams(), fn=fn)
+        scorer = RWMPScorer(system.graph, system.index, match, dampening)
+        ranked = harness.rank(pool, scorer.score)
+        rr.append(reciprocal_rank(
+            [frozenset(t.nodes) for t in ranked], query.best_nodesets
+        ))
+    return mean_reciprocal_rank(rr)
+
+
+def run_ablation():
+    bench = imdb_bench()
+    system = bench.system
+    p = system.importance.values
+    p_max_ratio = float(p.max() / system.importance.p_min)
+
+    log_mrr = evaluate_with_dampening(bench, fn=None)
+    linear_mrr = evaluate_with_dampening(
+        bench, fn=linear_dampening(p_max_ratio)
+    )
+
+    # Rate spread: under the linear rule most nodes fall below the log
+    # model's floor (alpha) — the "too large and inflexible" range.  On
+    # the paper's full datasets the spread is thousands-fold; on the
+    # scaled-down synthetic graphs it is smaller but the collapse is the
+    # same phenomenon.
+    ratios = p / system.importance.p_min
+    linear_rates = np.minimum(ratios / p_max_ratio, 1.0)
+    below_floor = float((linear_rates < RWMPParams().alpha).mean())
+    return log_mrr, linear_mrr, below_floor, p_max_ratio
+
+
+def test_ablation_dampening(benchmark):
+    log_mrr, linear_mrr, below_floor, spread = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ("dampening", "MRR", "rates below alpha"),
+        [
+            ("logarithmic (Eq. 2)", log_mrr, "0% (alpha is the floor)"),
+            ("linear (d ∝ p)", linear_mrr, f"{below_floor:.0%}"),
+        ],
+        title=(
+            "Ablation: dampening function (IMDB synthetic queries, "
+            f"importance spread {spread:.0f}x)"
+        ),
+    ))
+    # The paper's qualitative claims: the linear rate collapses below the
+    # log model's floor for most nodes, and the logarithmic model is at
+    # least as effective.
+    assert below_floor > 0.5
+    assert log_mrr >= linear_mrr - 0.02

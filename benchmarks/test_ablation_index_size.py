@@ -1,0 +1,86 @@
+"""Ablation (Section V) — naive all-pairs index vs. star index.
+
+The star index exists because the naive index's O(|V|^2) footprint "is
+too big even for databases of moderate sizes"; the price is looser
+(but still sound) distance/retention bounds.  The bench measures, on
+both synthetic graphs:
+
+* materialized entry counts (the space story);
+* build times;
+* bound quality: mean retention overestimate of the star index relative
+  to the exact pairs index over sampled node pairs.
+"""
+
+import random
+import time
+
+from repro.graph.traversal import best_retention_paths
+
+from repro import PairsIndex, StarIndex
+from repro.eval.report import format_table
+
+from common import dblp_bench, imdb_bench
+
+
+def run_ablation():
+    rows = []
+    quality = []
+    for bench in (imdb_bench(), dblp_bench()):
+        system = bench.system
+        graph, dampening = system.graph, system.dampening
+        start = time.perf_counter()
+        pairs = PairsIndex(graph, dampening, horizon=6)
+        pairs_build = time.perf_counter() - start
+        start = time.perf_counter()
+        star = StarIndex(graph, dampening, horizon=6)
+        star_build = time.perf_counter() - start
+        rows.append((
+            bench.name, graph.node_count,
+            pairs.entry_count, f"{pairs_build:.2f}s",
+            star.entry_count, f"{star_build:.2f}s",
+        ))
+        rng = random.Random(5)
+        nodes = list(graph.nodes())
+        star_ratios = []
+        pairs_ratios = []
+        sources = rng.sample(nodes, 12)
+        for u in sources:
+            true_retention = best_retention_paths(graph, u, dampening.rate)
+            for v in rng.sample(nodes, 40):
+                true = true_retention.get(v, 0.0)
+                if true <= 0.0 or u == v:
+                    continue
+                star_value = star.retention_upper(u, v)
+                pairs_value = pairs.retention_upper(u, v)
+                # soundness against the ground truth, on the house
+                assert star_value >= true - 1e-12
+                assert pairs_value >= true - 1e-12
+                star_ratios.append(star_value / true)
+                pairs_ratios.append(pairs_value / true)
+        quality.append((
+            bench.name,
+            sum(pairs_ratios) / len(pairs_ratios),
+            sum(star_ratios) / len(star_ratios),
+        ))
+    return rows, quality
+
+
+def test_ablation_index_size(benchmark):
+    rows, quality = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("dataset", "|V|", "pairs entries", "pairs build",
+         "star entries", "star build"),
+        rows,
+        title="Ablation: index size (Section V)",
+    ))
+    print()
+    print(format_table(
+        ("dataset", "pairs looseness (x true)", "star looseness (x true)"),
+        quality,
+        title="Retention bound looseness vs ground truth",
+    ))
+    for name, _, pairs_entries, _, star_entries, _ in rows:
+        assert star_entries < pairs_entries, name
+    for name, pairs_ratio, star_ratio in quality:
+        assert pairs_ratio >= 1.0 and star_ratio >= 1.0, name

@@ -1,0 +1,19 @@
+"""Figure 12 — average top-5 search time on DBLP vs. diameter cap D.
+
+Same protocol and assertions as Fig. 11 (see
+``test_fig11_index_imdb.py`` for the scale discussion) on the DBLP
+graph; the paper's no-index times are larger here (up to ~35 s at
+D = 6), with the index all diameters run in under 10 s on their
+hardware.
+"""
+
+from common import dblp_efficiency_bench
+from test_fig11_index_imdb import check_and_print, run_index_sweep
+
+
+def test_fig12_index_dblp(benchmark):
+    bench = dblp_efficiency_bench()
+    rows = benchmark.pedantic(
+        run_index_sweep, args=(bench,), rounds=1, iterations=1
+    )
+    check_and_print(rows, "DBLP", 4)

@@ -1,0 +1,49 @@
+"""Figure 6 — effect of ``alpha`` on the mean reciprocal rank.
+
+The paper sweeps the keep-probability alpha at g = 20 on both datasets
+and finds a plateau of good settings for 0.1 <= alpha <= 0.25 (MRR ~0.85
+on IMDB, ~0.82 on DBLP).  This bench regenerates the two series over the
+synthetic datasets and asserts the qualitative claim: the best setting
+lies inside the paper's recommended band, and the band beats the extreme
+settings.
+"""
+
+import pytest
+
+from repro import RWMPParams
+from repro.eval.report import format_series
+
+from common import dblp_bench, imdb_bench
+
+ALPHAS = (0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4)
+G = 20.0
+
+
+def run_sweep(bench):
+    harness = bench.harness(bench.synthetic_queries)
+    settings = [RWMPParams(alpha=a, g=G) for a in ALPHAS]
+    return [
+        (params.alpha, result.mrr)
+        for params, result in harness.sweep_cirank(settings)
+    ]
+
+
+@pytest.mark.parametrize("dataset", ["imdb", "dblp"])
+def test_fig6_alpha_sweep(benchmark, dataset):
+    bench = imdb_bench() if dataset == "imdb" else dblp_bench()
+    series = benchmark.pedantic(
+        run_sweep, args=(bench,), rounds=1, iterations=1
+    )
+    xs = [a for a, _ in series]
+    ys = [m for _, m in series]
+    print()
+    print(format_series(
+        f"Fig. 6 ({bench.name}, g={G:g}): MRR vs alpha",
+        xs, ys, x_label="alpha", y_label="MRR",
+    ))
+    by_alpha = dict(series)
+    band = [by_alpha[a] for a in (0.1, 0.15, 0.2, 0.25)]
+    # the paper's recommended band should contain the best setting...
+    assert max(band) >= max(ys) - 1e-9
+    # ...and should not be strictly worse than both extremes.
+    assert max(band) >= min(by_alpha[0.05], by_alpha[0.4])

@@ -1,0 +1,46 @@
+"""Figure 9 — graded precision of SPARK / BANKS / CI-Rank.
+
+Paper's reading: CI-Rank's precision exceeds 0.9 on all three workloads;
+SPARK and BANKS stay above 0.85 (IMDB) / 0.75 (DBLP), with CI-Rank's
+edge coming mostly from long (3+ keyword) queries.  The bench asserts
+the ordering (CI-Rank >= baselines, small tolerance) and the absolute
+floor CI-Rank > 0.85.
+"""
+
+from repro.eval.harness import BANKS, CI_RANK, SPARK
+from repro.eval.report import format_table
+
+from common import dblp_bench, imdb_bench
+
+SYSTEMS = (SPARK, BANKS, CI_RANK)
+
+
+def run_comparison():
+    imdb = imdb_bench()
+    dblp = dblp_bench()
+    workloads = [
+        ("IMDB (user log)", imdb.harness(imdb.aol_queries)),
+        ("IMDB (synthetic)", imdb.harness(imdb.synthetic_queries)),
+        ("DBLP", dblp.harness(dblp.synthetic_queries)),
+    ]
+    table = {}
+    for label, harness in workloads:
+        results = harness.compare(SYSTEMS)
+        table[label] = {name: results[name].precision for name in SYSTEMS}
+    return table
+
+
+def test_fig9_precision_comparison(benchmark):
+    table = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = [
+        (label, *(table[label][name] for name in SYSTEMS))
+        for label in table
+    ]
+    print()
+    print(format_table(
+        ("workload", *SYSTEMS), rows,
+        title="Fig. 9: graded precision (top-5)",
+    ))
+    for label, scores in table.items():
+        assert scores[CI_RANK] >= max(scores[SPARK], scores[BANKS]) - 0.05, label
+        assert scores[CI_RANK] > 0.85, label

@@ -1,0 +1,89 @@
+"""Scaling behavior of the build pipeline and query answering.
+
+Not a paper figure — an adoption-grade characterization: how the costs
+of graph construction, power iteration, star-index materialization, and
+top-5 search grow with dataset size.  Useful both as regression tracking
+(pytest-benchmark records the timings) and as a sanity check that
+nothing in the stack is accidentally quadratic at these scales.
+"""
+
+import time
+
+from repro import (
+    CIRankSystem,
+    ImdbConfig,
+    SearchParams,
+    StarIndex,
+    WorkloadConfig,
+    generate_imdb,
+    generate_workload,
+)
+from repro.eval.harness import EfficiencyHarness
+from repro.eval.report import format_table
+
+from common import IMDB_MERGE
+
+SIZES = (0.5, 1.0, 2.0)
+BASE = dict(movies=120, actors=140, actresses=80, directors=40,
+            producers=24, companies=20)
+
+
+def build_at_scale(factor):
+    config = ImdbConfig(
+        **{k: max(4, int(v * factor)) for k, v in BASE.items()}, seed=7
+    )
+    timings = {}
+    start = time.perf_counter()
+    db = generate_imdb(config)
+    timings["generate"] = time.perf_counter() - start
+    start = time.perf_counter()
+    system = CIRankSystem.from_database(db, merge_tables=IMDB_MERGE)
+    timings["build"] = time.perf_counter() - start
+    start = time.perf_counter()
+    StarIndex(system.graph, system.dampening, horizon=6)
+    timings["star index"] = time.perf_counter() - start
+    return system, timings
+
+
+def run_scaling():
+    rows = []
+    for factor in SIZES:
+        system, timings = build_at_scale(factor)
+        workload = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.synthetic(queries=4),
+        )
+        harness = EfficiencyHarness(
+            system.graph, system.index, system.importance,
+            [q.text for q in workload],
+        )
+        search = harness.time_branch_and_bound(SearchParams(k=5, diameter=4))
+        rows.append((
+            f"{factor:g}x",
+            system.graph.node_count,
+            system.graph.edge_count,
+            timings["build"],
+            timings["star index"],
+            search.mean_seconds,
+        ))
+    return rows
+
+
+def test_scaling(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("scale", "nodes", "edges", "build (s)", "star index (s)",
+         "avg top-5 search (s)"),
+        rows,
+        title="Scaling characterization (synthetic IMDB)",
+    ))
+    # builds must stay far from quadratic at these scales: 4x the nodes
+    # may cost at most ~10x the build time
+    small, large = rows[0], rows[-1]
+    node_ratio = large[1] / small[1]
+    build_ratio = large[3] / max(small[3], 1e-9)
+    assert build_ratio < node_ratio ** 2, (
+        f"superquadratic build scaling: nodes x{node_ratio:.1f}, "
+        f"time x{build_ratio:.1f}"
+    )

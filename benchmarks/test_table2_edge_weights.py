@@ -1,0 +1,76 @@
+"""Table II — the edge weights, as realized in the built graphs.
+
+Not a performance experiment: the bench prints the raw Table II weights
+together with the *effective normalized* out-weights measured on the
+synthetic graphs (the paper's Section VI-A example: a movie with raw
+out-weights 1.0/1.0/0.5 normalizes to 0.4/0.4/0.2), and asserts the raw
+weights match the paper's table exactly.
+"""
+
+import statistics
+
+from repro import EdgeWeights
+from repro.eval.report import format_table
+
+from common import dblp_bench, imdb_bench
+
+EXPECTED = [
+    ("actor", "movie", 1.0), ("movie", "actor", 1.0),
+    ("actress", "movie", 1.0), ("movie", "actress", 1.0),
+    ("director", "movie", 1.0), ("movie", "director", 1.0),
+    ("producer", "movie", 0.5), ("movie", "producer", 0.5),
+    ("company", "movie", 0.5), ("movie", "company", 0.5),
+    ("conference", "paper", 0.5), ("paper", "conference", 0.5),
+    ("author", "paper", 1.0), ("paper", "author", 1.0),
+]
+
+
+def run_table2():
+    weights = EdgeWeights()
+    rows = []
+    for source, target, expected in EXPECTED:
+        actual = weights.weight_for(source, target)
+        rows.append((f"{source} -> {target}", expected, actual))
+    rows.append((
+        "paper -cites-> paper", 0.5,
+        weights.weight_for("paper", "paper", link="cites", owner="source"),
+    ))
+    rows.append((
+        "paper <-cites- paper", 0.1,
+        weights.weight_for("paper", "paper", link="cites", owner="target"),
+    ))
+
+    # effective normalized out-weight mass per relation on the graphs
+    samples = []
+    for bench in (imdb_bench(), dblp_bench()):
+        graph = bench.system.graph
+        for relation in sorted(graph.relations()):
+            shares = []
+            for node in graph.nodes_of_relation(relation)[:200]:
+                total = graph.total_out_weight(node)
+                if total > 0:
+                    shares.append(
+                        max(graph.normalized_out(node).values())
+                    )
+            if shares:
+                samples.append((
+                    f"{bench.name}: {relation} max-share",
+                    "", statistics.mean(shares),
+                ))
+    return rows, samples
+
+
+def test_table2_edge_weights(benchmark):
+    rows, samples = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("edge type", "paper", "implemented"), rows,
+        title="Table II: edge weights",
+    ))
+    print()
+    print(format_table(
+        ("relation", "", "mean normalized max out-share"), samples,
+        title="Effective normalization on the synthetic graphs",
+    ))
+    for label, expected, actual in rows:
+        assert actual == expected, label

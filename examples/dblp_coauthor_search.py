@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The paper's motivating example on DBLP (Section I, Fig. 2).
+
+Two prolific co-authors — the synthetic stand-ins for Papakonstantinou
+and Ullman — are connected by many joint papers.  IR-style ranking
+cannot tell the connecting papers apart (or prefers the shortest title);
+CI-Rank ranks the most *important* (heavily cited) joint paper first.
+
+The script finds such a pair in the synthetic DBLP data, runs the query
+under CI-Rank, and contrasts the order with SPARK's.
+
+Run:  python examples/dblp_coauthor_search.py
+"""
+
+from repro import (
+    CIRankSystem,
+    DblpConfig,
+    SparkScorer,
+    generate_dblp,
+)
+
+
+def find_prolific_pair(system):
+    """Two authors sharing the most papers (>= 3)."""
+    graph = system.graph
+    best = None
+    papers_of = {}
+    for author in graph.nodes_of_relation("author"):
+        papers_of[author] = {
+            n for n in graph.neighbors(author)
+            if graph.info(n).relation == "paper"
+        }
+    authors = sorted(papers_of)
+    for i, a in enumerate(authors):
+        for b in authors[i + 1:]:
+            shared = papers_of[a] & papers_of[b]
+            if len(shared) >= 3:
+                if best is None or len(shared) > len(best[2]):
+                    best = (a, b, shared)
+    return best
+
+
+def main() -> None:
+    print("generating a synthetic DBLP database...")
+    db = generate_dblp(DblpConfig(papers=300, authors=200, conferences=15))
+    system = CIRankSystem.from_database(db)
+    graph = system.graph
+
+    pair = find_prolific_pair(system)
+    if pair is None:
+        raise SystemExit("no prolific co-author pair found; raise sizes")
+    a, b, shared = pair
+    print(f"\nco-authors: {graph.info(a).text!r} and {graph.info(b).text!r}")
+    print(f"joint papers ({len(shared)}):")
+    for paper in sorted(shared):
+        info = graph.info(paper)
+        print(f"  [{info.attrs.get('citations', 0):>3} citations] {info.text}")
+
+    query = " ".join([
+        graph.info(a).text.split()[-1],
+        graph.info(b).text.split()[-1],
+    ])
+    print(f"\nkeyword query: {query!r}")
+
+    answers = system.search(query, k=len(shared), diameter=4)
+    print("\nCI-Rank ranking (connector citations in brackets):")
+    match = system.matcher.match(query)
+    spark = SparkScorer(system.index, match)
+    for rank, answer in enumerate(answers, start=1):
+        connectors = [
+            n for n in answer.tree.nodes
+            if graph.info(n).relation == "paper"
+        ]
+        cites = [graph.info(n).attrs.get("citations", 0) for n in connectors]
+        print(f"  {rank}. cites={cites} rwmp={answer.score:.4g} "
+              f"spark={spark.score(answer.tree):.4g}")
+        print(f"      {system.describe(answer)}")
+
+    if len(answers) >= 2:
+        top = answers[0]
+        top_cites = max(
+            graph.info(n).attrs.get("citations", 0) for n in top.tree.nodes
+        )
+        print(f"\nCI-Rank's top answer routes through a paper with "
+              f"{top_cites} citations — the collective-importance effect "
+              "the IR-style baselines miss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Explaining a ranking: the message-flow breakdown of RWMP scores.
+
+CI-Rank's score is a composition of interpretable quantities, so "why is
+answer A above answer B?" has a mechanical explanation: per-source
+generation counts, per-hop splits and dampening, and the binding minimum
+at each keyword node.  This example runs a query and prints the full
+breakdown of the top two answers side by side.
+
+Run:  python examples/explain_ranking.py
+"""
+
+from repro import (
+    CIRankSystem,
+    ImdbConfig,
+    WorkloadConfig,
+    generate_imdb,
+    generate_workload,
+)
+
+MERGE_TABLES = ("actor", "actress", "director", "producer")
+
+
+def main() -> None:
+    db = generate_imdb(ImdbConfig(movies=120, actors=140, actresses=80,
+                                  directors=40, producers=24, companies=20))
+    system = CIRankSystem.from_database(db, merge_tables=MERGE_TABLES)
+    workload = generate_workload(
+        system.graph, system.index, WorkloadConfig.synthetic(queries=6)
+    )
+    query = next(q for q in workload if q.kind == "distant_pair")
+    print(f"query: {query.text!r}\n")
+
+    answers = system.search(query.text, k=2, diameter=4)
+    for rank, answer in enumerate(answers, start=1):
+        print(f"--- answer #{rank} ---")
+        print(system.explain(query.text, answer))
+        print()
+
+    if len(answers) >= 2:
+        print("The difference is visible hop by hop: the winning answer's "
+              "connector dampens less (it is more important), so more of "
+              "each source's messages survive the crossing.")
+
+
+if __name__ == "__main__":
+    main()

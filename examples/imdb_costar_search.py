@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 3 scenario on IMDB: multi-actor queries.
+
+Finds three people who co-star in a movie (the "Bloom Wood Mortensen"
+situation), runs the three-keyword query, and shows (a) that CI-Rank
+picks the most important shared movie as the connector — where BANKS
+provably ties across movies — and (b) the effect of the star index on
+search time.
+
+Run:  python examples/imdb_costar_search.py
+"""
+
+import time
+
+from repro import (
+    BanksScorer,
+    CIRankSystem,
+    ImdbConfig,
+    generate_imdb,
+)
+
+MERGE_TABLES = ("actor", "actress", "director", "producer")
+PERSON_RELATIONS = ("actor", "actress", "director")
+
+
+def find_costar_triple(system):
+    """Three people sharing at least one movie, preferring several."""
+    graph = system.graph
+    best = None
+    for movie in graph.nodes_of_relation("movie"):
+        people = sorted(
+            n for n in graph.neighbors(movie)
+            if graph.info(n).relation in PERSON_RELATIONS
+        )
+        if len(people) < 3:
+            continue
+        trio = people[:3]
+        shared = None
+        for person in trio:
+            movies = {
+                n for n in graph.neighbors(person)
+                if graph.info(n).relation == "movie"
+            }
+            shared = movies if shared is None else shared & movies
+        if shared and (best is None or len(shared) > len(best[1])):
+            best = (trio, shared)
+    return best
+
+
+def main() -> None:
+    print("generating a synthetic IMDB database...")
+    db = generate_imdb(ImdbConfig(movies=150, actors=160, actresses=90,
+                                  directors=45, producers=25, companies=20))
+    system = CIRankSystem.from_database(db, merge_tables=MERGE_TABLES)
+    graph = system.graph
+
+    found = find_costar_triple(system)
+    if found is None:
+        raise SystemExit("no co-star triple found; raise dataset sizes")
+    trio, shared = found
+    names = [graph.info(p).text for p in trio]
+    print(f"\nco-stars: {names}")
+    print(f"shared movies ({len(shared)}):")
+    for movie in sorted(shared):
+        info = graph.info(movie)
+        print(f"  [{info.attrs.get('votes', 0):>7} votes] {info.text}")
+
+    query = " ".join(name.split()[-1] for name in names)
+    print(f"\nkeyword query: {query!r}")
+
+    start = time.perf_counter()
+    answers = system.search(query, k=3, diameter=4)
+    plain_time = time.perf_counter() - start
+
+    print("\nCI-Rank ranking:")
+    match = system.matcher.match(query)
+    banks = BanksScorer(graph, match)
+    for rank, answer in enumerate(answers, start=1):
+        print(f"  {rank}. rwmp={answer.score:.4g} "
+              f"banks={banks.score(answer.tree):.4g}")
+        print(f"      {system.describe(answer)}")
+
+    if len(shared) >= 2 and len(answers) >= 2:
+        print("\nnote the BANKS column: connecting movies are free "
+              "intermediate nodes, so BANKS scores tie — Fig. 3's blind "
+              "spot; RWMP breaks the tie toward the important movie.")
+
+    print("\nbuilding the star index and re-running...")
+    system.build_star_index()
+    start = time.perf_counter()
+    system.search(query, k=3, diameter=4)
+    indexed_time = time.perf_counter() - start
+    print(f"  without index: {plain_time:.2f}s")
+    print(f"  with star index: {indexed_time:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""CI-Rank over XML (the Section III generality claim).
+
+Builds a small XML bibliography (elements, containment, IDREF
+citations), maps it to the data graph, and runs keyword queries — the
+identical RWMP + branch-and-bound stack, no relational schema anywhere.
+
+Run:  python examples/xml_search.py
+"""
+
+from repro import XmlGraphConfig, XmlSearchSystem
+
+BIBLIO = """
+<bibliography>
+  <conference id="c1"><name>very large databases</name></conference>
+  <paper id="p1" year="1997" citations="38" venue="c1">
+    <title>the tsimmis project heterogeneous integration</title>
+    <author>yannis papakonstantinou</author>
+    <author>jeffrey ullman</author>
+  </paper>
+  <paper id="p2" year="1998" citations="7" cite="p1" venue="c1">
+    <title>capability based mediation in tsimmis</title>
+    <author>yannis papakonstantinou</author>
+    <author>jeffrey ullman</author>
+  </paper>
+  <paper id="p3" year="2003" citations="12" cite="p1 p2" venue="c1">
+    <title>efficient keyword search over relational databases</title>
+    <author>vagelis hristidis</author>
+    <author>yannis papakonstantinou</author>
+  </paper>
+</bibliography>
+"""
+
+
+def main() -> None:
+    config = XmlGraphConfig(
+        numeric_attrs=("citations", "year"),
+        idref_attrs=("cite", "venue"),
+    )
+    system = XmlSearchSystem.from_documents([BIBLIO], config)
+    graph = system.graph
+    print(f"XML graph: {graph.node_count} element nodes, "
+          f"{graph.edge_count} edges")
+    print(f"relations: {sorted(graph.relations())}")
+
+    for query in ("papakonstantinou ullman", "tsimmis", "hristidis keyword"):
+        print(f"\nquery: {query!r}")
+        answers = system.search(query, k=3, diameter=4)
+        if not answers:
+            print("  no answers")
+            continue
+        for rank, answer in enumerate(answers, start=1):
+            tags = "/".join(system.elements_of(answer))
+            print(f"  {rank}. [{tags}] {system.describe(answer)}")
+
+    # the motivating example carries over: the co-author query's top
+    # answer routes through the heavily cited paper
+    top = system.search("papakonstantinou ullman", k=1)[0]
+    papers = [
+        graph.info(n).attrs.get("citations")
+        for n in top.tree.nodes
+        if graph.info(n).relation == "paper"
+    ]
+    print(f"\ntop co-author answer routes through a paper with "
+          f"{papers[0]} citations (the 38-citation TSIMMIS paper).")
+
+
+if __name__ == "__main__":
+    main()

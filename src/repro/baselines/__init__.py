@@ -1,0 +1,21 @@
+"""Baseline ranking functions the paper compares against (Section VI-B).
+
+The paper evaluates baselines by implementing their *scoring functions*
+over the same data graph ("we implemented SPARK's scoring function on the
+database graph, as well as BANKS"), which is what these modules provide;
+:mod:`repro.baselines.banks` additionally ships a backward-expanding
+search so BANKS can be run end to end.
+"""
+
+from .discover2 import Discover2Scorer
+from .spark import SparkScorer
+from .banks import BanksScorer, BackwardExpandingSearch
+from .objectrank import ObjectRankScorer
+
+__all__ = [
+    "Discover2Scorer",
+    "SparkScorer",
+    "BanksScorer",
+    "BackwardExpandingSearch",
+    "ObjectRankScorer",
+]

@@ -1,0 +1,78 @@
+"""DISCOVER2's TF-IDF scoring function (Hristidis et al., VLDB 2003).
+
+As quoted in Section II-B of the CI-Rank paper:
+
+    score(T, Q) = (sum_v score(v, Q)) / size(T)
+
+    score(v, Q) = sum_{k in v∩Q}
+        (1 + ln(1 + ln(tf_k(v)))) /
+        ((1 - s) + s * dl_v / avdl_{Rel(v)}) * ln(idf_k)
+
+    idf_k = (N_{Rel(v)} + 1) / df_k(Rel(v))
+
+The function sees only textual statistics of the keyword-matching nodes;
+free nodes contribute nothing except through ``size(T)`` — which is
+exactly the blindness to node importance the paper's Fig. 2 example
+exposes (both TSIMMIS papers' trees tie under this scorer; the ablation
+test asserts that tie).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..exceptions import EvaluationError
+from ..model.jtt import JoinedTupleTree
+from ..text.inverted_index import InvertedIndex
+from ..text.matcher import MatchSets
+
+#: The usual pivoted-normalization slope.
+DEFAULT_S = 0.2
+
+
+class Discover2Scorer:
+    """Scores trees with the DISCOVER2 function for one query.
+
+    Args:
+        index: the inverted index (relation statistics source).
+        match: the query's match sets.
+        s: the normalization constant ``s``.
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        match: MatchSets,
+        s: float = DEFAULT_S,
+    ) -> None:
+        if not 0.0 <= s < 1.0:
+            raise EvaluationError(f"s must be in [0, 1), got {s}")
+        self.index = index
+        self.match = match
+        self.s = s
+
+    def node_score(self, node: int) -> float:
+        """``score(v, Q)``: the node's TF-IDF contribution."""
+        keywords = self.match.keywords_of.get(node)
+        if not keywords:
+            return 0.0
+        relation = self.index.relation_of(node)
+        stats = self.index.relation_stats(relation)
+        dl = self.index.doc_length(node)
+        norm = (1.0 - self.s) + self.s * dl / stats.avdl
+        total = 0.0
+        for keyword in keywords:
+            tf = self.index.tf(keyword, node)
+            if tf <= 0:
+                continue
+            df = stats.df.get(keyword, 0)
+            if df <= 0:
+                continue
+            idf = (stats.tuples + 1) / df
+            total += (1.0 + math.log(1.0 + math.log(tf))) / norm * math.log(idf)
+        return total
+
+    def score(self, tree: JoinedTupleTree) -> float:
+        """``score(T, Q)``: summed node scores over tree size."""
+        return sum(self.node_score(v) for v in tree.nodes) / tree.size

@@ -1,0 +1,148 @@
+"""SPARK's scoring function (Luo et al., SIGMOD 2007).
+
+Three factors multiply (Section II-B of the CI-Rank paper):
+
+    score(T, Q) = score_a(T, Q) * score_b(T, Q) * score_c(T, Q)
+
+* ``score_a`` — TF-IDF over the *virtual document* of the whole tree:
+
+      score_a = sum_{k in T∩Q}
+          (1 + ln(1 + ln(tf_k(T)))) /
+          ((1 - s) + s * dl_T / avdl_{CN*(T)}) * ln(idf_k)
+
+  with ``tf_k(T) = sum_v tf_k(v)`` and CN*-level collection statistics.
+  The CI-Rank paper omits CN*'s exact bookkeeping; we approximate the
+  joined relation CN*(T) by the set of relations contributing keyword
+  nodes: ``N_{CN*}`` is the maximum relation size (a join can't have
+  fewer distinct combinations than its largest participating relation
+  has tuples, and using the product would only flatten idf differences),
+  ``df_k`` sums over those relations, and ``avdl`` sums their average
+  lengths (a joined tuple concatenates one tuple per relation).  The
+  behaviours the paper relies on — notably the ``dl_T`` length penalty
+  that makes SPARK prefer the *shorter-titled* TSIMMIS paper — are
+  preserved exactly.
+
+* ``score_b`` — completeness, an Lp-norm switch between AND and OR
+  semantics; equal to 1 for trees covering all keywords (all Definition-3
+  answers), below 1 when keywords are missing.
+
+* ``score_c`` — size normalization,
+  ``(1 + s1 - s1*size(T)) * (1 + s2 - s2*#keyword-nodes)`` with SPARK's
+  published defaults ``s1 = 0.15``, ``s2 = 1/6``, floored at a small
+  epsilon so oversized trees rank last rather than flipping sign.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..exceptions import EvaluationError
+from ..model.jtt import JoinedTupleTree
+from ..text.inverted_index import InvertedIndex
+from ..text.matcher import MatchSets
+
+DEFAULT_S = 0.2
+DEFAULT_S1 = 0.15
+DEFAULT_S2 = 1.0 / 6.0
+DEFAULT_P = 2.0
+_SCORE_C_FLOOR = 1e-6
+
+
+class SparkScorer:
+    """Scores trees with the SPARK function for one query.
+
+    Args:
+        index: the inverted index.
+        match: the query's match sets.
+        s: pivoted-normalization slope for ``score_a``.
+        s1: tree-size normalization slope.
+        s2: keyword-node-count normalization slope.
+        p: the completeness Lp exponent (larger = closer to AND).
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        match: MatchSets,
+        s: float = DEFAULT_S,
+        s1: float = DEFAULT_S1,
+        s2: float = DEFAULT_S2,
+        p: float = DEFAULT_P,
+    ) -> None:
+        if not 0.0 <= s < 1.0:
+            raise EvaluationError(f"s must be in [0, 1), got {s}")
+        if p < 1.0:
+            raise EvaluationError(f"p must be >= 1, got {p}")
+        self.index = index
+        self.match = match
+        self.s = s
+        self.s1 = s1
+        self.s2 = s2
+        self.p = p
+
+    # ------------------------------------------------------------- factors
+
+    def _cn_star_relations(self, tree: JoinedTupleTree) -> Set[str]:
+        """Relations contributing keyword nodes (our CN* approximation)."""
+        relations = {
+            self.index.relation_of(v)
+            for v in tree.nodes
+            if self.match.keywords_of.get(v)
+        }
+        return relations or {self.index.relation_of(next(iter(tree.nodes)))}
+
+    def score_a(self, tree: JoinedTupleTree) -> float:
+        """The TF-IDF factor over the tree's virtual document."""
+        relations = self._cn_star_relations(tree)
+        n_cn = max(
+            self.index.relation_stats(r).tuples for r in relations
+        )
+        avdl = sum(self.index.relation_stats(r).avdl for r in relations)
+        dl_t = sum(self.index.doc_length(v) for v in tree.nodes)
+        norm = (1.0 - self.s) + self.s * dl_t / max(avdl, 1e-12)
+        total = 0.0
+        for keyword in self.match.keywords:
+            tf = sum(self.index.tf(keyword, v) for v in tree.nodes)
+            if tf <= 0:
+                continue
+            df = sum(
+                self.index.relation_stats(r).df.get(keyword, 0)
+                for r in relations
+            )
+            if df <= 0:
+                continue
+            idf = (n_cn + 1) / df
+            if idf <= 1.0:
+                continue  # ln(idf) <= 0 adds nothing under SPARK's model
+            total += (1.0 + math.log(1.0 + math.log(tf))) / norm * math.log(idf)
+        return total
+
+    def score_b(self, tree: JoinedTupleTree) -> float:
+        """The completeness factor (1.0 when all keywords are covered)."""
+        keywords = self.match.keywords
+        missing = sum(
+            1
+            for k in keywords
+            if k not in self.match.covered_by(tree.nodes)
+        )
+        if missing == 0:
+            return 1.0
+        fraction = missing / len(keywords)
+        return max(0.0, 1.0 - fraction ** (1.0 / self.p))
+
+    def score_c(self, tree: JoinedTupleTree) -> float:
+        """The size normalization factor."""
+        keyword_nodes = sum(
+            1 for v in tree.nodes if self.match.keywords_of.get(v)
+        )
+        factor = (1.0 + self.s1 - self.s1 * tree.size) * (
+            1.0 + self.s2 - self.s2 * keyword_nodes
+        )
+        return max(factor, _SCORE_C_FLOOR)
+
+    # --------------------------------------------------------------- score
+
+    def score(self, tree: JoinedTupleTree) -> float:
+        """The full SPARK score."""
+        return self.score_a(tree) * self.score_b(tree) * self.score_c(tree)

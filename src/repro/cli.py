@@ -1,0 +1,206 @@
+"""Command-line interface.
+
+Subcommands::
+
+    cirank search   --dataset imdb --query "halloran dunefort" --k 5
+    cirank evaluate --dataset dblp --queries 10
+    cirank inspect  --dataset imdb
+    cirank save     --dataset imdb --out /tmp/deployment
+    cirank search   --load /tmp/deployment --query "..."
+    cirank export   --dataset dblp --out graph.graphml
+
+``search`` runs a top-k query (over a freshly generated dataset or a
+saved deployment); ``evaluate`` runs the Fig. 8/9 comparison on a small
+workload; ``inspect`` prints dataset/graph statistics; ``save`` builds
+and persists a deployment; ``export`` writes the data graph as GraphML.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .config import RWMPParams, SearchParams
+from .datasets.dblp import DblpConfig, generate_dblp
+from .datasets.imdb import ImdbConfig, generate_imdb
+from .datasets.workloads import WorkloadConfig, generate_workload
+from .eval.harness import BANKS, CI_RANK, SPARK, EffectivenessHarness
+from .eval.report import format_table
+from .system import CIRankSystem
+
+IMDB_MERGE_TABLES = ("actor", "actress", "director", "producer")
+
+
+def _build_system(dataset: str, seed: int) -> CIRankSystem:
+    if dataset == "imdb":
+        db = generate_imdb(ImdbConfig(seed=seed))
+        return CIRankSystem.from_database(db, merge_tables=IMDB_MERGE_TABLES)
+    if dataset == "dblp":
+        db = generate_dblp(DblpConfig(seed=seed))
+        return CIRankSystem.from_database(db)
+    raise SystemExit(f"unknown dataset {dataset!r} (use imdb or dblp)")
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    if args.load:
+        from .storage import load_system
+        system = load_system(args.load)
+    else:
+        system = _build_system(args.dataset, args.seed)
+    if args.star_index and system.graph_index is None:
+        system.build_star_index()
+    answers = system.search(args.query, k=args.k, diameter=args.diameter)
+    if not answers:
+        print("no answers")
+        return 1
+    for rank, answer in enumerate(answers, start=1):
+        print(f"{rank:2d}. {system.describe(answer)}")
+    if args.json:
+        from .export import ranking_to_json
+        print(ranking_to_json(system.graph, answers, query=args.query))
+    return 0
+
+
+def _cmd_save(args: argparse.Namespace) -> int:
+    from .storage import save_system
+    system = _build_system(args.dataset, args.seed)
+    if args.star_index:
+        system.build_star_index()
+    path = save_system(system, args.out)
+    print(f"saved deployment to {path}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments import ExperimentSuite
+    suite = ExperimentSuite()
+    ids = (
+        ExperimentSuite.available()
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for experiment in ids:
+        print(suite.run(experiment).render())
+        print()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .export import graph_to_graphml
+    system = _build_system(args.dataset, args.seed)
+    document = graph_to_graphml(system.graph)
+    with open(args.out, "w") as handle:
+        handle.write(document)
+    print(f"wrote {args.out} ({system.graph.node_count} nodes, "
+          f"{system.graph.edge_count} edges)")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    system = _build_system(args.dataset, args.seed)
+    if args.dataset == "imdb":
+        config = WorkloadConfig.synthetic(queries=args.queries)
+    else:
+        config = WorkloadConfig.dblp(queries=args.queries)
+    workload = generate_workload(system.graph, system.index, config)
+    harness = EffectivenessHarness(
+        system.graph, system.index, system.importance, workload,
+        diameter=args.diameter,
+    )
+    results = harness.compare((SPARK, BANKS, CI_RANK))
+    rows = [
+        (name, result.mrr, result.precision)
+        for name, result in results.items()
+    ]
+    print(format_table(
+        ("system", "MRR", "precision"), rows,
+        title=f"{args.dataset} ({len(workload)} queries)",
+    ))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    system = _build_system(args.dataset, args.seed)
+    graph = system.graph
+    rows = [
+        (relation, len(graph.nodes_of_relation(relation)))
+        for relation in sorted(graph.relations())
+    ]
+    print(format_table(("relation", "nodes"), rows, title=args.dataset))
+    print(f"total nodes:  {graph.node_count}")
+    print(f"total edges:  {graph.edge_count}")
+    top = system.importance.top(5)
+    print("most important nodes:")
+    for node in top:
+        info = graph.info(node)
+        print(f"  [{info.relation}] {info.text} "
+              f"(p={system.importance[node]:.3g})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="cirank",
+        description="CI-Rank keyword search over synthetic IMDB/DBLP data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=("imdb", "dblp"), default="imdb")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--diameter", type=int, default=4)
+
+    p_search = sub.add_parser("search", help="run one top-k query")
+    common(p_search)
+    p_search.add_argument("--query", required=True)
+    p_search.add_argument("--k", type=int, default=5)
+    p_search.add_argument("--star-index", action="store_true")
+    p_search.add_argument(
+        "--load", default="", help="saved deployment directory"
+    )
+    p_search.add_argument(
+        "--json", action="store_true", help="also print the ranking as JSON"
+    )
+    p_search.set_defaults(func=_cmd_search)
+
+    p_eval = sub.add_parser("evaluate", help="compare ranking functions")
+    common(p_eval)
+    p_eval.add_argument("--queries", type=int, default=10)
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_inspect = sub.add_parser("inspect", help="print dataset statistics")
+    common(p_inspect)
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_save = sub.add_parser("save", help="build and persist a deployment")
+    common(p_save)
+    p_save.add_argument("--out", required=True)
+    p_save.add_argument("--star-index", action="store_true")
+    p_save.set_defaults(func=_cmd_save)
+
+    p_export = sub.add_parser("export", help="write the graph as GraphML")
+    common(p_export)
+    p_export.add_argument("--out", required=True)
+    p_export.set_defaults(func=_cmd_export)
+
+    p_repro = sub.add_parser(
+        "reproduce", help="regenerate one of the paper's experiments"
+    )
+    p_repro.add_argument(
+        "--experiment", default="fig8",
+        help="fig6/fig7/fig8/fig9/fig11/fig12/table2 or 'all'",
+    )
+    p_repro.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Configuration objects for the CI-Rank system.
+
+Three dataclasses gather every tunable the paper exposes:
+
+* :class:`RWMPParams` — the message-passing model parameters (Section III):
+  the teleportation constant ``c`` of the underlying random walk, and the
+  dampening parameters ``alpha`` (probability a surfer keeps a message per
+  talk step) and ``g`` (listener group size).
+* :class:`SearchParams` — the top-k search parameters (Section IV): ``k``
+  and the answer-tree diameter cap ``D``.
+* :class:`EdgeWeights` — the per-edge-type weights of Table II, plus helpers
+  to register additional link types.
+
+All values default to the paper's choices (``alpha = 0.15``, ``g = 20``,
+``c = 0.15``, ``k = 5``, ``D = 4``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .exceptions import ReproError
+
+#: The paper's default teleportation constant for Equation (1).
+DEFAULT_TELEPORT = 0.15
+
+#: The paper's recommended dampening parameters (Section VI-B).
+DEFAULT_ALPHA = 0.15
+DEFAULT_GROUP_SIZE = 20.0
+
+#: Default top-k and diameter cap used in the efficiency experiments.
+DEFAULT_K = 5
+DEFAULT_DIAMETER = 4
+
+
+@dataclass(frozen=True)
+class RWMPParams:
+    """Parameters of the Random Walk with Message Passing model.
+
+    Attributes:
+        alpha: probability that a message-carrying surfer keeps the message
+            in one talk step; the minimum possible dampening rate.  The
+            paper finds ``0.1 <= alpha <= 0.25`` effective and uses 0.15.
+        g: listener group size per talk step; with ``alpha`` fixed, larger
+            ``g`` lowers the maximum dampening rate.  The paper uses 20.
+        teleport: the teleportation constant ``c`` in Equation (1).
+    """
+
+    alpha: float = DEFAULT_ALPHA
+    g: float = DEFAULT_GROUP_SIZE
+    teleport: float = DEFAULT_TELEPORT
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ReproError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.g <= 1.0:
+            raise ReproError(f"g must be > 1, got {self.g}")
+        if not 0.0 < self.teleport < 1.0:
+            raise ReproError(f"teleport must be in (0, 1), got {self.teleport}")
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Parameters of the top-k answer search (Section IV).
+
+    Attributes:
+        k: number of answers to return.
+        diameter: cap ``D`` on the answer-tree diameter (in edges).
+        strict_merge: when True (default — the paper's rule), a merge
+            must cover strictly more keywords than either operand, which
+            prunes redundant-coverage trees and is dramatically faster;
+            when False, any cycle-free merge is allowed, making the
+            search provably complete over all Definition-3 answers
+            (useful for verification; in measurements the two modes
+            return identical top-k on realistic workloads).
+        max_candidates: safety valve — abort the search after this many
+            candidate-tree expansions (0 disables the cap).
+        semantics: ``"and"`` (the paper's assumption — answers must cover
+            every keyword) or ``"or"`` (answers may cover any non-empty
+            subset; the SPARK-style relaxation).  OR mode widens the
+            answer space and weakens the search bounds accordingly.
+    """
+
+    k: int = DEFAULT_K
+    diameter: int = DEFAULT_DIAMETER
+    strict_merge: bool = True
+    max_candidates: int = 0
+    semantics: str = "and"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ReproError(f"k must be >= 1, got {self.k}")
+        if self.diameter < 0:
+            raise ReproError(f"diameter must be >= 0, got {self.diameter}")
+        if self.max_candidates < 0:
+            raise ReproError("max_candidates must be >= 0")
+        if self.semantics not in ("and", "or"):
+            raise ReproError(
+                f"semantics must be 'and' or 'or', got {self.semantics!r}"
+            )
+
+
+def _table2_weights() -> Dict[Tuple[str, str], float]:
+    """The edge weights of Table II, keyed by (source table, target table).
+
+    Citation links are a self-relationship on the paper table and are keyed
+    by the special link names ``("paper:cites", "paper")`` and
+    ``("paper", "paper:cites")`` — see :class:`EdgeWeights.weight_for`.
+    """
+    return {
+        # IMDB (Fig. 1(b))
+        ("actor", "movie"): 1.0,
+        ("movie", "actor"): 1.0,
+        ("actress", "movie"): 1.0,
+        ("movie", "actress"): 1.0,
+        ("director", "movie"): 1.0,
+        ("movie", "director"): 1.0,
+        ("producer", "movie"): 0.5,
+        ("movie", "producer"): 0.5,
+        ("company", "movie"): 0.5,
+        ("movie", "company"): 0.5,
+        # DBLP (Fig. 1(a))
+        ("conference", "paper"): 0.5,
+        ("paper", "conference"): 0.5,
+        ("author", "paper"): 1.0,
+        ("paper", "author"): 1.0,
+        # Citations: citing -> cited 0.5, cited -> citing 0.1 (Table II).
+        ("paper#cites", "paper"): 0.5,
+        ("paper", "paper#cites"): 0.1,
+    }
+
+
+@dataclass
+class EdgeWeights:
+    """Edge-type weight table (Table II) with sensible fallbacks.
+
+    Weights are looked up by ``(source_table, target_table)`` pairs in
+    lowercase.  Self-referencing links (e.g. paper citations) are
+    disambiguated by suffixing the *link name* with ``#<fk-name>`` on the
+    side that owns the foreign key; :meth:`weight_for` handles the lookup.
+
+    Attributes:
+        weights: the mapping; initialized to Table II.
+        default: weight used for unknown edge types.
+    """
+
+    weights: Dict[Tuple[str, str], float] = field(default_factory=_table2_weights)
+    default: float = 1.0
+
+    def set_weight(self, source: str, target: str, weight: float) -> None:
+        """Register or override the weight of one directed edge type."""
+        if weight <= 0:
+            raise ReproError(f"edge weight must be positive, got {weight}")
+        self.weights[(source.lower(), target.lower())] = weight
+
+    def weight_for(
+        self,
+        source: str,
+        target: str,
+        link: str = "",
+        owner: str = "source",
+    ) -> float:
+        """Return the weight of a ``source -> target`` edge.
+
+        Args:
+            source: source table name.
+            target: target table name.
+            link: optional foreign-key/link name; used to disambiguate
+                self-referencing relations (the ``paper#cites`` keys above).
+            owner: which end owns the link — ``"source"`` when the edge
+                runs from the owning side (citing -> cited), ``"target"``
+                for the reverse direction.
+        """
+        source = source.lower()
+        target = target.lower()
+        if link:
+            if owner == "source":
+                keyed = (f"{source}#{link.lower()}", target)
+            else:
+                keyed = (source, f"{target}#{link.lower()}")
+            if keyed in self.weights:
+                return self.weights[keyed]
+        return self.weights.get((source, target), self.default)

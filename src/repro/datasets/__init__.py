@@ -1,0 +1,25 @@
+"""Synthetic datasets, query logs, and evaluation workloads.
+
+The paper evaluates on real IMDB and DBLP dumps with an AOL query log —
+resources this reproduction replaces with seeded generators that preserve
+the structural properties the experiments depend on (see DESIGN.md §2):
+the exact Fig. 1 schemas, Zipfian popularity/citation skew, person-role
+duplication (for the merging step), and the paper's query mixes.
+"""
+
+from .imdb import ImdbConfig, generate_imdb
+from .dblp import DblpConfig, generate_dblp
+from .querylog import LabeledClick, simulate_query_log
+from .workloads import EvalQuery, WorkloadConfig, generate_workload
+
+__all__ = [
+    "ImdbConfig",
+    "generate_imdb",
+    "DblpConfig",
+    "generate_dblp",
+    "LabeledClick",
+    "simulate_query_log",
+    "EvalQuery",
+    "WorkloadConfig",
+    "generate_workload",
+]

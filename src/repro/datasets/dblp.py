@@ -1,0 +1,177 @@
+"""Synthetic DBLP generator (Fig. 1(a) schema).
+
+Key structural property: citation counts follow preferential attachment,
+so a few papers are heavily cited — exactly the skew behind the paper's
+motivating example (the TSIMMIS paper with 38 citations should beat the
+one with 7).  The accumulated citation count is stored in the paper's
+``citations`` attribute, which the relevance oracle treats as the ground
+truth popularity signal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..db.database import Database
+from ..db.schema import dblp_schema
+from ..exceptions import DatasetError
+from . import pools
+
+
+@dataclass(frozen=True)
+class DblpConfig:
+    """Size and skew knobs of the synthetic DBLP.
+
+    Attributes:
+        conferences / papers / authors: table cardinalities.
+        authors_per_paper: (min, max) authors per paper.
+        citations_per_paper: (min, max) outgoing citations per paper.
+        attachment_bias: strength of preferential attachment (0 = uniform
+            citations; 1 = fully proportional to current indegree + 1).
+        author_exponent: Zipf exponent of author prolificness.
+        repeat_coauthors_prob: probability a paper reuses an earlier
+            paper's author set — recurring co-authorships give author
+            pairs several joint papers, the Papakonstantinou-Ullman
+            structure the motivating example ranks over.
+        communities: number of research areas.  Venues, authorship, and
+            citations stay almost entirely within an area (see
+            ``cross_community_prob``), reproducing DBLP's long-distance
+            structure — required for the index experiments.
+        cross_community_prob: probability a citation or authorship
+            crosses areas.
+        seed: RNG seed.
+    """
+
+    conferences: int = 25
+    papers: int = 500
+    authors: int = 400
+    authors_per_paper: Tuple[int, int] = (1, 4)
+    citations_per_paper: Tuple[int, int] = (0, 6)
+    attachment_bias: float = 0.85
+    author_exponent: float = 0.95
+    repeat_coauthors_prob: float = 0.45
+    communities: int = 1
+    cross_community_prob: float = 0.04
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if min(self.conferences, self.papers, self.authors) < 1:
+            raise DatasetError("all table cardinalities must be >= 1")
+        if not 0.0 <= self.attachment_bias <= 1.0:
+            raise DatasetError("attachment_bias must be in [0, 1]")
+        if self.communities < 1:
+            raise DatasetError("communities must be >= 1")
+        if min(self.conferences, self.papers, self.authors) < self.communities:
+            raise DatasetError(
+                "every table needs at least one row per community"
+            )
+        if not 0.0 <= self.cross_community_prob <= 1.0:
+            raise DatasetError("cross_community_prob must be in [0, 1]")
+
+
+def generate_dblp(config: DblpConfig = DblpConfig()) -> Database:
+    """Generate the synthetic DBLP database."""
+    rng = random.Random(config.seed)
+    db = Database(dblp_schema())
+
+    for pk in range(1, config.conferences + 1):
+        db.insert("conference", pk, name=pools.venue_name(rng, pk))
+
+    def community_of(pk: int) -> int:
+        return (pk - 1) % config.communities
+
+    # Papers are created in chronological order; each paper may cite
+    # earlier papers, preferentially the already-well-cited ones, almost
+    # always within its own research area.
+    indegree: List[int] = [0] * (config.papers + 1)  # 1-indexed
+    area_conferences: Dict[int, List[int]] = {}
+    for conf in range(1, config.conferences + 1):
+        area_conferences.setdefault(community_of(conf), []).append(conf)
+    for pk in range(1, config.papers + 1):
+        area = community_of(pk)
+        year = 1975 + (36 * pk) // config.papers
+        db.insert(
+            "paper", pk,
+            title=pools.paper_title(rng),
+            year=year,
+            citations=0,
+            conference_id=rng.choice(area_conferences[area]),
+        )
+        if pk == 1:
+            continue
+        lo, hi = config.citations_per_paper
+        older = [
+            old for old in range(1, pk)
+            if community_of(old) == area
+            or rng.random() < config.cross_community_prob
+        ]
+        if not older:
+            continue
+        n_cites = min(rng.randint(lo, hi), len(older))
+        weights = [
+            (1.0 - config.attachment_bias)
+            + config.attachment_bias * (indegree[old] + 1)
+            for old in older
+        ]
+        cited = set()
+        guard = 0
+        while len(cited) < n_cites and guard < 20 * n_cites + 20:
+            pick = rng.choices(older, weights=weights, k=1)[0]
+            guard += 1
+            if pick not in cited:
+                cited.add(pick)
+        for old in sorted(cited):
+            db.link("cites", pk, old)
+            indegree[old] += 1
+
+    # Record the final citation counts on the rows (the oracle's signal).
+    for pk in range(1, config.papers + 1):
+        db.get("paper", pk).values["citations"] = indegree[pk]
+
+    # Authorship: prolific authors write many papers, and co-author
+    # groups recur across papers (see ``repeat_coauthors_prob``), almost
+    # always inside their research area.
+    author_ids = list(range(1, config.authors + 1))
+    author_w = pools.zipf_weights(config.authors, config.author_exponent)
+    for pk in range(1, config.authors + 1):
+        db.insert("author", pk, name=pools.person_name(rng))
+    area_authors: Dict[int, Tuple[List[int], List[float]]] = {}
+    for author, weight in zip(author_ids, author_w):
+        bucket = area_authors.setdefault(community_of(author), ([], []))
+        bucket[0].append(author)
+        bucket[1].append(weight)
+    authors_of: List[List[int]] = [[]]  # 1-indexed
+    area_papers: Dict[int, List[int]] = {}
+    for pk in range(1, config.papers + 1):
+        area = community_of(pk)
+        local_ids, local_w = area_authors[area]
+        lo, hi = config.authors_per_paper
+        count = rng.randint(lo, hi)
+        chosen: set = set()
+        peers = area_papers.get(area, ())
+        if peers and rng.random() < config.repeat_coauthors_prob:
+            earlier = authors_of[rng.choice(peers)]
+            if earlier:
+                chosen.update(
+                    rng.sample(earlier, min(len(earlier), max(2, count)))
+                )
+        guard = 0
+        while len(chosen) < count and guard < 20 * count + 20:
+            if (
+                config.communities > 1
+                and rng.random() < config.cross_community_prob
+            ):
+                pick = rng.choices(author_ids, weights=author_w, k=1)[0]
+            else:
+                pick = rng.choices(local_ids, weights=local_w, k=1)[0]
+            guard += 1
+            chosen.add(pick)
+        authors_of.append(sorted(chosen))
+        area_papers.setdefault(area, []).append(pk)
+        for author in sorted(chosen):
+            db.link("writes", author, pk)
+
+    db.validate()
+    return db

@@ -1,0 +1,251 @@
+"""Synthetic IMDB generator (Fig. 1(b) schema).
+
+Reproduces the structural properties the experiments rely on:
+
+* the Movie star table connecting five satellite tables via the m:n
+  relationships of Fig. 1(b), weighted per Table II;
+* Zipfian popularity — popular movies carry more ``votes`` (the raw
+  popularity attribute the relevance oracle reads) and attract popular,
+  prolific people, so random-walk importance correlates with (but is not
+  identical to) ``votes``;
+* multi-role people — a fraction of directors/producers reuse an actor's
+  exact name, exercising the Section VI-A node merging (the paper's
+  "Mel Gibson" case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..db.database import Database
+from ..db.schema import Schema, imdb_schema
+from ..exceptions import DatasetError
+from . import pools
+
+
+@dataclass(frozen=True)
+class ImdbConfig:
+    """Size and skew knobs of the synthetic IMDB.
+
+    Attributes:
+        movies..companies: table cardinalities.
+        actors_per_movie: (min, max) credited actors per movie.
+        actresses_per_movie: (min, max) credited actresses per movie.
+        popularity_exponent: Zipf exponent of movie popularity.
+        person_exponent: Zipf exponent of person prolificness.
+        multi_role_fraction: fraction of directors/producers that share an
+            actor's name (merged into one node at graph build time).
+        repeat_cast_prob: probability that a movie reuses part of an
+            earlier movie's cast — this produces recurring collaborations,
+            i.e. person pairs sharing *several* movies, the structure the
+            ranking experiments discriminate on (like the two TSIMMIS
+            authors sharing many papers).
+        communities: number of weakly-connected production communities
+            (film industries / eras).  People work almost exclusively
+            within their community (see ``cross_community_prob``), giving
+            the graph the long-distance structure of the real IMDB —
+            essential for the index experiments, where distance pruning
+            must have far-apart regions to prune.
+        cross_community_prob: probability that one credit crosses
+            community lines (the bridges keeping the graph connected).
+        seed: RNG seed.
+    """
+
+    movies: int = 400
+    actors: int = 500
+    actresses: int = 300
+    directors: int = 120
+    producers: int = 80
+    companies: int = 60
+    actors_per_movie: Tuple[int, int] = (2, 5)
+    actresses_per_movie: Tuple[int, int] = (1, 3)
+    popularity_exponent: float = 1.1
+    person_exponent: float = 0.9
+    multi_role_fraction: float = 0.15
+    repeat_cast_prob: float = 0.4
+    communities: int = 1
+    cross_community_prob: float = 0.03
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        counts = (self.movies, self.actors, self.actresses,
+                  self.directors, self.producers, self.companies)
+        if any(c < 1 for c in counts):
+            raise DatasetError("all table cardinalities must be >= 1")
+        if not 0.0 <= self.multi_role_fraction <= 1.0:
+            raise DatasetError("multi_role_fraction must be in [0, 1]")
+        if self.communities < 1:
+            raise DatasetError("communities must be >= 1")
+        if min(counts) < self.communities:
+            raise DatasetError(
+                "every table needs at least one row per community"
+            )
+        if not 0.0 <= self.cross_community_prob <= 1.0:
+            raise DatasetError("cross_community_prob must be in [0, 1]")
+
+
+def _weighted_sample(
+    rng: random.Random,
+    population: Sequence[int],
+    weights: Sequence[float],
+    k: int,
+) -> List[int]:
+    """Sample ``k`` distinct items, Zipf-weighted, without replacement."""
+    k = min(k, len(population))
+    chosen: List[int] = []
+    taken = set()
+    # Rejection sampling: cheap because k << population in practice.
+    guard = 0
+    while len(chosen) < k and guard < 50 * k + 100:
+        pick = rng.choices(population, weights=weights, k=1)[0]
+        guard += 1
+        if pick not in taken:
+            taken.add(pick)
+            chosen.append(pick)
+    for item in population:  # deterministic fallback on exhaustion
+        if len(chosen) >= k:
+            break
+        if item not in taken:
+            taken.add(item)
+            chosen.append(item)
+    return chosen
+
+
+def generate_imdb(config: ImdbConfig = ImdbConfig()) -> Database:
+    """Generate the synthetic IMDB database."""
+    rng = random.Random(config.seed)
+    schema = imdb_schema()
+    db = Database(schema)
+
+    # --- movies, popularity-ranked -----------------------------------
+    base_votes = 250_000
+    for pk in range(1, config.movies + 1):
+        votes = max(5, int(base_votes / (pk ** config.popularity_exponent)))
+        title = pools.movie_title(rng)
+        year = rng.randint(1960, 2011)
+        db.insert("movie", pk, title=f"{title}", year=year, votes=votes)
+
+    # --- people and companies ----------------------------------------
+    def fill_people(table: str, count: int) -> List[str]:
+        names = []
+        for pk in range(1, count + 1):
+            name = pools.person_name(rng)
+            db.insert(table, pk, name=name)
+            names.append(name)
+        return names
+
+    actor_names = fill_people("actor", config.actors)
+    fill_people("actress", config.actresses)
+    director_names = fill_people("director", config.directors)
+    producer_names = fill_people("producer", config.producers)
+    for pk in range(1, config.companies + 1):
+        db.insert("company", pk, name=pools.company_name(rng))
+
+    # Multi-role people: overwrite a fraction of director/producer names
+    # with actor names so graph building merges them (Section VI-A).
+    def share_names(table: str, names: List[str]) -> None:
+        for pk in range(1, len(names) + 1):
+            if rng.random() < config.multi_role_fraction:
+                shared = rng.choice(actor_names)
+                db.get(table, pk).values["name"] = shared
+
+    share_names("director", director_names)
+    share_names("producer", producer_names)
+
+    # --- credits: popular movies hire popular people ------------------
+    movie_ids = list(range(1, config.movies + 1))
+    actor_ids = list(range(1, config.actors + 1))
+    actress_ids = list(range(1, config.actresses + 1))
+    director_ids = list(range(1, config.directors + 1))
+    producer_ids = list(range(1, config.producers + 1))
+    company_ids = list(range(1, config.companies + 1))
+    actor_w = pools.zipf_weights(config.actors, config.person_exponent)
+    actress_w = pools.zipf_weights(config.actresses, config.person_exponent)
+    director_w = pools.zipf_weights(config.directors, config.person_exponent)
+    producer_w = pools.zipf_weights(config.producers, config.person_exponent)
+    company_w = pools.zipf_weights(config.companies, config.person_exponent)
+
+    def community_of(pk: int) -> int:
+        # interleaved assignment spreads popularity evenly across
+        # communities (each gets its own share of hit movies / stars)
+        return (pk - 1) % config.communities
+
+    def split(ids: List[int], weights: Sequence[float]):
+        """Per-community (ids, weights) views plus the global view."""
+        parts = [([], []) for _ in range(config.communities)]
+        for pk, weight in zip(ids, weights):
+            bucket = parts[community_of(pk)]
+            bucket[0].append(pk)
+            bucket[1].append(weight)
+        return parts
+
+    actor_parts = split(actor_ids, actor_w)
+    actress_parts = split(actress_ids, actress_w)
+    director_parts = split(director_ids, director_w)
+    producer_parts = split(producer_ids, producer_w)
+    company_parts = split(company_ids, company_w)
+
+    def pick(parts, global_ids, global_w, community: int, k: int) -> List[int]:
+        """Sample k entities from the movie's community, plus possibly a
+        cross-community bridge credit."""
+        local_ids, local_w = parts[community]
+        chosen = _weighted_sample(rng, local_ids, local_w, k)
+        if config.communities > 1 and rng.random() < config.cross_community_prob:
+            bridge = _weighted_sample(rng, global_ids, global_w, 1)
+            if bridge and bridge[0] not in chosen:
+                chosen.append(bridge[0])
+        return chosen
+
+    cast_of: Dict[int, List[int]] = {}
+    earlier_in_community: Dict[int, List[int]] = {}
+    for movie in movie_ids:
+        community = community_of(movie)
+        # Popular movies carry more credits — the structural footprint of
+        # popularity that makes random-walk importance track the raw
+        # ``votes`` signal, as in the real IMDB graph.
+        popularity = db.get("movie", movie).values["votes"] / base_votes
+        bonus = int(7.0 * popularity ** 0.35)
+        lo, hi = config.actors_per_movie
+        cast = pick(
+            actor_parts, actor_ids, actor_w, community,
+            rng.randint(lo, hi) + bonus,
+        )
+        # Recurring collaborations: occasionally carry over part of an
+        # earlier same-community movie's cast, so pairs/triples of actors
+        # share several movies of varying popularity.
+        peers = earlier_in_community.get(community, ())
+        if peers and rng.random() < config.repeat_cast_prob:
+            earlier = cast_of[rng.choice(peers)]
+            carry = rng.sample(earlier, min(len(earlier), rng.randint(2, 3)))
+            cast = list(dict.fromkeys(carry + cast))[: hi + bonus + 1]
+        cast_of[movie] = cast
+        earlier_in_community.setdefault(community, []).append(movie)
+        for actor in cast:
+            db.link("acts_in", actor, movie)
+        lo, hi = config.actresses_per_movie
+        for actress in pick(
+            actress_parts, actress_ids, actress_w, community,
+            rng.randint(lo, hi) + bonus,
+        ):
+            db.link("acts_in_f", actress, movie)
+        for director in pick(
+            director_parts, director_ids, director_w, community, 1
+        ):
+            db.link("directs", director, movie)
+        # Popular movies attract more producers/companies as well.
+        if rng.random() < 0.5 + 0.5 * popularity:
+            count = 1 + (1 if popularity > 0.3 else 0)
+            for producer in pick(
+                producer_parts, producer_ids, producer_w, community, count
+            ):
+                db.link("produces", producer, movie)
+        if rng.random() < 0.4 + 0.6 * popularity:
+            for company in pick(
+                company_parts, company_ids, company_w, community, 1
+            ):
+                db.link("makes", company, movie)
+
+    db.validate()
+    return db

@@ -1,0 +1,143 @@
+"""Deterministic vocabulary pools shared by the synthetic generators.
+
+Names and titles are assembled from fixed token pools so that (a) keyword
+matching has realistic ambiguity — surnames repeat across people with
+Zipf-ish frequency, like real data — and (b) generation is reproducible
+from a seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+FIRST_NAMES: Sequence[str] = (
+    "alden alice amara anders astrid bela boris bram carla cedric chiara "
+    "dario delia dmitri edda elias enzo erika fabian freya gideon greta "
+    "hanna hugo ilsa ingmar ivo jana jasper juno kasper katja lars lena "
+    "lionel lotte magnus mara milos nadia nils olga oskar petra quentin "
+    "rafael runa selma stellan tamsin teodor ulla viggo wanda yannick zelda"
+).split()
+
+SURNAMES: Sequence[str] = (
+    "abernathy ashford barlowe bexley calloway carrow dantley droste "
+    "eastwick ellery fairburn fenwick garrick greavey halloran hartwell "
+    "iverson jarrell kestrel kirby lakewood larkspur mallory merton "
+    "navarre norcross oakhurst ormond pellham prescott quimby radcliffe "
+    "rookwood selwyn sheffield thackeray thornbury underwood vance "
+    "wetherby whitlock yardley zellner"
+).split()
+
+TITLE_ADJECTIVES: Sequence[str] = (
+    "crimson silent broken endless hidden golden savage quiet burning "
+    "frozen shattered midnight forgotten electric hollow distant scarlet "
+    "iron velvet wandering"
+).split()
+
+TITLE_NOUNS: Sequence[str] = (
+    "horizon empire river shadow kingdom harvest voyage garden thunder "
+    "mirror fortress lantern meridian archive cascade serpent compass "
+    "orchard bastion reverie"
+).split()
+
+CS_TERMS: Sequence[str] = (
+    "scalable adaptive distributed probabilistic incremental declarative "
+    "parallel approximate streaming transactional semantic temporal "
+    "indexing ranking caching sampling clustering provenance sketching "
+    "partitioning joins views queries graphs trees logs workloads schemas "
+    "keyword search optimization recovery consistency replication"
+).split()
+
+VENUE_WORDS: Sequence[str] = (
+    "symposium conference workshop forum colloquium"
+).split()
+
+VENUE_TOPICS: Sequence[str] = (
+    "data systems knowledge retrieval databases analytics web mining "
+    "information management"
+).split()
+
+COMPANY_WORDS: Sequence[str] = (
+    "pictures studios films entertainment productions media works"
+).split()
+
+
+_SYLLABLES_A: Sequence[str] = (
+    "bar bel cor dal dor fen gar hal jor kal lan mar nor or pel "
+    "ral sol tar vel win"
+).split()
+
+_SYLLABLES_B: Sequence[str] = (
+    "ba de di fa go ka li mo na pe ra sa ti va we zo ce du he ne"
+).split()
+
+_SYLLABLES_C: Sequence[str] = (
+    "ck dale ford gren holm lin mont ner rick son stad ter vik "
+    "wald well worth by dal man ros"
+).split()
+
+
+def surname(rng: random.Random) -> str:
+    """A synthetic surname from a deliberately moderate name space.
+
+    Two-syllable surnames (~400 combinations) dominate, so datasets with
+    hundreds of people exhibit realistic surname collisions — the
+    ambiguity that separates ranking functions in the precision
+    experiments; an occasional middle syllable adds rarer names.
+    """
+    if rng.random() < 0.25:
+        return (
+            rng.choice(_SYLLABLES_A)
+            + rng.choice(_SYLLABLES_B)
+            + rng.choice(_SYLLABLES_C)
+        )
+    return rng.choice(_SYLLABLES_A) + rng.choice(_SYLLABLES_C)
+
+
+def rare_token(rng: random.Random) -> str:
+    """A distinctive low-frequency token for titles (like real rare words)."""
+    return (
+        rng.choice(_SYLLABLES_B) + rng.choice(_SYLLABLES_A) + rng.choice(_SYLLABLES_B)
+    )
+
+
+def person_name(rng: random.Random) -> str:
+    """A two-token person name with a syllable-built surname."""
+    return f"{rng.choice(FIRST_NAMES)} {surname(rng)}"
+
+
+def movie_title(rng: random.Random) -> str:
+    """A movie title like 'the crimson horizon velsora'.
+
+    The trailing rare token keeps titles addressable by a single
+    distinctive keyword, as real titles usually are.
+    """
+    stem = f"{rng.choice(TITLE_ADJECTIVES)} {rng.choice(TITLE_NOUNS)}"
+    if rng.random() < 0.5:
+        stem = f"the {stem}"
+    return f"{stem} {rare_token(rng)}"
+
+
+def paper_title(rng: random.Random) -> str:
+    """A 4-6 term paper title ending in a distinctive rare token."""
+    n = rng.randint(3, 5)
+    terms = " ".join(rng.choice(CS_TERMS) for _ in range(n))
+    return f"{terms} {rare_token(rng)}"
+
+
+def venue_name(rng: random.Random, ordinal: int) -> str:
+    """A venue name, unique per ordinal."""
+    return (
+        f"{rng.choice(VENUE_WORDS)} on {rng.choice(VENUE_TOPICS)} "
+        f"{rng.choice(VENUE_TOPICS)} {ordinal}"
+    )
+
+
+def company_name(rng: random.Random) -> str:
+    """A production company name."""
+    return f"{rng.choice(SURNAMES)} {rng.choice(COMPANY_WORDS)}"
+
+
+def zipf_weights(n: int, exponent: float) -> List[float]:
+    """Unnormalized Zipf weights ``1 / rank**exponent`` for ranks 1..n."""
+    return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]

@@ -1,0 +1,412 @@
+"""Evaluation workloads with construction-time ground truth.
+
+The paper evaluates on (a) complex queries mined from the AOL log —
+mostly answered by two *directly connected* nodes, only 11.4% needing
+free connector nodes — and (b) synthetic query sets where 50% of queries
+need two non-adjacent matching nodes, 20% need three or more, and the
+remaining 30% are single nodes or adjacent pairs (Section VI-A).
+
+:func:`generate_workload` reproduces both mixes over a synthetic graph.
+Because queries are *generated from* known target tuples, the "user
+study" ground truth comes for free (DESIGN.md §2): the best answer
+connects the intended targets through the connector with the highest raw
+popularity attribute (``votes`` / ``citations``) — a property of the
+data, independent of any ranking model under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import DatasetError
+from ..graph.datagraph import DataGraph
+from ..text.inverted_index import InvertedIndex
+
+#: Query kinds, named after their structural requirement.
+SINGLE = "single"
+ADJACENT_PAIR = "adjacent_pair"
+DISTANT_PAIR = "distant_pair"
+TRIPLE = "triple"
+
+
+@dataclass(frozen=True)
+class EvalQuery:
+    """One evaluation query with its oracle ground truth.
+
+    Attributes:
+        text: the keyword query string.
+        kind: one of the four structural kinds.
+        target_nodes: the intended entity nodes (graph ids).
+        best_nodesets: node sets of the ideal answers — targets plus (for
+            connector kinds) each maximally popular connector.
+        requires_free_nodes: True when the ideal answer needs a free
+            connector node (the 11.4% / 50% statistic of Section VI-A).
+    """
+
+    text: str
+    kind: str
+    target_nodes: Tuple[int, ...]
+    best_nodesets: Tuple[FrozenSet[int], ...]
+    requires_free_nodes: bool
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Mix and size of a workload.
+
+    Attributes:
+        queries: number of queries to generate.
+        mix: kind -> probability (must sum to ~1).
+        person_relations: relations whose nodes act as "entities" joined
+            through connectors.
+        hub_relation: the star relation acting as connector.
+        popularity_attr: node attribute holding the raw popularity signal.
+        max_token_df: ambiguity cap for chosen keywords.
+        min_connectors: connector kinds require the targets to share at
+            least this many hubs, so that *which* connector is ranked
+            first actually matters (the TSIMMIS situation).
+        intent_margin: a generated query is kept only when the intended
+            interpretation's best connector is at least this factor more
+            popular than any competing interpretation's — the mechanical
+            stand-in for "clear meaning and no ambiguity in the manual
+            labeling" (Section VI-A): a human labeler resolves an
+            ambiguous query toward the famous reading.
+        seed: RNG seed.
+    """
+
+    queries: int = 20
+    mix: Tuple[Tuple[str, float], ...] = (
+        (DISTANT_PAIR, 0.5),
+        (TRIPLE, 0.2),
+        (SINGLE, 0.15),
+        (ADJACENT_PAIR, 0.15),
+    )
+    person_relations: Tuple[str, ...] = ("actor", "actress", "director")
+    hub_relation: str = "movie"
+    popularity_attr: str = "votes"
+    max_token_df: int = 4
+    min_connectors: int = 2
+    intent_margin: float = 2.0
+    seed: int = 23
+
+    @classmethod
+    def synthetic(cls, queries: int = 20, seed: int = 23, **kw) -> "WorkloadConfig":
+        """The paper's synthetic mix (50/20/30)."""
+        return cls(queries=queries, seed=seed, **kw)
+
+    @classmethod
+    def aol_like(cls, queries: int = 44, seed: int = 29, **kw) -> "WorkloadConfig":
+        """The AOL-log mix: mostly direct connections, ~11.4% distant."""
+        return cls(
+            queries=queries,
+            mix=(
+                (ADJACENT_PAIR, 0.586),
+                (SINGLE, 0.3),
+                (DISTANT_PAIR, 0.114),
+            ),
+            seed=seed,
+            **kw,
+        )
+
+    @classmethod
+    def dblp(cls, queries: int = 20, seed: int = 31, aol: bool = False) -> "WorkloadConfig":
+        """The DBLP flavor of either mix."""
+        base = cls.aol_like(queries, seed) if aol else cls.synthetic(queries, seed)
+        return WorkloadConfig(
+            queries=base.queries,
+            mix=base.mix,
+            person_relations=("author",),
+            hub_relation="paper",
+            popularity_attr="citations",
+            max_token_df=base.max_token_df,
+            seed=base.seed,
+        )
+
+
+class _WorkloadBuilder:
+    """Internal sampling machinery for :func:`generate_workload`."""
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        index: InvertedIndex,
+        config: WorkloadConfig,
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self.config = config
+        self.rng = random.Random(config.seed)
+        persons = set()
+        for relation in config.person_relations:
+            persons.update(graph.nodes_of_relation(relation))
+        self.persons = sorted(persons)
+        self.hubs = graph.nodes_of_relation(config.hub_relation)
+        if not self.persons or not self.hubs:
+            raise DatasetError(
+                "workload generation needs person and hub nodes "
+                f"({config.person_relations} / {config.hub_relation})"
+            )
+
+    # ------------------------------------------------------------ helpers
+
+    def _df(self, token: str) -> int:
+        return len(self.index.matching_nodes(token))
+
+    def _person_token(self, node: int) -> Optional[str]:
+        """The person's surname if it is rare enough."""
+        tokens = self.index.analyzer.analyze(self.graph.info(node).text)
+        if not tokens:
+            return None
+        token = tokens[-1]
+        if 1 <= self._df(token) <= self.config.max_token_df:
+            return token
+        return None
+
+    def _hub_token(self, node: int) -> Optional[str]:
+        """The hub's rarest title token within the ambiguity cap."""
+        tokens = self.index.analyzer.analyze(self.graph.info(node).text)
+        candidates = [
+            (self._df(t), t) for t in tokens if self._df(t) >= 1
+        ]
+        if not candidates:
+            return None
+        df, token = min(candidates)
+        return token if df <= self.config.max_token_df else None
+
+    def _popularity(self, node: int) -> float:
+        value = self.graph.info(node).attrs.get(self.config.popularity_attr, 0)
+        try:
+            return float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return 0.0
+
+    def _hub_neighbors(self, person: int) -> Set[int]:
+        hub = self.config.hub_relation
+        return {
+            n for n in self.graph.neighbors(person)
+            if self.graph.info(n).relation == hub
+        }
+
+    def _best_hubs(self, shared: Set[int]) -> List[int]:
+        best = max(self._popularity(h) for h in shared)
+        return sorted(h for h in shared if self._popularity(h) == best)
+
+    def _competing_interpretations(
+        self, tokens: Sequence[str], targets: Sequence[int]
+    ) -> Optional[List[Set[int]]]:
+        """The shared-hub sets of every *competing* interpretation.
+
+        A competing interpretation is a distinct-node assignment of the
+        tokens, different from the targets, whose nodes share at least
+        one hub.  Returns None when the cross product explodes past the
+        defensive cap (callers then resample).
+        """
+        match_sets = [sorted(self.index.matching_nodes(t)) for t in tokens]
+        target_set = frozenset(targets)
+        combos: List[Tuple[int, ...]] = [()]
+        for nodes in match_sets:
+            combos = [c + (n,) for c in combos for n in nodes]
+            if len(combos) > 256:
+                return None
+        competing: List[Set[int]] = []
+        for combo in combos:
+            if len(set(combo)) != len(combo):
+                continue
+            if frozenset(combo) == target_set:
+                continue
+            shared: Optional[Set[int]] = None
+            for node in combo:
+                hubs = self._hub_neighbors(node)
+                shared = hubs if shared is None else shared & hubs
+                if not shared:
+                    break
+            if shared:
+                competing.append(shared)
+        return competing
+
+    def _token_targets_unique(
+        self, tokens: Sequence[str], targets: Sequence[int]
+    ) -> bool:
+        """Whether the tokens admit no competing connected interpretation."""
+        competing = self._competing_interpretations(tokens, targets)
+        return competing is not None and not competing
+
+    def _intent_dominates(
+        self,
+        tokens: Sequence[str],
+        targets: Sequence[int],
+        target_best: float,
+    ) -> bool:
+        """Whether the intended reading is the unambiguously famous one.
+
+        Every competing interpretation's best connector must be at least
+        ``intent_margin`` times less popular than the target's.
+        """
+        competing = self._competing_interpretations(tokens, targets)
+        if competing is None:
+            return False
+        margin = self.config.intent_margin
+        for shared in competing:
+            rival = max(self._popularity(h) for h in shared)
+            if rival * margin > target_best:
+                return False
+        return True
+
+    # -------------------------------------------------------------- kinds
+
+    def make_single(self) -> Optional[EvalQuery]:
+        node = self.rng.choice(self.persons + self.hubs)
+        relation = self.graph.info(node).relation
+        if relation == self.config.hub_relation:
+            token = self._hub_token(node)
+        else:
+            token = self._person_token(node)
+        if token is None:
+            return None
+        # Disambiguate with a second token of the same node when possible.
+        tokens = self.index.analyzer.analyze(self.graph.info(node).text)
+        extra = [t for t in tokens if t != token]
+        text = f"{extra[0]} {token}" if extra else token
+        matches = set(self.index.matching_nodes(token))
+        for t in self.index.analyzer.analyze_query(text):
+            matches &= set(self.index.matching_nodes(t))
+        if matches != {node}:
+            return None  # still ambiguous; resample
+        return EvalQuery(
+            text=text,
+            kind=SINGLE,
+            target_nodes=(node,),
+            best_nodesets=(frozenset({node}),),
+            requires_free_nodes=False,
+        )
+
+    def make_adjacent_pair(self) -> Optional[EvalQuery]:
+        hub = self.rng.choice(self.hubs)
+        persons = [
+            n for n in self.graph.neighbors(hub)
+            if self.graph.info(n).relation in self.config.person_relations
+        ]
+        if not persons:
+            return None
+        person = self.rng.choice(sorted(persons))
+        hub_token = self._hub_token(hub)
+        person_token = self._person_token(person)
+        if hub_token is None or person_token is None:
+            return None
+        if not self._token_targets_unique(
+            [hub_token, person_token], [hub, person]
+        ):
+            return None
+        return EvalQuery(
+            text=f"{hub_token} {person_token}",
+            kind=ADJACENT_PAIR,
+            target_nodes=(hub, person),
+            best_nodesets=(frozenset({hub, person}),),
+            requires_free_nodes=False,
+        )
+
+    def _make_costars(self, arity: int, kind: str) -> Optional[EvalQuery]:
+        hub = self.rng.choice(self.hubs)
+        persons = sorted(
+            n for n in self.graph.neighbors(hub)
+            if self.graph.info(n).relation in self.config.person_relations
+        )
+        if len(persons) < arity:
+            return None
+        chosen = self.rng.sample(persons, arity)
+        tokens = [self._person_token(p) for p in chosen]
+        if any(t is None for t in tokens):
+            return None
+        if len(set(tokens)) != len(tokens):
+            return None  # colliding surnames would collapse the query
+        shared: Optional[Set[int]] = None
+        for person in chosen:
+            hubs = self._hub_neighbors(person)
+            shared = hubs if shared is None else shared & hubs
+        # Pairs must share several hubs so the connector choice matters;
+        # recurring triples are rarer, so one shared hub suffices there.
+        needed = self.config.min_connectors if arity == 2 else 1
+        if not shared or len(shared) < needed:
+            return None
+        best = self._best_hubs(shared)
+        best_pop = self._popularity(best[0])
+        if best_pop <= 0 or len(best) > 2:
+            return None  # popularity must single out the user-preferred answer
+        if not self._intent_dominates(tokens, chosen, best_pop):  # type: ignore[arg-type]
+            return None
+        nodesets = tuple(
+            frozenset(set(chosen) | {h}) for h in best
+        )
+        return EvalQuery(
+            text=" ".join(tokens),  # type: ignore[arg-type]
+            kind=kind,
+            target_nodes=tuple(sorted(chosen)),
+            best_nodesets=nodesets,
+            requires_free_nodes=True,
+        )
+
+    def make_distant_pair(self) -> Optional[EvalQuery]:
+        return self._make_costars(2, DISTANT_PAIR)
+
+    def make_triple(self) -> Optional[EvalQuery]:
+        return self._make_costars(3, TRIPLE)
+
+    # --------------------------------------------------------------- build
+
+    def _quotas(self) -> List[Tuple[str, int]]:
+        """Per-kind target counts honoring the configured mix exactly."""
+        total = self.config.queries
+        raw = [(kind, weight * total) for kind, weight in self.config.mix]
+        quotas = [(kind, int(amount)) for kind, amount in raw]
+        assigned = sum(q for _, q in quotas)
+        # Distribute the rounding remainder by largest fractional part.
+        remainder = sorted(
+            range(len(raw)),
+            key=lambda i: raw[i][1] - int(raw[i][1]),
+            reverse=True,
+        )
+        for i in remainder[: total - assigned]:
+            kind, count = quotas[i]
+            quotas[i] = (kind, count + 1)
+        return quotas
+
+    def build(self) -> List[EvalQuery]:
+        makers = {
+            SINGLE: self.make_single,
+            ADJACENT_PAIR: self.make_adjacent_pair,
+            DISTANT_PAIR: self.make_distant_pair,
+            TRIPLE: self.make_triple,
+        }
+        queries: List[EvalQuery] = []
+        seen_texts: Set[str] = set()
+        for kind, quota in self._quotas():
+            produced = 0
+            attempts = 0
+            max_attempts = 2000 * max(quota, 1)
+            while produced < quota and attempts < max_attempts:
+                attempts += 1
+                query = makers[kind]()
+                if query is None or query.text in seen_texts:
+                    continue
+                seen_texts.add(query.text)
+                queries.append(query)
+                produced += 1
+            if produced < quota:
+                raise DatasetError(
+                    f"could only generate {produced} of {quota} "
+                    f"{kind!r} queries; graph too small or tokens too "
+                    "ambiguous"
+                )
+        self.rng.shuffle(queries)
+        return queries
+
+
+def generate_workload(
+    graph: DataGraph,
+    index: InvertedIndex,
+    config: WorkloadConfig = WorkloadConfig(),
+) -> List[EvalQuery]:
+    """Generate an evaluation workload over a synthetic graph."""
+    return _WorkloadBuilder(graph, index, config).build()

@@ -1,0 +1,24 @@
+"""Minimal relational substrate: schemas, tables, tuples, and loading.
+
+This package supplies the "database" the paper searches over.  It is not a
+full RDBMS — keyword search only needs typed tuples, primary keys, and
+foreign-key links — but it enforces the integrity constraints the data
+graph construction relies on.
+"""
+
+from .schema import Column, ForeignKey, Table, Schema
+from .database import Database, Row
+from .loader import load_records
+from .csv_loader import dump_csv_directory, load_csv_directory
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "Table",
+    "Schema",
+    "Database",
+    "Row",
+    "load_records",
+    "load_csv_directory",
+    "dump_csv_directory",
+]

@@ -1,0 +1,154 @@
+"""Loading a database from a directory of CSV files.
+
+Real deployments rarely start from Python dicts; this loader ingests the
+classic dump layout::
+
+    <directory>/
+        movie.csv          # one file per table; header row includes 'pk'
+        actor.csv
+        links.csv          # link,a,b  — one row per m:n link instance
+
+Values are coerced by the schema (integer/float columns parse, empty
+strings become NULL/absent).  FK ordering is handled by the same
+topological loader the dict path uses.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..exceptions import DatasetError
+from .database import Database
+from .loader import load_records
+from .schema import Schema
+
+LINKS_FILE = "links.csv"
+
+
+def _read_table_csv(path: Path, table) -> List[Dict[str, Any]]:
+    fk_columns = {fk.column for fk in table.foreign_keys.values()}
+    rows: List[Dict[str, Any]] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "pk" not in reader.fieldnames:
+            raise DatasetError(f"{path.name}: missing header with 'pk'")
+        for line_number, record in enumerate(reader, start=2):
+            cleaned: Dict[str, Any] = {}
+            for key, value in record.items():
+                if key is None:
+                    raise DatasetError(
+                        f"{path.name}:{line_number}: extra unnamed column"
+                    )
+                if value is None or value == "":
+                    continue
+                if key in fk_columns:
+                    # foreign keys reference integer primary keys
+                    try:
+                        value = int(value)
+                    except ValueError:
+                        raise DatasetError(
+                            f"{path.name}:{line_number}: non-integer "
+                            f"foreign key {key}={value!r}"
+                        ) from None
+                cleaned[key] = value
+            try:
+                cleaned["pk"] = int(cleaned["pk"])
+            except (KeyError, ValueError):
+                raise DatasetError(
+                    f"{path.name}:{line_number}: bad or missing pk"
+                ) from None
+            rows.append(cleaned)
+    return rows
+
+
+def _read_links_csv(path: Path) -> List[Dict[str, Any]]:
+    links: List[Dict[str, Any]] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        expected = {"link", "a", "b"}
+        if reader.fieldnames is None or not expected <= set(reader.fieldnames):
+            raise DatasetError(
+                f"{path.name}: header must contain link,a,b"
+            )
+        for line_number, record in enumerate(reader, start=2):
+            try:
+                links.append({
+                    "link": record["link"],
+                    "a": int(record["a"]),
+                    "b": int(record["b"]),
+                })
+            except (KeyError, TypeError, ValueError):
+                raise DatasetError(
+                    f"{path.name}:{line_number}: malformed link row"
+                ) from None
+    return links
+
+
+def load_csv_directory(
+    schema: Schema, directory: Union[str, Path]
+) -> Database:
+    """Load ``<table>.csv`` files plus an optional ``links.csv``.
+
+    Args:
+        schema: the target schema; every CSV file (except links.csv)
+            must correspond to one of its tables.
+        directory: the dump directory.
+
+    Returns:
+        A validated database.
+
+    Raises:
+        DatasetError: unknown files, malformed rows, or (via the dict
+            loader) integrity violations.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DatasetError(f"{directory} is not a directory")
+    rows: Dict[str, List[Dict[str, Any]]] = {}
+    links: List[Dict[str, Any]] = []
+    for path in sorted(directory.glob("*.csv")):
+        if path.name == LINKS_FILE:
+            links = _read_links_csv(path)
+            continue
+        table = path.stem.lower()
+        if table not in schema:
+            raise DatasetError(
+                f"{path.name} does not match any schema table"
+            )
+        rows[table] = _read_table_csv(path, schema.table(table))
+    if not rows:
+        raise DatasetError(f"no table CSV files found in {directory}")
+    return load_records(schema, {"rows": rows, "links": links})
+
+
+def dump_csv_directory(
+    db: Database, directory: Union[str, Path]
+) -> Path:
+    """Write a database back out in the same CSV layout (round-trip
+    companion of :func:`load_csv_directory`)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for table in db.schema:
+        columns = list(table.columns)
+        fk_columns = [fk.column for fk in table.foreign_keys.values()]
+        fieldnames = ["pk", *columns, *fk_columns]
+        with (directory / f"{table.name}.csv").open(
+            "w", newline=""
+        ) as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            for row in db.rows(table.name):
+                record = {"pk": row.pk}
+                for name in columns + fk_columns:
+                    value = row.values.get(name)
+                    if value is not None:
+                        record[name] = value
+                writer.writerow(record)
+    with (directory / LINKS_FILE).open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=["link", "a", "b"])
+        writer.writeheader()
+        for name, a, b in db.links():
+            writer.writerow({"link": name, "a": a, "b": b})
+    return directory

@@ -1,0 +1,209 @@
+"""Tuple storage with integrity checking.
+
+A :class:`Database` holds rows (:class:`Row`) per table plus the m:n link
+instances.  It enforces the constraints the graph builder relies on:
+primary-key uniqueness, foreign-key referential integrity, and link
+endpoint validity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..exceptions import IntegrityError, SchemaError
+from .schema import Schema, Table, INTEGER, FLOAT, TEXT
+
+
+@dataclass
+class Row:
+    """One stored tuple.
+
+    Attributes:
+        table: owning table name.
+        pk: primary key value (int).
+        values: column name -> value.
+    """
+
+    table: str
+    pk: int
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def text(self, columns: Iterable[str]) -> str:
+        """Concatenated text of the given columns (for keyword matching)."""
+        parts = []
+        for name in columns:
+            value = self.values.get(name)
+            if value is not None:
+                parts.append(str(value))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Row({self.table}:{self.pk} {self.values})"
+
+
+#: A link instance: (link name, pk on table_a side, pk on table_b side).
+LinkInstance = Tuple[str, int, int]
+
+
+class Database:
+    """In-memory tuple store validated against a :class:`Schema`."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._rows: Dict[str, Dict[int, Row]] = {t.name: {} for t in schema}
+        self._links: List[LinkInstance] = []
+        self._link_seen: Set[LinkInstance] = set()
+
+    # ------------------------------------------------------------------ rows
+
+    def insert(self, table: str, pk: int, **values: Any) -> Row:
+        """Insert a tuple.
+
+        Raises:
+            IntegrityError: on duplicate PK, unknown column, type mismatch,
+                or dangling foreign key.
+        """
+        tdef = self.schema.table(table)
+        store = self._rows[tdef.name]
+        if pk in store:
+            raise IntegrityError(f"duplicate primary key {tdef.name}:{pk}")
+        clean: Dict[str, Any] = {}
+        for name, value in values.items():
+            if name in tdef.columns:
+                clean[name] = self._coerce(tdef, name, value)
+            elif any(fk.column == name for fk in tdef.foreign_keys.values()):
+                clean[name] = value
+            else:
+                raise IntegrityError(
+                    f"unknown column {name!r} for table {tdef.name!r}"
+                )
+        for fk in tdef.foreign_keys.values():
+            ref = clean.get(fk.column)
+            if ref is None:
+                if not fk.nullable:
+                    raise IntegrityError(
+                        f"{tdef.name}:{pk} missing non-nullable FK {fk.name!r}"
+                    )
+                continue
+            if ref not in self._rows[fk.references.lower()]:
+                raise IntegrityError(
+                    f"{tdef.name}:{pk} FK {fk.name!r} dangles "
+                    f"({fk.references}:{ref} does not exist)"
+                )
+        row = Row(tdef.name, pk, clean)
+        store[pk] = row
+        return row
+
+    @staticmethod
+    def _coerce(tdef: Table, name: str, value: Any) -> Any:
+        column = tdef.columns[name]
+        if value is None:
+            return None
+        if column.type == INTEGER and not isinstance(value, bool):
+            try:
+                return int(value)
+            except (TypeError, ValueError):
+                raise IntegrityError(
+                    f"column {tdef.name}.{name} expects integer, got {value!r}"
+                ) from None
+        if column.type == FLOAT:
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                raise IntegrityError(
+                    f"column {tdef.name}.{name} expects float, got {value!r}"
+                ) from None
+        if column.type == TEXT:
+            return str(value)
+        return value
+
+    def get(self, table: str, pk: int) -> Row:
+        """Fetch a row; raises :class:`IntegrityError` if absent."""
+        tdef = self.schema.table(table)
+        try:
+            return self._rows[tdef.name][pk]
+        except KeyError:
+            raise IntegrityError(f"no such row {tdef.name}:{pk}") from None
+
+    def rows(self, table: str) -> Iterator[Row]:
+        """Iterate over the rows of one table in insertion order."""
+        tdef = self.schema.table(table)
+        return iter(self._rows[tdef.name].values())
+
+    def count(self, table: str) -> int:
+        """Number of rows in ``table``."""
+        return len(self._rows[self.schema.table(table).name])
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._rows.values())
+
+    # ----------------------------------------------------------------- links
+
+    def link(self, name: str, pk_a: int, pk_b: int) -> None:
+        """Record an m:n link instance.
+
+        Duplicate links are ignored (the relationship is a set).
+
+        Raises:
+            SchemaError: unknown link name.
+            IntegrityError: either endpoint does not exist, or a self-link
+                joins a row to itself.
+        """
+        if name not in self.schema.many_to_many:
+            raise SchemaError(f"unknown m:n link {name!r}")
+        m2m = self.schema.many_to_many[name]
+        if pk_a not in self._rows[m2m.table_a.lower()]:
+            raise IntegrityError(
+                f"link {name!r}: missing {m2m.table_a}:{pk_a}"
+            )
+        if pk_b not in self._rows[m2m.table_b.lower()]:
+            raise IntegrityError(
+                f"link {name!r}: missing {m2m.table_b}:{pk_b}"
+            )
+        if m2m.table_a.lower() == m2m.table_b.lower() and pk_a == pk_b:
+            raise IntegrityError(f"link {name!r}: self-loop {pk_a}")
+        instance = (name, pk_a, pk_b)
+        if instance in self._link_seen:
+            return
+        self._link_seen.add(instance)
+        self._links.append(instance)
+
+    def links(self, name: Optional[str] = None) -> Iterator[LinkInstance]:
+        """Iterate over link instances, optionally filtered by link name."""
+        if name is not None and name not in self.schema.many_to_many:
+            raise SchemaError(f"unknown m:n link {name!r}")
+        for instance in self._links:
+            if name is None or instance[0] == name:
+                yield instance
+
+    def link_count(self, name: Optional[str] = None) -> int:
+        """Number of link instances (optionally of one link type)."""
+        return sum(1 for _ in self.links(name))
+
+    # ------------------------------------------------------------- integrity
+
+    def validate(self) -> None:
+        """Re-check referential integrity of the whole store.
+
+        Useful after bulk loading; raises on the first violation.
+        """
+        for tdef in self.schema:
+            for row in self._rows[tdef.name].values():
+                for fk in tdef.foreign_keys.values():
+                    ref = row.values.get(fk.column)
+                    if ref is None:
+                        if not fk.nullable:
+                            raise IntegrityError(
+                                f"{tdef.name}:{row.pk} missing FK {fk.name!r}"
+                            )
+                        continue
+                    if ref not in self._rows[fk.references.lower()]:
+                        raise IntegrityError(
+                            f"{tdef.name}:{row.pk} FK {fk.name!r} dangles"
+                        )
+        for name, pk_a, pk_b in self._links:
+            m2m = self.schema.many_to_many[name]
+            if (pk_a not in self._rows[m2m.table_a.lower()]
+                    or pk_b not in self._rows[m2m.table_b.lower()]):
+                raise IntegrityError(f"dangling link {name}:{pk_a}-{pk_b}")

@@ -1,0 +1,252 @@
+"""Schema definitions: columns, tables, foreign keys.
+
+A :class:`Schema` is a named collection of :class:`Table` objects.  Each
+table has a single-column integer primary key (sufficient for the paper's
+datasets) and any number of text or numeric columns.  Foreign keys are
+declared per table and name the referenced table; self-references (paper
+citations) are allowed and distinguished by the foreign-key *name*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import SchemaError
+
+#: Column types understood by the substrate.
+TEXT = "text"
+INTEGER = "integer"
+FLOAT = "float"
+
+_VALID_TYPES = (TEXT, INTEGER, FLOAT)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A table column.
+
+    Attributes:
+        name: column name (unique within its table).
+        type: one of ``"text"``, ``"integer"``, ``"float"``.
+        searchable: whether keyword matching considers this column's text.
+    """
+
+    name: str
+    type: str = TEXT
+    searchable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.type not in _VALID_TYPES:
+            raise SchemaError(f"unknown column type {self.type!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key declaration.
+
+    Attributes:
+        name: link name (e.g. ``"cites"``); unique within the owning table.
+        column: the column on the owning table holding the referenced key.
+        references: the referenced table name.
+        nullable: whether the column may be None (no link).
+    """
+
+    name: str
+    column: str
+    references: str
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.column or not self.references:
+            raise SchemaError("foreign key fields must be non-empty")
+
+
+@dataclass(frozen=True)
+class ManyToMany:
+    """An m:n relationship between two tables.
+
+    Relationally this would be a junction table; at the graph level (which
+    is all the paper uses) each link instance simply yields a pair of
+    directed edges, so the substrate stores link instances directly (see
+    :meth:`repro.db.Database.link`).
+
+    Attributes:
+        name: link name, unique within the schema (e.g. ``"cites"``).
+        table_a: the "owning"/source side (citing paper, actor...).
+        table_b: the target side (cited paper, movie...).
+    """
+
+    name: str
+    table_a: str
+    table_b: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.table_a or not self.table_b:
+            raise SchemaError("many-to-many fields must be non-empty")
+
+
+class Table:
+    """A table definition: primary key, columns, and foreign keys."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        foreign_keys: Iterable[ForeignKey] = (),
+        primary_key: str = "id",
+    ) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name.lower()
+        self.primary_key = primary_key
+        self.columns: Dict[str, Column] = {}
+        for column in columns:
+            if column.name in self.columns:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in table {name!r}"
+                )
+            self.columns[column.name] = column
+        self.foreign_keys: Dict[str, ForeignKey] = {}
+        for fk in foreign_keys:
+            if fk.name in self.foreign_keys:
+                raise SchemaError(
+                    f"duplicate foreign key {fk.name!r} in table {name!r}"
+                )
+            if fk.column == primary_key:
+                raise SchemaError(
+                    f"foreign key {fk.name!r} cannot reuse the primary key column"
+                )
+            self.foreign_keys[fk.name] = fk
+
+    @property
+    def searchable_columns(self) -> List[str]:
+        """Names of the columns keyword matching looks at, in order."""
+        return [
+            c.name
+            for c in self.columns.values()
+            if c.searchable and c.type == TEXT
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name!r}, columns={list(self.columns)})"
+
+
+class Schema:
+    """A collection of tables and m:n links with validated references."""
+
+    def __init__(
+        self,
+        tables: Iterable[Table],
+        many_to_many: Iterable[ManyToMany] = (),
+    ) -> None:
+        self.tables: Dict[str, Table] = {}
+        for table in tables:
+            if table.name in self.tables:
+                raise SchemaError(f"duplicate table {table.name!r}")
+            self.tables[table.name] = table
+        for table in self.tables.values():
+            for fk in table.foreign_keys.values():
+                if fk.references.lower() not in self.tables:
+                    raise SchemaError(
+                        f"table {table.name!r} references unknown table "
+                        f"{fk.references!r}"
+                    )
+        self.many_to_many: Dict[str, ManyToMany] = {}
+        for m2m in many_to_many:
+            if m2m.name in self.many_to_many:
+                raise SchemaError(f"duplicate m:n link {m2m.name!r}")
+            for side in (m2m.table_a, m2m.table_b):
+                if side.lower() not in self.tables:
+                    raise SchemaError(
+                        f"m:n link {m2m.name!r} references unknown table "
+                        f"{side!r}"
+                    )
+            self.many_to_many[m2m.name] = m2m
+
+    def table(self, name: str) -> Table:
+        """Return the table definition for ``name`` (case-insensitive)."""
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def relationship_types(self) -> List[Tuple[str, str, str]]:
+        """All relationship types as ``(source, link, target)`` triples.
+
+        Foreign keys contribute ``(owner, fk_name, referenced)``; m:n links
+        contribute ``(table_a, link_name, table_b)``.
+        """
+        out = []
+        for table in self.tables.values():
+            for fk in table.foreign_keys.values():
+                out.append((table.name, fk.name, fk.references.lower()))
+        for m2m in self.many_to_many.values():
+            out.append((m2m.table_a.lower(), m2m.name, m2m.table_b.lower()))
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def __iter__(self):
+        return iter(self.tables.values())
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+
+def imdb_schema() -> Schema:
+    """The IMDB schema of Fig. 1(b): six tables star-joined on Movie.
+
+    All five relationships are m:n per the figure; each credit is stored as
+    a link instance (see :meth:`repro.db.Database.link`), which at the graph
+    level yields the two directed edges of Table II.
+    """
+    movie = Table(
+        "movie",
+        [Column("title"), Column("year", INTEGER, searchable=False),
+         Column("votes", INTEGER, searchable=False)],
+    )
+
+    def person(table_name: str) -> Table:
+        return Table(table_name, [Column("name")])
+
+    company = Table("company", [Column("name")])
+    links = [
+        ManyToMany("acts_in", "actor", "movie"),
+        ManyToMany("acts_in_f", "actress", "movie"),
+        ManyToMany("directs", "director", "movie"),
+        ManyToMany("produces", "producer", "movie"),
+        ManyToMany("makes", "company", "movie"),
+    ]
+    return Schema(
+        [movie, person("actor"), person("actress"), person("director"),
+         person("producer"), company],
+        many_to_many=links,
+    )
+
+
+def dblp_schema() -> Schema:
+    """The DBLP schema of Fig. 1(a): Conference, Paper, Author.
+
+    Paper references Conference via a foreign key (1:n); authorship and
+    citations are m:n.  The ``cites`` self-link runs citing -> cited, so
+    Table II's asymmetric weights apply to its two directions.
+    """
+    conference = Table("conference", [Column("name")])
+    paper = Table(
+        "paper",
+        [Column("title"), Column("year", INTEGER, searchable=False),
+         Column("citations", INTEGER, searchable=False)],
+        foreign_keys=[
+            ForeignKey("venue", "conference_id", "conference"),
+        ],
+    )
+    author = Table("author", [Column("name")])
+    links = [
+        ManyToMany("writes", "author", "paper"),
+        ManyToMany("cites", "paper", "paper"),
+    ]
+    return Schema([conference, paper, author], many_to_many=links)

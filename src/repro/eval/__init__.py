@@ -1,0 +1,36 @@
+"""Evaluation: metrics, the relevance oracle, and the two harnesses."""
+
+from .metrics import (
+    graded_precision,
+    mean,
+    mean_reciprocal_rank,
+    reciprocal_rank,
+)
+from .relevance import RelevanceOracle
+from .pool import build_pool
+from .harness import (
+    EffectivenessHarness,
+    EffectivenessResult,
+    EfficiencyHarness,
+    TimingResult,
+)
+from .report import format_series, format_table
+from .stats import BootstrapResult, bootstrap_ci, paired_permutation_test
+
+__all__ = [
+    "graded_precision",
+    "mean",
+    "mean_reciprocal_rank",
+    "reciprocal_rank",
+    "RelevanceOracle",
+    "build_pool",
+    "EffectivenessHarness",
+    "EffectivenessResult",
+    "EfficiencyHarness",
+    "TimingResult",
+    "format_series",
+    "format_table",
+    "BootstrapResult",
+    "bootstrap_ci",
+    "paired_permutation_test",
+]

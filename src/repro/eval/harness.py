@@ -1,0 +1,348 @@
+"""Effectiveness and efficiency harnesses (Section VI).
+
+:class:`EffectivenessHarness` reproduces the Fig. 6-9 protocol: per-query
+candidate pools (plus the oracle's best answers, force-included so a pool
+miss never masquerades as a ranking failure), ranked by each scoring
+function, measured by MRR and graded precision.
+
+:class:`EfficiencyHarness` reproduces the Fig. 10-12 protocol: wall-clock
+timing of the naive, branch-and-bound, and index-assisted searches over a
+set of queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import RWMPParams, SearchParams
+from ..baselines.banks import BanksScorer
+from ..baselines.discover2 import Discover2Scorer
+from ..baselines.spark import SparkScorer
+from ..datasets.workloads import EvalQuery
+from ..exceptions import EvaluationError, InvalidTreeError
+from ..graph.datagraph import DataGraph
+from ..importance.pagerank import ImportanceVector
+from ..model.jtt import JoinedTupleTree
+from ..rwmp.dampening import DampeningModel
+from ..rwmp.scoring import RWMPScorer
+from ..search.branch_and_bound import BranchAndBoundSearch
+from ..search.naive import NaiveSearch
+from ..text.inverted_index import InvertedIndex
+from ..text.matcher import KeywordMatcher, MatchSets
+from .metrics import graded_precision, mean_reciprocal_rank, reciprocal_rank
+from .pool import build_pool
+from .relevance import RelevanceOracle
+
+#: Names of the ranking systems the comparison benches use.
+CI_RANK = "CI-Rank"
+SPARK = "SPARK"
+BANKS = "BANKS"
+DISCOVER2 = "DISCOVER2"
+
+
+@dataclass
+class EffectivenessResult:
+    """Aggregated effectiveness of one system on one workload.
+
+    Attributes:
+        system: system name.
+        mrr: mean reciprocal rank.
+        precision: mean graded precision of the top-n lists.
+        per_query_rr: reciprocal rank per query (workload order).
+        per_query_precision: graded precision per query.
+        per_kind_rr: mean reciprocal rank per query kind — the paper
+            attributes the effectiveness gaps to specific kinds ("long
+            queries that match three or more non-free nodes", queries
+            needing free connector nodes), so the breakdown is reported.
+    """
+
+    system: str
+    mrr: float
+    precision: float
+    per_query_rr: List[float] = field(default_factory=list)
+    per_query_precision: List[float] = field(default_factory=list)
+    per_kind_rr: Dict[str, float] = field(default_factory=dict)
+
+
+def tree_from_nodeset(
+    graph: DataGraph, nodes: Sequence[int]
+) -> Optional[JoinedTupleTree]:
+    """Build a spanning tree over ``nodes`` if they induce a connected
+    subgraph (used to force oracle answers into pools); None otherwise."""
+    node_set = set(nodes)
+    if not node_set:
+        return None
+    start = min(node_set)
+    edges = []
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for nbr in sorted(graph.neighbors(node)):
+            if nbr in node_set and nbr not in seen:
+                seen.add(nbr)
+                edges.append((node, nbr))
+                frontier.append(nbr)
+    if seen != node_set:
+        return None
+    try:
+        return JoinedTupleTree(node_set, edges)
+    except InvalidTreeError:  # pragma: no cover - defensive
+        return None
+
+
+class EffectivenessHarness:
+    """Pools answers once per query; ranks them under each system.
+
+    Args:
+        graph: the data graph.
+        index: the inverted index.
+        importance: the precomputed importance vector (shared by all
+            parameter settings — Equation (1) does not depend on
+            alpha/g).
+        queries: the evaluation workload.
+        diameter: the answer diameter cap.
+        top_n: list length for the precision metric (the paper reports
+            top-5 answers in the efficiency section; we use the same).
+        max_pool: per-query pool cap.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        index: InvertedIndex,
+        importance: ImportanceVector,
+        queries: Sequence[EvalQuery],
+        diameter: int = 4,
+        top_n: int = 5,
+        max_pool: int = 200,
+    ) -> None:
+        if not queries:
+            raise EvaluationError("workload must contain at least one query")
+        self.graph = graph
+        self.index = index
+        self.importance = importance
+        self.queries = list(queries)
+        self.diameter = diameter
+        self.top_n = top_n
+        self.max_pool = max_pool
+        self.matcher = KeywordMatcher(index)
+        self._pools: Dict[str, Tuple[MatchSets, List[JoinedTupleTree]]] = {}
+
+    # --------------------------------------------------------------- pools
+
+    def pool_for(self, query: EvalQuery) -> Tuple[MatchSets, List[JoinedTupleTree]]:
+        """The (cached) match sets and candidate pool of one query."""
+        cached = self._pools.get(query.text)
+        if cached is not None:
+            return cached
+        match = self.matcher.match(query.text)
+        scorer = self._cirank_scorer(match, RWMPParams())
+        pool = build_pool(
+            self.graph, scorer, match, self.diameter, self.max_pool
+        )
+        present = {frozenset(t.nodes) for t in pool}
+        for nodeset in query.best_nodesets:
+            if nodeset in present:
+                continue
+            tree = tree_from_nodeset(self.graph, sorted(nodeset))
+            if tree is not None and tree.covers(match) and tree.is_reduced(match):
+                pool.append(tree)
+        self._pools[query.text] = (match, pool)
+        return match, pool
+
+    # ------------------------------------------------------------- scoring
+
+    def _cirank_scorer(self, match: MatchSets, params: RWMPParams) -> RWMPScorer:
+        dampening = DampeningModel(self.importance, params)
+        return RWMPScorer(self.graph, self.index, match, dampening)
+
+    def _system_scorer(
+        self, system: str, match: MatchSets, params: RWMPParams
+    ) -> Callable[[JoinedTupleTree], float]:
+        if system == CI_RANK:
+            return self._cirank_scorer(match, params).score
+        if system == SPARK:
+            return SparkScorer(self.index, match).score
+        if system == BANKS:
+            return BanksScorer(self.graph, match).score
+        if system == DISCOVER2:
+            return Discover2Scorer(self.index, match).score
+        raise EvaluationError(f"unknown system {system!r}")
+
+    @staticmethod
+    def rank(
+        pool: Sequence[JoinedTupleTree],
+        score: Callable[[JoinedTupleTree], float],
+    ) -> List[JoinedTupleTree]:
+        """Deterministically rank a pool under a scoring function.
+
+        Score ties break by tree size and then by a stable *hash* of the
+        node set — deliberately uncorrelated with node ids, because ids
+        follow dataset insertion order, which follows popularity; an
+        id-based tie-break would leak the ground-truth signal into
+        importance-blind baselines and flatter them.
+        """
+        def tie_hash(tree: JoinedTupleTree) -> str:
+            payload = ",".join(str(n) for n in sorted(tree.nodes))
+            return hashlib.md5(payload.encode("ascii")).hexdigest()
+
+        return sorted(
+            pool,
+            key=lambda t: (-score(t), len(t.nodes), tie_hash(t)),
+        )
+
+    # ------------------------------------------------------------ evaluate
+
+    def evaluate_system(
+        self, system: str, params: Optional[RWMPParams] = None
+    ) -> EffectivenessResult:
+        """MRR and precision of one system over the whole workload."""
+        params = params or RWMPParams()
+        rr_list: List[float] = []
+        precision_list: List[float] = []
+        kind_rr: Dict[str, List[float]] = {}
+        for query in self.queries:
+            match, pool = self.pool_for(query)
+            score = self._system_scorer(system, match, params)
+            ranked = self.rank(pool, score)
+            oracle = RelevanceOracle(query, match)
+            nodesets = [frozenset(t.nodes) for t in ranked]
+            rr = reciprocal_rank(nodesets, query.best_nodesets)
+            rr_list.append(rr)
+            kind_rr.setdefault(query.kind, []).append(rr)
+            top = ranked[: self.top_n]
+            precision_list.append(graded_precision(oracle.grades(top)))
+        return EffectivenessResult(
+            system=system,
+            mrr=mean_reciprocal_rank(rr_list),
+            precision=(
+                sum(precision_list) / len(precision_list)
+            ),
+            per_query_rr=rr_list,
+            per_query_precision=precision_list,
+            per_kind_rr={
+                kind: sum(values) / len(values)
+                for kind, values in sorted(kind_rr.items())
+            },
+        )
+
+    def compare(
+        self,
+        systems: Sequence[str] = (SPARK, BANKS, CI_RANK),
+        params: Optional[RWMPParams] = None,
+    ) -> Dict[str, EffectivenessResult]:
+        """Evaluate several systems over the same pools (Figs. 8-9)."""
+        return {s: self.evaluate_system(s, params) for s in systems}
+
+    def sweep_cirank(
+        self, settings: Sequence[RWMPParams]
+    ) -> List[Tuple[RWMPParams, EffectivenessResult]]:
+        """Evaluate CI-Rank across parameter settings (Figs. 6-7)."""
+        return [
+            (params, self.evaluate_system(CI_RANK, params))
+            for params in settings
+        ]
+
+
+# ---------------------------------------------------------------- timing
+
+
+@dataclass
+class TimingResult:
+    """Wall-clock timing of one configuration over a workload.
+
+    Attributes:
+        label: configuration name.
+        per_query_seconds: per-query elapsed times (workload order).
+        per_query_expansions: candidates expanded per query (search
+            configurations only) — the deterministic work measure the
+            benches assert on, immune to machine-load noise.
+    """
+
+    label: str
+    per_query_seconds: List[float] = field(default_factory=list)
+    per_query_expansions: List[int] = field(default_factory=list)
+
+    @property
+    def mean_seconds(self) -> float:
+        if not self.per_query_seconds:
+            raise EvaluationError("no timings recorded")
+        return sum(self.per_query_seconds) / len(self.per_query_seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.per_query_seconds)
+
+    @property
+    def total_expansions(self) -> int:
+        return sum(self.per_query_expansions)
+
+
+class EfficiencyHarness:
+    """Times search configurations over a workload (Figs. 10-12)."""
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        index: InvertedIndex,
+        importance: ImportanceVector,
+        query_texts: Sequence[str],
+        params: Optional[RWMPParams] = None,
+    ) -> None:
+        if not query_texts:
+            raise EvaluationError("need at least one query")
+        self.graph = graph
+        self.index = index
+        self.importance = importance
+        self.query_texts = list(query_texts)
+        self.params = params or RWMPParams()
+        self.matcher = KeywordMatcher(index)
+        self.dampening = DampeningModel(self.importance, self.params)
+
+    def _scorer(self, match: MatchSets) -> RWMPScorer:
+        return RWMPScorer(self.graph, self.index, match, self.dampening)
+
+    def time_naive(
+        self,
+        search_params: SearchParams,
+        max_paths_per_source: int = 8,
+        max_answers_per_root: int = 64,
+    ) -> TimingResult:
+        """Time the naive algorithm per query."""
+        result = TimingResult(label="naive")
+        for text in self.query_texts:
+            match = self.matcher.match(text)
+            scorer = self._scorer(match)
+            search = NaiveSearch(
+                self.graph, scorer, match, search_params,
+                max_paths_per_source=max_paths_per_source,
+                max_answers_per_root=max_answers_per_root,
+            )
+            start = time.perf_counter()
+            search.run()
+            result.per_query_seconds.append(time.perf_counter() - start)
+        return result
+
+    def time_branch_and_bound(
+        self,
+        search_params: SearchParams,
+        index: Optional[object] = None,
+        label: str = "branch-and-bound",
+    ) -> TimingResult:
+        """Time the B&B search (optionally index-assisted) per query."""
+        result = TimingResult(label=label)
+        for text in self.query_texts:
+            match = self.matcher.match(text)
+            scorer = self._scorer(match)
+            search = BranchAndBoundSearch(
+                self.graph, scorer, match, search_params, index=index
+            )
+            start = time.perf_counter()
+            search.run()
+            result.per_query_seconds.append(time.perf_counter() - start)
+            result.per_query_expansions.append(search.stats.expanded)
+        return result

@@ -1,0 +1,68 @@
+"""Effectiveness metrics (Section VI-B).
+
+* **Reciprocal rank** — the inverse rank of the best answer; 0 when the
+  best answer is absent from the returned list.  Ties in the ground
+  truth ("in the case of a tie, all of the answers are considered the
+  best") mean any best-set member counts.
+* **Mean reciprocal rank** — average over queries.
+* **Graded precision** — the fraction of returned answers that are
+  relevant, with a relevant answer that misses keywords "penalized by
+  the percentage of the missed keywords".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, List, Sequence
+
+from ..exceptions import EvaluationError
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on an empty input (a silent 0 would read
+    as a terrible score rather than a harness bug)."""
+    values = list(values)
+    if not values:
+        raise EvaluationError("cannot average zero values")
+    return sum(values) / len(values)
+
+
+def reciprocal_rank(
+    ranked_nodesets: Sequence[FrozenSet[int]],
+    best_nodesets: Iterable[FrozenSet[int]],
+) -> float:
+    """1 / rank of the first best answer in the ranking (0 if absent).
+
+    Args:
+        ranked_nodesets: node sets of the returned answers, best first.
+        best_nodesets: node sets considered "the best answer" (ties all
+            count).
+    """
+    best = set(best_nodesets)
+    if not best:
+        raise EvaluationError("best_nodesets must be non-empty")
+    for position, nodes in enumerate(ranked_nodesets, start=1):
+        if nodes in best:
+            return 1.0 / position
+    return 0.0
+
+
+def mean_reciprocal_rank(per_query_rr: Iterable[float]) -> float:
+    """MRR across queries."""
+    return mean(per_query_rr)
+
+
+def graded_precision(
+    relevances: Sequence[float],
+) -> float:
+    """Average graded relevance of a returned list (0 for empty lists).
+
+    The caller supplies one grade per returned answer, each already
+    penalized for missing keywords (see
+    :meth:`repro.eval.relevance.RelevanceOracle.grade`).
+    """
+    if not relevances:
+        return 0.0
+    for grade in relevances:
+        if not 0.0 <= grade <= 1.0:
+            raise EvaluationError(f"relevance grade {grade} out of [0, 1]")
+    return sum(relevances) / len(relevances)

@@ -1,0 +1,57 @@
+"""Per-query candidate pooling for fair ranking-function comparison.
+
+The paper compares ranking *functions* ("we implemented SPARK's scoring
+function on the database graph, as well as BANKS") rather than retrieval
+engines, so the comparison harness follows classic IR pooling: one
+scorer-agnostic candidate generator produces the answer pool, and every
+ranking function orders the same pool.  The generator is the naive BFS
+assembly (it enumerates answers without consulting any scorer), capped to
+keep pools tractable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from ..config import SearchParams
+from ..graph.datagraph import DataGraph
+from ..model.jtt import JoinedTupleTree
+from ..rwmp.scoring import RWMPScorer
+from ..search.naive import NaiveSearch
+from ..text.matcher import MatchSets
+
+
+def build_pool(
+    graph: DataGraph,
+    scorer: RWMPScorer,
+    match: MatchSets,
+    diameter: int,
+    max_pool: int = 200,
+    max_paths_per_source: int = 8,
+    max_answers_per_root: int = 24,
+) -> List[JoinedTupleTree]:
+    """Build the scorer-agnostic answer pool for one query.
+
+    Args:
+        graph: the data graph.
+        scorer: any RWMP scorer for the query (the pool generator never
+            calls it; the parameter keeps NaiveSearch's interface whole).
+        match: the query's match sets.
+        diameter: the answer diameter cap.
+        max_pool: pool size cap.
+        max_paths_per_source / max_answers_per_root: assembly valves.
+
+    Returns:
+        Up to ``max_pool`` distinct answers in the assembly's
+        deterministic order.
+    """
+    search = NaiveSearch(
+        graph,
+        scorer,
+        match,
+        SearchParams(k=max(1, max_pool), diameter=diameter),
+        max_paths_per_source=max_paths_per_source,
+        max_answers_per_root=max_answers_per_root,
+    )
+    return list(itertools.islice(search.iter_answers(), max_pool))

@@ -1,0 +1,56 @@
+"""The relevance oracle — the user-study substitute (DESIGN.md §2).
+
+The paper's ground truth comes from five graduate students voting on the
+best answer per query.  Our workload queries are *generated from* known
+target tuples, so the oracle can grade answers mechanically:
+
+* an answer is **relevant** when it contains every intended target node
+  (it then necessarily connects them — answers are trees);
+* the **best** answers additionally route through a maximally popular
+  connector (``best_nodesets``, computed at generation time from the raw
+  ``votes`` / ``citations`` attribute — independent of any ranking model
+  under test);
+* a relevant answer missing query keywords is penalized by the missed
+  fraction, mirroring Section VI-B's graded relevance.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence
+
+from ..datasets.workloads import EvalQuery
+from ..model.jtt import JoinedTupleTree
+from ..text.matcher import MatchSets
+
+
+class RelevanceOracle:
+    """Grades answers for one :class:`EvalQuery`."""
+
+    def __init__(self, query: EvalQuery, match: MatchSets) -> None:
+        self.query = query
+        self.match = match
+        self._targets = frozenset(query.target_nodes)
+
+    def is_relevant(self, tree: JoinedTupleTree) -> bool:
+        """Whether the answer connects all intended targets."""
+        return self._targets <= tree.nodes
+
+    def keyword_coverage(self, tree: JoinedTupleTree) -> float:
+        """Fraction of query keywords the answer covers."""
+        keywords = self.match.keywords
+        covered = self.match.covered_by(tree.nodes)
+        return len(covered & frozenset(keywords)) / len(keywords)
+
+    def grade(self, tree: JoinedTupleTree) -> float:
+        """Graded relevance in [0, 1]: relevance x keyword coverage."""
+        if not self.is_relevant(tree):
+            return 0.0
+        return self.keyword_coverage(tree)
+
+    def is_best(self, tree: JoinedTupleTree) -> bool:
+        """Whether the answer is one of the user-preferred best answers."""
+        return frozenset(tree.nodes) in set(self.query.best_nodesets)
+
+    def grades(self, trees: Sequence[JoinedTupleTree]) -> List[float]:
+        """Grades for a ranked list."""
+        return [self.grade(tree) for tree in trees]

@@ -1,0 +1,52 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep the output aligned and diff-friendly so
+EXPERIMENTS.md can quote it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([_cell(value) for value in row])
+    widths = [
+        max(len(line[col]) for line in rendered)
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = rendered
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as an aligned two-column listing."""
+    rows = [(x, y) for x, y in zip(xs, ys)]
+    return format_table((x_label, y_label), rows, title=name)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

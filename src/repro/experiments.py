@@ -1,0 +1,268 @@
+"""Programmatic regeneration of the paper's experiments.
+
+``benchmarks/`` drives these protocols through pytest-benchmark; this
+module packages the same protocols as a library API so a figure can be
+regenerated from code or the CLI without a test runner::
+
+    from repro.experiments import ExperimentSuite
+    suite = ExperimentSuite()
+    print(suite.run("fig8").render())
+
+    $ cirank reproduce --experiment fig8
+
+Each experiment returns an :class:`ExperimentResult` holding the exact
+rows the paper's figure plots, plus provenance notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .config import RWMPParams, SearchParams
+from .datasets.dblp import DblpConfig, generate_dblp
+from .datasets.imdb import ImdbConfig, generate_imdb
+from .datasets.workloads import WorkloadConfig, generate_workload
+from .eval.harness import (
+    BANKS,
+    CI_RANK,
+    SPARK,
+    EffectivenessHarness,
+    EfficiencyHarness,
+)
+from .eval.report import format_table
+from .exceptions import EvaluationError
+from .indexing.star import StarIndex
+from .system import CIRankSystem
+
+IMDB_MERGE = ("actor", "actress", "director", "producer")
+
+ALPHAS = (0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4)
+GS = (2.0, 5.0, 10.0, 20.0, 30.0, 40.0)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated experiment.
+
+    Attributes:
+        experiment: the id (``"fig6"`` ... ``"fig12"``, ``"table2"``).
+        title: human-readable description.
+        headers: column names of the regenerated rows.
+        rows: the figure's data points.
+        notes: provenance and protocol notes.
+    """
+
+    experiment: str
+    title: str
+    headers: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        """The result as an aligned text table."""
+        out = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            out += f"\n({self.notes})"
+        return out
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Dataset/workload sizes the suite runs at (CLI-friendly defaults)."""
+
+    imdb: ImdbConfig = ImdbConfig(
+        movies=100, actors=120, actresses=70, directors=35,
+        producers=20, companies=16,
+    )
+    dblp: DblpConfig = DblpConfig(conferences=10, papers=180, authors=130)
+    queries: int = 12
+    diameter: int = 4
+    k: int = 5
+
+
+class ExperimentSuite:
+    """Lazily builds the systems and regenerates any experiment."""
+
+    def __init__(self, config: Optional[SuiteConfig] = None) -> None:
+        self.config = config or SuiteConfig()
+        self._imdb: Optional[CIRankSystem] = None
+        self._dblp: Optional[CIRankSystem] = None
+        self._workloads: Dict[str, list] = {}
+
+    # ------------------------------------------------------------- systems
+
+    def imdb_system(self) -> CIRankSystem:
+        if self._imdb is None:
+            self._imdb = CIRankSystem.from_database(
+                generate_imdb(self.config.imdb), merge_tables=IMDB_MERGE
+            )
+        return self._imdb
+
+    def dblp_system(self) -> CIRankSystem:
+        if self._dblp is None:
+            self._dblp = CIRankSystem.from_database(
+                generate_dblp(self.config.dblp)
+            )
+        return self._dblp
+
+    def _workload(self, name: str) -> list:
+        if name not in self._workloads:
+            if name == "imdb-synthetic":
+                system = self.imdb_system()
+                config = WorkloadConfig.synthetic(queries=self.config.queries)
+            elif name == "imdb-aol":
+                system = self.imdb_system()
+                config = WorkloadConfig.aol_like(queries=self.config.queries)
+            elif name == "dblp":
+                system = self.dblp_system()
+                config = WorkloadConfig.dblp(queries=self.config.queries)
+            else:
+                raise EvaluationError(f"unknown workload {name!r}")
+            self._workloads[name] = generate_workload(
+                system.graph, system.index, config
+            )
+        return self._workloads[name]
+
+    def _harness(self, workload_name: str) -> EffectivenessHarness:
+        system = (
+            self.dblp_system() if workload_name == "dblp"
+            else self.imdb_system()
+        )
+        return EffectivenessHarness(
+            system.graph, system.index, system.importance,
+            self._workload(workload_name), diameter=self.config.diameter,
+        )
+
+    # ---------------------------------------------------------- registry
+
+    def run(self, experiment: str) -> ExperimentResult:
+        """Regenerate one experiment by id."""
+        try:
+            runner = getattr(self, experiment)
+        except AttributeError:
+            raise EvaluationError(
+                f"unknown experiment {experiment!r}; "
+                f"available: {', '.join(self.available())}"
+            ) from None
+        return runner()
+
+    @staticmethod
+    def available() -> List[str]:
+        """The experiment ids this suite can regenerate."""
+        return ["fig6", "fig7", "fig8", "fig9", "fig11", "fig12", "table2"]
+
+    # -------------------------------------------------------- experiments
+
+    def fig6(self) -> ExperimentResult:
+        """MRR vs alpha at g = 20, both datasets."""
+        result = ExperimentResult(
+            "fig6", "Fig. 6: effect of alpha on MRR (g=20)",
+            ("alpha", "IMDB", "DBLP"),
+            notes="paper: best in 0.1 <= alpha <= 0.25",
+        )
+        harnesses = [self._harness("imdb-synthetic"), self._harness("dblp")]
+        settings = [RWMPParams(alpha=a, g=20.0) for a in ALPHAS]
+        series = [
+            {p.alpha: r.mrr for p, r in harness.sweep_cirank(settings)}
+            for harness in harnesses
+        ]
+        for alpha in ALPHAS:
+            result.rows.append((alpha, series[0][alpha], series[1][alpha]))
+        return result
+
+    def fig7(self) -> ExperimentResult:
+        """MRR vs g at alpha = 0.15, both datasets."""
+        result = ExperimentResult(
+            "fig7", "Fig. 7: effect of g on MRR (alpha=0.15)",
+            ("g", "IMDB", "DBLP"),
+            notes="paper: best for 10 <= g <= 20/30",
+        )
+        harnesses = [self._harness("imdb-synthetic"), self._harness("dblp")]
+        settings = [RWMPParams(alpha=0.15, g=g) for g in GS]
+        series = [
+            {p.g: r.mrr for p, r in harness.sweep_cirank(settings)}
+            for harness in harnesses
+        ]
+        for g in GS:
+            result.rows.append((g, series[0][g], series[1][g]))
+        return result
+
+    def _comparison(self, metric: str, experiment: str, title: str) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment, title, ("workload", SPARK, BANKS, CI_RANK),
+        )
+        for label, name in (
+            ("IMDB (user log)", "imdb-aol"),
+            ("IMDB (synthetic)", "imdb-synthetic"),
+            ("DBLP", "dblp"),
+        ):
+            harness = self._harness(name)
+            results = harness.compare((SPARK, BANKS, CI_RANK))
+            result.rows.append((
+                label,
+                *(getattr(results[s], metric) for s in (SPARK, BANKS, CI_RANK)),
+            ))
+        return result
+
+    def fig8(self) -> ExperimentResult:
+        """MRR comparison across the three workloads."""
+        return self._comparison(
+            "mrr", "fig8", "Fig. 8: mean reciprocal rank"
+        )
+
+    def fig9(self) -> ExperimentResult:
+        """Graded precision comparison across the three workloads."""
+        return self._comparison(
+            "precision", "fig9", "Fig. 9: graded precision (top-5)"
+        )
+
+    def _index_sweep(self, system: CIRankSystem, workload, experiment, title):
+        texts = [q.text for q in workload[:4]]
+        harness = EfficiencyHarness(
+            system.graph, system.index, system.importance, texts
+        )
+        star = StarIndex(system.graph, system.dampening, horizon=8)
+        result = ExperimentResult(
+            experiment, title,
+            ("D", "upbound (s)", "upbound+index (s)"),
+            notes="averages over 4 queries, k=5; both arms share an "
+                  "8000-expansion cap for CLI-friendly runtimes — "
+                  "benchmarks/ runs the uncapped protocol",
+        )
+        for diameter in (4, 5, 6):
+            params = SearchParams(
+                k=self.config.k, diameter=diameter, max_candidates=8000
+            )
+            plain = harness.time_branch_and_bound(params)
+            indexed = harness.time_branch_and_bound(params, index=star)
+            result.rows.append(
+                (diameter, plain.mean_seconds, indexed.mean_seconds)
+            )
+        return result
+
+    def fig11(self) -> ExperimentResult:
+        """IMDB search time vs D, with and without the star index."""
+        return self._index_sweep(
+            self.imdb_system(), self._workload("imdb-synthetic"),
+            "fig11", "Fig. 11: IMDB average search time",
+        )
+
+    def fig12(self) -> ExperimentResult:
+        """DBLP search time vs D, with and without the star index."""
+        return self._index_sweep(
+            self.dblp_system(), self._workload("dblp"),
+            "fig12", "Fig. 12: DBLP average search time",
+        )
+
+    def table2(self) -> ExperimentResult:
+        """The edge-weight table as configured."""
+        from .config import EdgeWeights
+        weights = EdgeWeights()
+        result = ExperimentResult(
+            "table2", "Table II: edge weights",
+            ("edge type", "weight"),
+        )
+        for (source, target), weight in sorted(weights.weights.items()):
+            result.rows.append((f"{source} -> {target}", weight))
+        return result

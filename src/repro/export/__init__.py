@@ -1,0 +1,15 @@
+"""Export utilities: answers and graphs in interchange formats."""
+
+from .formats import (
+    answer_to_dot,
+    answer_to_json,
+    graph_to_graphml,
+    ranking_to_json,
+)
+
+__all__ = [
+    "answer_to_dot",
+    "answer_to_json",
+    "graph_to_graphml",
+    "ranking_to_json",
+]

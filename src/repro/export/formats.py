@@ -1,0 +1,128 @@
+"""Answer and graph serialization to DOT, GraphML, and JSON.
+
+These exist for the usual reasons a search system needs them: debugging
+a ranking visually (DOT renders directly with graphviz), moving a data
+graph into network analysis tooling (GraphML loads in networkx, Gephi,
+yEd), and shipping rankings over an API boundary (JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+from xml.sax.saxutils import escape, quoteattr
+
+from ..graph.datagraph import DataGraph
+from ..model.answer import RankedAnswer
+from ..model.jtt import JoinedTupleTree
+
+
+def _dot_label(graph: DataGraph, node: int, max_text: int = 30) -> str:
+    info = graph.info(node)
+    text = info.text
+    if len(text) > max_text:
+        text = text[: max_text - 3] + "..."
+    return f"{info.relation}\\n{text}"
+
+
+def answer_to_dot(
+    graph: DataGraph,
+    answer: RankedAnswer,
+    highlight: Sequence[int] = (),
+    name: str = "answer",
+) -> str:
+    """A Graphviz DOT rendering of one answer tree.
+
+    Args:
+        graph: the data graph (labels source).
+        answer: the answer to render.
+        highlight: node ids drawn with a double border (e.g. the query's
+            keyword nodes).
+        name: the DOT graph name.
+    """
+    highlighted = set(highlight)
+    lines = [f"graph {json.dumps(name)} {{"]
+    lines.append(
+        f'  label="score = {answer.score:.6g}"; node [shape=box];'
+    )
+    for node in sorted(answer.tree.nodes):
+        attrs = [f"label={json.dumps(_dot_label(graph, node))}"]
+        if node in highlighted:
+            attrs.append("peripheries=2")
+        lines.append(f"  n{node} [{', '.join(attrs)}];")
+    for a, b in sorted(answer.tree.edges):
+        lines.append(f"  n{a} -- n{b};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def answer_to_json(
+    graph: DataGraph, answer: RankedAnswer
+) -> Dict[str, Any]:
+    """A JSON-able record of one answer."""
+    return {
+        "score": answer.score,
+        "nodes": [
+            {
+                "id": node,
+                "relation": graph.info(node).relation,
+                "text": graph.info(node).text,
+                "attrs": graph.info(node).attrs,
+            }
+            for node in sorted(answer.tree.nodes)
+        ],
+        "edges": [list(edge) for edge in sorted(answer.tree.edges)],
+    }
+
+
+def ranking_to_json(
+    graph: DataGraph,
+    answers: Sequence[RankedAnswer],
+    query: str = "",
+) -> str:
+    """A complete ranking as a JSON document string."""
+    payload = {
+        "query": query,
+        "answers": [answer_to_json(graph, a) for a in answers],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def graph_to_graphml(graph: DataGraph) -> str:
+    """The whole data graph as a GraphML document.
+
+    Node attributes: ``relation`` and ``text``; edge attribute:
+    ``weight``.  Parses back with ``xml.etree`` / networkx.
+    """
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">',
+        '  <key id="relation" for="node" attr.name="relation"'
+        ' attr.type="string"/>',
+        '  <key id="text" for="node" attr.name="text"'
+        ' attr.type="string"/>',
+        '  <key id="weight" for="edge" attr.name="weight"'
+        ' attr.type="double"/>',
+        '  <graph id="G" edgedefault="directed">',
+    ]
+    for node in graph.nodes():
+        info = graph.info(node)
+        lines.append(f'    <node id="n{node}">')
+        lines.append(
+            f'      <data key="relation">{escape(info.relation)}</data>'
+        )
+        lines.append(f'      <data key="text">{escape(info.text)}</data>')
+        lines.append("    </node>")
+    edge_id = 0
+    for node in graph.nodes():
+        for target, weight in sorted(graph.out_edges(node).items()):
+            lines.append(
+                f'    <edge id="e{edge_id}" source="n{node}" '
+                f'target="n{target}">'
+            )
+            lines.append(f'      <data key="weight">{weight}</data>')
+            lines.append("    </edge>")
+            edge_id += 1
+    lines.append("  </graph>")
+    lines.append("</graphml>")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""The weighted directed data graph and its construction utilities."""
+
+from .datagraph import DataGraph, NodeInfo
+from .builder import GraphBuilder, build_graph
+from .traversal import (
+    bfs_distances,
+    bfs_within,
+    best_retention_paths,
+    shortest_path,
+    tree_diameter,
+)
+from .sampling import sample_subgraph
+from .metrics import GraphStats, community_mixing, graph_stats
+
+__all__ = [
+    "DataGraph",
+    "NodeInfo",
+    "GraphBuilder",
+    "build_graph",
+    "bfs_distances",
+    "bfs_within",
+    "best_retention_paths",
+    "shortest_path",
+    "tree_diameter",
+    "sample_subgraph",
+    "GraphStats",
+    "graph_stats",
+    "community_mixing",
+]

@@ -1,0 +1,223 @@
+"""The weighted directed data graph (Section II-A).
+
+Each database tuple becomes a node; each FK->PK link (and each m:n link
+instance) becomes a *pair* of directed edges whose weights come from
+Table II.  Nodes carry the text used for keyword matching and a reference
+back to the originating tuple(s) — plural because the builder can merge
+nodes that represent the same real-world entity across tables (the paper's
+"Mel Gibson" normalization, Section VI-A).
+
+The graph keeps **raw** edge weights.  The random-walk transition matrix
+normalizes out-weights per node on the fly (the paper normalizes the same
+way: "the weights of out edges of a node sum to 1.0"), while RWMP message
+passing uses raw-weight ratios restricted to a tree, where any global
+normalization cancels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..exceptions import GraphError
+
+
+@dataclass
+class NodeInfo:
+    """Metadata attached to one graph node.
+
+    Attributes:
+        node: the node id.
+        relation: originating table name (after merging, the table of the
+            first merged tuple; all sources are listed in ``sources``).
+        text: searchable text of the node.
+        sources: the ``(table, pk)`` tuples merged into this node.
+        attrs: non-searchable attributes (year, votes, citations...),
+            available to evaluation oracles.
+    """
+
+    node: int
+    relation: str
+    text: str
+    sources: List[Tuple[str, int]] = field(default_factory=list)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def word_count(self) -> int:
+        """Number of whitespace-separated words in the node text (|v_i|)."""
+        return len(self.text.split())
+
+
+class DataGraph:
+    """A weighted directed graph over database tuples.
+
+    Nodes are dense integer ids ``0..n-1``.  Parallel edges between the
+    same ordered pair accumulate weight (this is how a merged person node
+    that both acts in and directs a movie ends up with a single, heavier
+    edge to it — mirroring the paper's merged Mel Gibson node with two
+    logical links).
+    """
+
+    def __init__(self) -> None:
+        self._out: List[Dict[int, float]] = []
+        self._in: List[Dict[int, float]] = []
+        self._info: List[NodeInfo] = []
+
+    # ----------------------------------------------------------- mutation
+
+    def add_node(
+        self,
+        relation: str,
+        text: str,
+        source: Optional[Tuple[str, int]] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> int:
+        """Add a node; returns its id."""
+        node = len(self._info)
+        sources = [source] if source is not None else []
+        self._info.append(
+            NodeInfo(node, relation.lower(), text, sources, dict(attrs or {}))
+        )
+        self._out.append({})
+        self._in.append({})
+        return node
+
+    def add_edge(self, source: int, target: int, weight: float) -> None:
+        """Add (or accumulate onto) a directed edge."""
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        if source == target:
+            raise GraphError(f"self-loop on node {source}")
+        self._check(source)
+        self._check(target)
+        self._out[source][target] = self._out[source].get(target, 0.0) + weight
+        self._in[target][source] = self._in[target].get(source, 0.0) + weight
+
+    def add_link(self, a: int, b: int, weight_ab: float, weight_ba: float) -> None:
+        """Add the paper's edge pair for one tuple link."""
+        self.add_edge(a, b, weight_ab)
+        self.add_edge(b, a, weight_ba)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < len(self._info):
+            raise GraphError(f"unknown node {node}")
+
+    # ------------------------------------------------------------ queries
+
+    def __len__(self) -> int:
+        return len(self._info)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._info)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        return sum(len(adj) for adj in self._out)
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node ids."""
+        return iter(range(len(self._info)))
+
+    def info(self, node: int) -> NodeInfo:
+        """Metadata of ``node``."""
+        self._check(node)
+        return self._info[node]
+
+    def out_edges(self, node: int) -> Dict[int, float]:
+        """Outgoing ``target -> weight`` map (do not mutate)."""
+        self._check(node)
+        return self._out[node]
+
+    def in_edges(self, node: int) -> Dict[int, float]:
+        """Incoming ``source -> weight`` map (do not mutate)."""
+        self._check(node)
+        return self._in[node]
+
+    def weight(self, source: int, target: int) -> float:
+        """Weight of the ``source -> target`` edge (0.0 if absent)."""
+        self._check(source)
+        self._check(target)
+        return self._out[source].get(target, 0.0)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether a directed edge exists."""
+        self._check(source)
+        self._check(target)
+        return target in self._out[source]
+
+    def neighbors(self, node: int) -> Set[int]:
+        """Undirected neighborhood (union of in- and out-neighbors).
+
+        The paper creates both directions for every link, so for graphs
+        built by :class:`repro.graph.GraphBuilder` this equals the
+        out-neighbor set; the union keeps hand-built graphs safe.
+        """
+        self._check(node)
+        return set(self._out[node]) | set(self._in[node])
+
+    def out_degree(self, node: int) -> int:
+        """Number of outgoing edges."""
+        self._check(node)
+        return len(self._out[node])
+
+    def total_out_weight(self, node: int) -> float:
+        """Sum of outgoing raw edge weights."""
+        self._check(node)
+        return sum(self._out[node].values())
+
+    def normalized_out(self, node: int) -> Dict[int, float]:
+        """Outgoing edges normalized to sum to 1 (empty for sinks)."""
+        self._check(node)
+        total = sum(self._out[node].values())
+        if total <= 0:
+            return {}
+        return {t: w / total for t, w in self._out[node].items()}
+
+    def nodes_of_relation(self, relation: str) -> List[int]:
+        """All node ids whose relation equals ``relation``."""
+        relation = relation.lower()
+        return [i for i, info in enumerate(self._info)
+                if info.relation == relation]
+
+    def relations(self) -> Set[str]:
+        """The set of relation names present in the graph."""
+        return {info.relation for info in self._info}
+
+    # -------------------------------------------------------- maintenance
+
+    def merge_nodes(self, keep: int, drop: int) -> None:
+        """Merge node ``drop`` into node ``keep`` (Section VI-A).
+
+        Edges of ``drop`` are re-pointed at ``keep`` with weights
+        accumulated; sources and attrs are combined; ``drop`` becomes an
+        isolated tombstone (callers usually merge before adding edges, but
+        post-hoc merging is supported for completeness).
+        """
+        self._check(keep)
+        self._check(drop)
+        if keep == drop:
+            raise GraphError("cannot merge a node with itself")
+        for target, weight in list(self._out[drop].items()):
+            del self._in[target][drop]
+            if target != keep:
+                self._out[keep][target] = (
+                    self._out[keep].get(target, 0.0) + weight
+                )
+                self._in[target][keep] = self._out[keep][target]
+        self._out[drop] = {}
+        for source, weight in list(self._in[drop].items()):
+            self._out[source].pop(drop, None)
+            if source != keep:
+                self._in[keep][source] = self._in[keep].get(source, 0.0) + weight
+                self._out[source][keep] = self._in[keep][source]
+        self._in[drop] = {}
+        kept = self._info[keep]
+        dropped = self._info[drop]
+        kept.sources.extend(dropped.sources)
+        for key, value in dropped.attrs.items():
+            kept.attrs.setdefault(key, value)
+        dropped.sources = []
+        dropped.text = ""

@@ -1,0 +1,198 @@
+"""Graph traversal utilities: BFS, best-retention paths, tree diameter.
+
+These routines treat the data graph as *undirected for connectivity* (the
+paper creates both edge directions for every link, and candidate trees may
+traverse either direction) while using directed weights where weights
+matter.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import GraphError
+from .datagraph import DataGraph
+
+
+def bfs_distances(
+    graph: DataGraph,
+    source: int,
+    max_depth: Optional[int] = None,
+) -> Dict[int, int]:
+    """Hop distances from ``source`` to every reachable node.
+
+    Args:
+        graph: the data graph.
+        source: starting node.
+        max_depth: optional cap; nodes farther than this are omitted.
+    """
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                queue.append(nbr)
+    return dist
+
+
+def bfs_within(
+    graph: DataGraph,
+    source: int,
+    max_depth: int,
+) -> Dict[int, List[int]]:
+    """BFS recording *all* shortest-path predecessors up to ``max_depth``.
+
+    This is the bookkeeping of the paper's naive algorithm (Section IV-A):
+    "the node visited right before this node is also recorded", with
+    multiple predecessors kept so that all shortest paths can be
+    reconstructed.
+
+    Returns:
+        node -> list of predecessors on shortest paths from ``source``
+        (the source maps to an empty list).
+    """
+    dist = {source: 0}
+    preds: Dict[int, List[int]] = {source: []}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if d >= max_depth:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                preds[nbr] = [node]
+                queue.append(nbr)
+            elif dist[nbr] == d + 1:
+                preds[nbr].append(node)
+    return preds
+
+
+def shortest_path(
+    graph: DataGraph,
+    source: int,
+    target: int,
+    max_depth: Optional[int] = None,
+) -> Optional[List[int]]:
+    """One shortest (hop-count) path ``source .. target``, or None."""
+    if source == target:
+        return [source]
+    dist = {source: 0}
+    pred: Dict[int, int] = {}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr in dist:
+                continue
+            dist[nbr] = d + 1
+            pred[nbr] = node
+            if nbr == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(pred[path[-1]])
+                path.reverse()
+                return path
+            queue.append(nbr)
+    return None
+
+
+def best_retention_paths(
+    graph: DataGraph,
+    source: int,
+    retention: Callable[[int], float],
+    max_depth: Optional[int] = None,
+) -> Dict[int, float]:
+    """Maximum message-retention factor from ``source`` to each node.
+
+    The retention of a path is the product of ``retention(v)`` over every
+    node on the path *except the source* (messages are dampened at
+    intermediate and destination nodes, Section III-C).  Splitting losses
+    are ignored, which makes the result an upper bound on what any tree
+    can deliver — exactly what the index (Section V) needs.
+
+    Implemented as a Dijkstra over ``-log`` costs.
+
+    Args:
+        graph: the data graph.
+        source: message source node.
+        retention: per-node retention in (0, 1] (the dampening rate d_j).
+        max_depth: optional hop cap.
+
+    Returns:
+        node -> best retention factor (source maps to 1.0).
+    """
+    best: Dict[int, float] = {}
+    # heap entries: (cost = -log retention, hops, node)
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+    hops_seen: Dict[int, int] = {}
+    while heap:
+        cost, hops, node = heapq.heappop(heap)
+        if node in best:
+            continue
+        best[node] = math.exp(-cost)
+        if max_depth is not None and hops >= max_depth:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr in best:
+                continue
+            r = retention(nbr)
+            if r <= 0:
+                continue
+            nbr_cost = cost - math.log(min(r, 1.0)) if r < 1.0 else cost
+            prev_hops = hops_seen.get(nbr)
+            if prev_hops is None or hops + 1 < prev_hops:
+                hops_seen[nbr] = hops + 1
+            heapq.heappush(heap, (nbr_cost, hops + 1, nbr))
+    return best
+
+
+def tree_diameter(edges: Iterable[Tuple[int, int]]) -> int:
+    """Diameter (longest path, in edges) of a tree given as an edge list.
+
+    Uses the classic double-BFS; raises :class:`GraphError` if the edge
+    list does not form a tree.
+    """
+    adj: Dict[int, Set[int]] = {}
+    edge_count = 0
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+        edge_count += 1
+    if not adj:
+        return 0
+    if edge_count != len(adj) - 1:
+        raise GraphError("edge list is not a tree")
+
+    def farthest(start: int) -> Tuple[int, int]:
+        seen = {start: 0}
+        queue = deque([start])
+        far, far_d = start, 0
+        while queue:
+            node = queue.popleft()
+            for nbr in adj.get(node, ()):
+                if nbr not in seen:
+                    seen[nbr] = seen[node] + 1
+                    if seen[nbr] > far_d:
+                        far, far_d = nbr, seen[nbr]
+                    queue.append(nbr)
+        if len(seen) != len(adj):
+            raise GraphError("edge list is not connected")
+        return far, far_d
+
+    start = next(iter(adj))
+    end, _ = farthest(start)
+    _, diameter = farthest(end)
+    return diameter

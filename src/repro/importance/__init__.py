@@ -1,0 +1,20 @@
+"""Node importance: the random walk of Equation (1) and its variants."""
+
+from .pagerank import ImportanceVector, pagerank
+from .montecarlo import monte_carlo_pagerank
+from .feedback import FeedbackModel, biased_teleport_vector
+from .weight_learning import EdgeWeightLearner, PreferencePair, edge_type_counts
+from .incremental import ImportanceMaintainer, refresh_importance
+
+__all__ = [
+    "ImportanceVector",
+    "pagerank",
+    "monte_carlo_pagerank",
+    "FeedbackModel",
+    "biased_teleport_vector",
+    "EdgeWeightLearner",
+    "PreferencePair",
+    "edge_type_counts",
+    "ImportanceMaintainer",
+    "refresh_importance",
+]

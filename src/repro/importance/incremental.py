@@ -1,0 +1,115 @@
+"""Incremental importance maintenance for evolving databases.
+
+The paper's setting is static snapshots, but a production keyword-search
+deployment ingests tuples continuously.  Recomputing Equation (1) from
+scratch after every batch is wasteful: a small graph delta moves the
+stationary distribution only slightly, so restarting the power iteration
+from the *previous* vector converges in a handful of iterations (the
+classic warm-restart bound: the error contracts by ``1 - c`` per
+iteration from an already-small starting error).
+
+:class:`ImportanceMaintainer` wraps a graph and its importance vector,
+tracks mutations, and refreshes on demand — reporting how many
+iterations the warm restart actually needed, which the tests compare
+against a cold start.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_TELEPORT
+from ..exceptions import GraphError
+from ..graph.datagraph import DataGraph
+from .pagerank import ImportanceVector, pagerank
+
+
+def refresh_importance(
+    graph: DataGraph,
+    previous: ImportanceVector,
+    teleport: Optional[float] = None,
+    teleport_vector: Optional[np.ndarray] = None,
+    tolerance: float = 1e-10,
+) -> ImportanceVector:
+    """Recompute importance after graph changes, warm-started.
+
+    Handles node-count growth by padding the previous vector with the
+    teleport-share mass a fresh node would receive (uniform by default).
+
+    Args:
+        graph: the mutated graph.
+        previous: the pre-mutation importance vector.
+        teleport: the constant ``c`` (defaults to the previous vector's).
+        teleport_vector: optional biased ``u``.
+        tolerance: convergence threshold.
+    """
+    teleport = previous.teleport if teleport is None else teleport
+    n = graph.node_count
+    old = previous.values
+    if n < len(old):
+        raise GraphError(
+            "the data graph never shrinks (merges leave tombstones); "
+            f"got {n} nodes for a {len(old)}-entry vector"
+        )
+    if n == len(old):
+        initial = old
+    else:
+        pad = np.full(n - len(old), 1.0 / n)
+        initial = np.concatenate([old, pad])
+    return pagerank(
+        graph,
+        teleport=teleport,
+        teleport_vector=teleport_vector,
+        tolerance=tolerance,
+        initial=initial,
+    )
+
+
+class ImportanceMaintainer:
+    """Tracks graph mutations and refreshes importance on demand.
+
+    Usage::
+
+        maintainer = ImportanceMaintainer(graph, importance)
+        node = graph.add_node("movie", "new release")
+        graph.add_link(node, star, 1.0, 1.0)
+        maintainer.mark_dirty()
+        importance = maintainer.current()   # warm-restarted refresh
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        importance: ImportanceVector,
+        teleport: float = DEFAULT_TELEPORT,
+    ) -> None:
+        self.graph = graph
+        self._importance = importance
+        self.teleport = teleport
+        self._dirty = False
+        self.refreshes = 0
+        self.iterations_spent = 0
+
+    def mark_dirty(self) -> None:
+        """Record that the graph changed since the last refresh."""
+        self._dirty = True
+
+    @property
+    def dirty(self) -> bool:
+        """Whether a refresh is pending."""
+        return self._dirty or (
+            self.graph.node_count != len(self._importance)
+        )
+
+    def current(self) -> ImportanceVector:
+        """The up-to-date importance vector (refreshing if needed)."""
+        if self.dirty:
+            self._importance = refresh_importance(
+                self.graph, self._importance, teleport=self.teleport
+            )
+            self.refreshes += 1
+            self.iterations_spent += self._importance.iterations
+            self._dirty = False
+        return self._importance

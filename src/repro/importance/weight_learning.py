@@ -1,0 +1,148 @@
+"""Learning edge-type weights from user feedback (Section VIII).
+
+The paper's future work: "consider how to improve the model such that
+user feedback can be used to adjust not only the importance values of
+the nodes, but also the weights of the edges of the database graph."
+
+This module implements the natural first realization: pairwise
+preference learning over *edge types*.  Every labeled click gives a
+preference pair — the clicked answer versus a higher-ranked non-clicked
+answer.  The edge types the clicked answer uses more than the skipped
+one should get heavier, and vice versa; multiplicative updates with a
+small learning rate keep all weights positive, and per-source-table
+normalization keeps the random walk comparable across rounds.
+
+The learner is model-agnostic: it only needs, per preference pair, the
+edge-type usage counts of the two trees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import EdgeWeights
+from ..exceptions import EvaluationError
+from ..graph.datagraph import DataGraph
+from ..model.jtt import JoinedTupleTree
+
+#: An edge type: (source relation, target relation).
+EdgeType = Tuple[str, str]
+
+
+def edge_type_counts(
+    graph: DataGraph, tree: JoinedTupleTree
+) -> Dict[EdgeType, int]:
+    """How many edges of each (relation, relation) type a tree uses.
+
+    Both directions of each undirected tree edge are counted once, under
+    the canonical orientation (lexicographically smaller relation first
+    on ties of direction existence) — the learner updates both directed
+    weights of a type together, mirroring how Table II lists pairs.
+    """
+    counts: Dict[EdgeType, int] = {}
+    for a, b in tree.edges:
+        rel_a = graph.info(a).relation
+        rel_b = graph.info(b).relation
+        key = (rel_a, rel_b) if rel_a <= rel_b else (rel_b, rel_a)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@dataclass
+class PreferencePair:
+    """One training signal: the user preferred ``chosen`` to ``skipped``."""
+
+    chosen: JoinedTupleTree
+    skipped: JoinedTupleTree
+
+
+class EdgeWeightLearner:
+    """Multiplicative-update learner over edge-type weights.
+
+    Args:
+        graph: the data graph (supplies relations).
+        base: starting weights (defaults to Table II).
+        learning_rate: step size of the multiplicative update.
+        max_factor: clamp on the cumulative multiplier per edge type
+            (keeps a run of one-sided feedback from exploding a weight).
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        base: Optional[EdgeWeights] = None,
+        learning_rate: float = 0.1,
+        max_factor: float = 4.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise EvaluationError("learning_rate must be positive")
+        if max_factor < 1.0:
+            raise EvaluationError("max_factor must be >= 1")
+        self.graph = graph
+        self.base = base or EdgeWeights()
+        self.learning_rate = learning_rate
+        self.max_factor = max_factor
+        self._log_factor: Dict[EdgeType, float] = {}
+        self._updates = 0
+
+    # ------------------------------------------------------------- updates
+
+    def observe(self, pair: PreferencePair) -> None:
+        """Fold one preference pair into the accumulated factors."""
+        chosen = edge_type_counts(self.graph, pair.chosen)
+        skipped = edge_type_counts(self.graph, pair.skipped)
+        log_cap = math.log(self.max_factor)
+        for edge_type in set(chosen) | set(skipped):
+            delta = chosen.get(edge_type, 0) - skipped.get(edge_type, 0)
+            if delta == 0:
+                continue
+            current = self._log_factor.get(edge_type, 0.0)
+            current += self.learning_rate * delta
+            self._log_factor[edge_type] = max(-log_cap, min(log_cap, current))
+        self._updates += 1
+
+    def observe_ranking(
+        self,
+        ranked: Sequence[JoinedTupleTree],
+        clicked_index: int,
+    ) -> None:
+        """A click at position ``clicked_index`` prefers that answer to
+        every answer ranked above it (the classic click-skip model)."""
+        if not 0 <= clicked_index < len(ranked):
+            raise EvaluationError(
+                f"clicked_index {clicked_index} out of range"
+            )
+        chosen = ranked[clicked_index]
+        for skipped in ranked[:clicked_index]:
+            self.observe(PreferencePair(chosen, skipped))
+
+    # ------------------------------------------------------------- results
+
+    @property
+    def updates(self) -> int:
+        """Number of preference pairs folded in."""
+        return self._updates
+
+    def factor(self, source_relation: str, target_relation: str) -> float:
+        """The current multiplier for one edge type."""
+        a, b = sorted((source_relation.lower(), target_relation.lower()))
+        return math.exp(self._log_factor.get((a, b), 0.0))
+
+    def learned_weights(self) -> EdgeWeights:
+        """A new :class:`EdgeWeights` with the factors applied.
+
+        Both directions of each relation pair receive the same factor;
+        unknown pairs keep their base weight.  The caller rebuilds the
+        graph (and downstream importance / indexes) with the result.
+        """
+        learned = EdgeWeights(
+            weights=dict(self.base.weights), default=self.base.default
+        )
+        for (rel_a, rel_b), log_factor in self._log_factor.items():
+            factor = math.exp(log_factor)
+            for source, target in ((rel_a, rel_b), (rel_b, rel_a)):
+                current = learned.weight_for(source, target)
+                learned.set_weight(source, target, current * factor)
+        return learned

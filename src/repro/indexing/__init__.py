@@ -1,0 +1,26 @@
+"""Indexes over the data graph (Section V).
+
+Both indexes expose the same two lookups the search consumes:
+
+* ``distance_lower(u, v)`` — a lower bound on the hop distance (exact for
+  the naive pairs index);
+* ``retention_upper(u, v)`` — an upper bound on the best-path message
+  retention from ``u`` to ``v`` (the paper's "minimal loss of messages"
+  ``LS``, stored as the complementary retention factor).
+
+The naive index materializes all pairs (O(|V|^2), Section V-A); the star
+index materializes only star-table nodes and approximates the rest
+through their star neighbors (Section V-B).
+"""
+
+from .loss import ball_bfs, retention_within
+from .pairs import PairsIndex
+from .star import StarIndex, find_star_relations
+
+__all__ = [
+    "ball_bfs",
+    "retention_within",
+    "PairsIndex",
+    "StarIndex",
+    "find_star_relations",
+]

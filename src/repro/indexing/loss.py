@@ -1,0 +1,92 @@
+"""Shared building blocks for the indexes: bounded BFS balls and
+best-retention (minimal message loss) computation within a ball.
+
+"Minimal loss of messages" ``LS(v_i, v_j)`` from Section V is stored here
+as its complement — the best *retention*: the maximum, over all paths,
+of the product of dampening rates applied along the path (at every node
+except the source).  Splitting losses are ignored, so the value is an
+upper bound on what any tree can deliver, which is the direction the
+branch-and-bound estimates need.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Callable, Dict, Set, Tuple
+
+from ..graph.datagraph import DataGraph
+
+
+def ball_bfs(
+    graph: DataGraph,
+    source: int,
+    horizon: int,
+    max_ball: int = 0,
+) -> Tuple[Dict[int, int], int]:
+    """BFS ball around ``source`` with a size valve.
+
+    Expands level by level up to ``horizon`` hops; if a completed level
+    would push the ball past ``max_ball`` nodes, expansion stops at the
+    previous level so the guarantee "absent => farther than the returned
+    radius" holds.
+
+    Returns:
+        ``(distances, radius)`` where ``distances`` maps every node within
+        ``radius`` hops to its exact distance.
+    """
+    dist: Dict[int, int] = {source: 0}
+    frontier = [source]
+    radius = 0
+    for level in range(1, horizon + 1):
+        next_frontier = []
+        staged: Dict[int, int] = {}
+        for node in frontier:
+            for nbr in graph.neighbors(node):
+                if nbr not in dist and nbr not in staged:
+                    staged[nbr] = level
+                    next_frontier.append(nbr)
+        if not next_frontier:
+            radius = horizon  # ball exhausted: absence truly means "farther"
+            break
+        if max_ball and len(dist) + len(staged) > max_ball:
+            break  # level would overflow; radius stays at the last full level
+        dist.update(staged)
+        frontier = next_frontier
+        radius = level
+    return dist, radius
+
+
+def retention_within(
+    graph: DataGraph,
+    source: int,
+    ball: Set[int],
+    rate: Callable[[int], float],
+) -> Dict[int, float]:
+    """Best-path retention from ``source`` restricted to ``ball`` nodes.
+
+    A path's retention is the product of ``rate(v)`` over its nodes except
+    the source.  Computed by Dijkstra over ``-log rate`` costs (all rates
+    lie in (0, 1], so costs are non-negative and the greedy finalization
+    is exact).
+
+    Returns:
+        node -> retention for every reachable ball node (source -> 1.0).
+    """
+    best: Dict[int, float] = {}
+    heap = [(0.0, source)]
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in best:
+            continue
+        best[node] = math.exp(-cost)
+        for nbr in graph.neighbors(node):
+            if nbr in best or nbr not in ball:
+                continue
+            r = rate(nbr)
+            if r <= 0.0:
+                continue
+            step = 0.0 if r >= 1.0 else -math.log(r)
+            heapq.heappush(heap, (cost + step, nbr))
+    return best

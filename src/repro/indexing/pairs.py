@@ -1,0 +1,91 @@
+"""The naive all-pairs index (Section V-A).
+
+Materializes, for every node, the exact shortest distances ``DS`` and
+best-path retentions (complement of the minimal message loss ``LS``) to
+every other node within a configurable horizon.  Space is O(|V|^2) in the
+worst case — the paper's stated reason for introducing the star index;
+the ablation bench ``benchmarks/test_ablation_index_size.py`` measures
+the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import IndexingError
+from ..graph.datagraph import DataGraph
+from ..rwmp.dampening import DampeningModel
+from .loss import ball_bfs, retention_within
+
+
+class PairsIndex:
+    """Exact distance / retention lookups for all node pairs.
+
+    Args:
+        graph: the data graph.
+        dampening: the dampening model (supplies per-node retention).
+        horizon: BFS horizon; pairs farther apart fall back to sound
+            bounds (``distance_lower = horizon + 1``,
+            ``retention_upper = d_max ** (horizon + 1)``).  Using a
+            horizon at least the search diameter cap keeps every lookup
+            the search performs exact.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        dampening: DampeningModel,
+        horizon: int = 8,
+    ) -> None:
+        if horizon < 1:
+            raise IndexingError(f"horizon must be >= 1, got {horizon}")
+        self.graph = graph
+        self.dampening = dampening
+        self.horizon = horizon
+        self._d_max = dampening.max_rate()
+        self._entries: Dict[int, Dict[int, Tuple[int, float]]] = {}
+        self._radius: Dict[int, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        rate = self.dampening.rate
+        for source in self.graph.nodes():
+            distances, radius = ball_bfs(self.graph, source, self.horizon)
+            retention = retention_within(
+                self.graph, source, set(distances), rate
+            )
+            beyond = self._d_max ** (radius + 1)
+            table: Dict[int, Tuple[int, float]] = {}
+            for node, dist in distances.items():
+                if node == source:
+                    continue
+                table[node] = (dist, max(retention.get(node, 0.0), beyond))
+            self._entries[source] = table
+            self._radius[source] = radius
+
+    # -------------------------------------------------------------- lookups
+
+    def distance_lower(self, u: int, v: int) -> float:
+        """Exact distance within the horizon; ``radius + 1`` beyond."""
+        if u == v:
+            return 0
+        entry = self._entries.get(u, {}).get(v)
+        if entry is not None:
+            return entry[0]
+        return self._radius.get(u, self.horizon) + 1
+
+    def retention_upper(self, u: int, v: int) -> float:
+        """Exact best retention within the horizon; a sound cap beyond."""
+        if u == v:
+            return 1.0
+        entry = self._entries.get(u, {}).get(v)
+        if entry is not None:
+            return entry[1]
+        return self._d_max ** (self._radius.get(u, self.horizon) + 1)
+
+    # ---------------------------------------------------------- inspection
+
+    @property
+    def entry_count(self) -> int:
+        """Number of materialized (u, v) entries — the index 'size'."""
+        return sum(len(table) for table in self._entries.values())

@@ -1,0 +1,227 @@
+"""The star index (Section V-B).
+
+Only *star nodes* — nodes of the star tables — are materialized.  A star
+table is one whose removal disconnects the remaining tuples; when one
+table is not enough, several star tables jointly cover every edge
+(every edge then touches at least one star node).  Movie is the star
+table of IMDB, Paper of DBLP.
+
+Lookups between arbitrary nodes go through the three cases of Section
+V-B, using each non-star node's star neighbor set ``S(v)``:
+
+* **Case 1** (star, star): direct index lookup.
+* **Case 2** (star u, non-star v): every path enters ``v`` through a star
+  neighbor, so ``dist(u, v) = min_{s in S(v)} dist(u, s) + 1``; with the
+  indexed values being exact-or-lower bounds this stays a lower bound.
+  (The paper conservatively uses ``DS(v_h, v_i) - 1``; the neighbor
+  decomposition is tighter and equally sound — see DESIGN.md.)
+* **Case 3** (non-star, non-star): decompose through both endpoints'
+  star neighbors: ``min_{s_a, s_b} dist(s_a, s_b) + 2``.
+
+Retention upper bounds decompose the same way, multiplying the boundary
+dampening rates explicitly (derivation in DESIGN.md / bounds docstring).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import IndexingError
+from ..graph.datagraph import DataGraph
+from ..rwmp.dampening import DampeningModel
+from .loss import ball_bfs, retention_within
+
+
+def find_star_relations(graph: DataGraph) -> FrozenSet[str]:
+    """Detect a minimal-ish set of relations covering every edge.
+
+    Greedy set cover over edge endpoint relations: repeatedly pick the
+    relation incident to the most uncovered edges.  For the paper's
+    schemas this returns exactly {"movie"} / {"paper"}.
+
+    Raises:
+        IndexingError: if the graph has nodes but covering fails (cannot
+            happen — singleton relations always cover — but guards against
+            inconsistent metadata).
+    """
+    uncovered: List[Tuple[int, int]] = []
+    for node in graph.nodes():
+        for target in graph.out_edges(node):
+            if node < target:
+                uncovered.append((node, target))
+    chosen: Set[str] = set()
+    while uncovered:
+        counts: Dict[str, int] = {}
+        for a, b in uncovered:
+            counts[graph.info(a).relation] = counts.get(graph.info(a).relation, 0) + 1
+            counts[graph.info(b).relation] = counts.get(graph.info(b).relation, 0) + 1
+        best = max(sorted(counts), key=lambda r: counts[r])
+        chosen.add(best)
+        uncovered = [
+            (a, b)
+            for a, b in uncovered
+            if graph.info(a).relation != best and graph.info(b).relation != best
+        ]
+        if not counts:  # pragma: no cover - defensive
+            raise IndexingError("edge cover failed")
+    return frozenset(chosen)
+
+
+class StarIndex:
+    """Distance / retention index materialized on star nodes only.
+
+    Args:
+        graph: the data graph.
+        dampening: the dampening model.
+        star_relations: relations to treat as star tables; autodetected
+            via :func:`find_star_relations` when omitted.
+        horizon: BFS horizon per star node.
+        max_ball: per-node ball size valve (0 = unlimited).
+
+    Raises:
+        IndexingError: when the chosen star relations do not cover every
+            edge (the Case-2/3 decompositions would be unsound).
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        dampening: DampeningModel,
+        star_relations: Optional[Iterable[str]] = None,
+        horizon: int = 8,
+        max_ball: int = 0,
+    ) -> None:
+        if horizon < 1:
+            raise IndexingError(f"horizon must be >= 1, got {horizon}")
+        self.graph = graph
+        self.dampening = dampening
+        self.horizon = horizon
+        self.max_ball = max_ball
+        if star_relations is None:
+            self.star_relations = find_star_relations(graph)
+        else:
+            self.star_relations = frozenset(r.lower() for r in star_relations)
+        self._is_star = [
+            graph.info(node).relation in self.star_relations
+            for node in graph.nodes()
+        ]
+        self._verify_cover()
+        self._d_max = dampening.max_rate()
+        self._entries: Dict[int, Dict[int, Tuple[int, float]]] = {}
+        self._radius: Dict[int, int] = {}
+        self._build()
+
+    def _verify_cover(self) -> None:
+        for node in self.graph.nodes():
+            if self._is_star[node]:
+                continue
+            for target in self.graph.out_edges(node):
+                if not self._is_star[target]:
+                    raise IndexingError(
+                        f"edge ({node}, {target}) touches no star node; "
+                        f"star relations {sorted(self.star_relations)} do "
+                        "not cover the graph"
+                    )
+
+    def _build(self) -> None:
+        rate = self.dampening.rate
+        for source in self.graph.nodes():
+            if not self._is_star[source]:
+                continue
+            distances, radius = ball_bfs(
+                self.graph, source, self.horizon, self.max_ball
+            )
+            retention = retention_within(
+                self.graph, source, set(distances), rate
+            )
+            beyond = self._d_max ** (radius + 1)
+            table: Dict[int, Tuple[int, float]] = {}
+            for node, dist in distances.items():
+                if node == source or not self._is_star[node]:
+                    continue
+                table[node] = (dist, max(retention.get(node, 0.0), beyond))
+            self._entries[source] = table
+            self._radius[source] = radius
+
+    # -------------------------------------------------------- star lookups
+
+    def is_star(self, node: int) -> bool:
+        """Whether ``node`` belongs to a star table."""
+        return self._is_star[node]
+
+    def star_neighbors(self, node: int) -> List[int]:
+        """``S(v)``: the star nodes directly connected to ``v``."""
+        return [n for n in self.graph.neighbors(node) if self._is_star[n]]
+
+    def _star_pair(self, u: int, v: int) -> Tuple[float, float]:
+        """(distance lower bound, retention upper bound) for star pairs."""
+        if u == v:
+            return 0.0, 1.0
+        entry = self._entries.get(u, {}).get(v)
+        if entry is not None:
+            return float(entry[0]), entry[1]
+        radius = self._radius.get(u, self.horizon)
+        return float(radius + 1), self._d_max ** (radius + 1)
+
+    # ------------------------------------------------------------- lookups
+
+    def distance_lower(self, u: int, v: int) -> float:
+        """Lower bound on ``dist(u, v)`` via the three star-index cases."""
+        if u == v:
+            return 0.0
+        u_star, v_star = self._is_star[u], self._is_star[v]
+        if u_star and v_star:
+            return self._star_pair(u, v)[0]
+        if u_star and not v_star:
+            sv = self.star_neighbors(v)
+            if not sv:
+                return float("inf")
+            return min(self._star_pair(u, s)[0] for s in sv) + 1
+        if not u_star and v_star:
+            su = self.star_neighbors(u)
+            if not su:
+                return float("inf")
+            return min(self._star_pair(s, v)[0] for s in su) + 1
+        su, sv = self.star_neighbors(u), self.star_neighbors(v)
+        if not su or not sv:
+            return float("inf")
+        return min(
+            self._star_pair(a, b)[0] for a in su for b in sv
+        ) + 2
+
+    def retention_upper(self, u: int, v: int) -> float:
+        """Upper bound on best-path retention via the three cases."""
+        if u == v:
+            return 1.0
+        rate = self.dampening.rate
+        u_star, v_star = self._is_star[u], self._is_star[v]
+        if u_star and v_star:
+            return self._star_pair(u, v)[1]
+        if u_star and not v_star:
+            sv = self.star_neighbors(v)
+            if not sv:
+                return 0.0
+            return max(self._star_pair(u, s)[1] for s in sv) * rate(v)
+        if not u_star and v_star:
+            su = self.star_neighbors(u)
+            if not su:
+                return 0.0
+            return max(rate(s) * self._star_pair(s, v)[1] for s in su)
+        su, sv = self.star_neighbors(u), self.star_neighbors(v)
+        if not su or not sv:
+            return 0.0
+        return max(
+            rate(a) * self._star_pair(a, b)[1] for a in su for b in sv
+        ) * rate(v)
+
+    # ---------------------------------------------------------- inspection
+
+    @property
+    def entry_count(self) -> int:
+        """Number of materialized (star, star) entries."""
+        return sum(len(table) for table in self._entries.values())
+
+    @property
+    def star_node_count(self) -> int:
+        """Number of star nodes."""
+        return sum(1 for flag in self._is_star if flag)

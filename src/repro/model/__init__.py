@@ -1,0 +1,7 @@
+"""Query and answer model: keywords, joined tuple trees, ranked answers."""
+
+from .query import Query
+from .jtt import JoinedTupleTree
+from .answer import RankedAnswer, RankedList
+
+__all__ = ["Query", "JoinedTupleTree", "RankedAnswer", "RankedList"]

@@ -1,0 +1,93 @@
+"""Ranked answers and top-k lists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..graph.datagraph import DataGraph
+from .jtt import JoinedTupleTree
+
+
+@dataclass(frozen=True)
+class RankedAnswer:
+    """One answer with its score.
+
+    Ordering: higher score first; ties broken by smaller tree, then by the
+    sorted node ids, which keeps rankings fully deterministic.
+    """
+
+    tree: JoinedTupleTree
+    score: float
+
+    def sort_key(self) -> Tuple[float, int, Tuple[int, ...]]:
+        """Key such that ascending sort yields the ranking order."""
+        return (-self.score, self.tree.size, tuple(sorted(self.tree.nodes)))
+
+    def describe(self, graph: DataGraph) -> str:
+        """Human-readable one-line description."""
+        parts = []
+        for node in sorted(self.tree.nodes):
+            info = graph.info(node)
+            text = info.text if len(info.text) <= 40 else info.text[:37] + "..."
+            parts.append(f"[{info.relation}:{node}] {text}")
+        return f"score={self.score:.6g} | " + " -- ".join(parts)
+
+
+class RankedList:
+    """A bounded, deduplicated top-k answer list.
+
+    Maintains answers sorted by :meth:`RankedAnswer.sort_key`; inserting a
+    tree already present (by node/edge identity) keeps the higher score
+    (scores are deterministic, so this only matters for hand-fed lists).
+    """
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._answers: List[RankedAnswer] = []
+        self._seen = {}
+        #: Bumped whenever the held list changes — lets anytime consumers
+        #: detect improvements cheaply.
+        self.revision = 0
+
+    def offer(self, answer: RankedAnswer) -> bool:
+        """Insert an answer; returns True if it enters the current top-k."""
+        existing = self._seen.get(answer.tree)
+        if existing is not None:
+            if answer.score <= existing.score:
+                return False
+            self._answers.remove(existing)
+        self._seen[answer.tree] = answer
+        self._answers.append(answer)
+        self._answers.sort(key=RankedAnswer.sort_key)
+        if len(self._answers) > self.k:
+            dropped = self._answers.pop()
+            del self._seen[dropped.tree]
+            if dropped is answer:
+                return False
+        self.revision += 1
+        return True
+
+    def min_score(self) -> float:
+        """Lowest score currently held (−inf while not full)."""
+        if len(self._answers) < self.k:
+            return float("-inf")
+        return self._answers[-1].score
+
+    @property
+    def full(self) -> bool:
+        """Whether k answers are held."""
+        return len(self._answers) >= self.k
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def __iter__(self) -> Iterator[RankedAnswer]:
+        return iter(self._answers)
+
+    def __getitem__(self, idx: int) -> RankedAnswer:
+        return self._answers[idx]
+
+    def as_list(self) -> List[RankedAnswer]:
+        """Snapshot of the ranking, best first."""
+        return list(self._answers)

@@ -1,0 +1,305 @@
+"""Joined tuple trees (Definition 3) with structural validation.
+
+A :class:`JoinedTupleTree` is an immutable set of nodes plus undirected
+tree edges over them.  Identity (hashing/equality) is by node+edge set —
+the root used during search is *not* part of answer identity, because the
+same subtree reachable through different grow/merge orders is the same
+answer.
+
+Validation implements Definition 3 exactly:
+
+* the edge set forms a tree over the node set (connected, acyclic);
+* every edge corresponds to a link in the data graph;
+* every leaf contains at least one query keyword;
+* if the (chosen) root has exactly one child it must contain a keyword —
+  equivalently, for the *rootless* identity we require at most the two
+  endpoints of the tree's "spine" to be checked: a reduced tree is one
+  whose every degree-1 node is a keyword node;
+* AND semantics: the tree's nodes jointly cover every query keyword.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import InvalidTreeError, NotReducedError
+from ..graph.datagraph import DataGraph
+from ..graph.traversal import tree_diameter
+from ..text.matcher import MatchSets
+
+#: Canonical undirected edge representation.
+Edge = Tuple[int, int]
+
+
+def canonical_edge(a: int, b: int) -> Edge:
+    """The canonical (sorted) form of an undirected edge."""
+    return (a, b) if a <= b else (b, a)
+
+
+class JoinedTupleTree:
+    """An immutable candidate/answer tree.
+
+    Args:
+        nodes: the node ids.
+        edges: undirected edges (any orientation; canonicalized).
+
+    Raises:
+        InvalidTreeError: if ``edges`` is not a tree over ``nodes``.
+    """
+
+    __slots__ = ("nodes", "edges", "_adj", "_hash", "_diameter")
+
+    def __init__(self, nodes: Iterable[int], edges: Iterable[Edge]) -> None:
+        node_set = frozenset(nodes)
+        edge_set = frozenset(canonical_edge(a, b) for a, b in edges)
+        if not node_set:
+            raise InvalidTreeError("a tree needs at least one node")
+        if len(edge_set) != len(node_set) - 1:
+            raise InvalidTreeError(
+                f"{len(node_set)} nodes require {len(node_set) - 1} edges, "
+                f"got {len(edge_set)}"
+            )
+        adj: Dict[int, Set[int]] = {n: set() for n in node_set}
+        for a, b in edge_set:
+            if a not in adj or b not in adj:
+                raise InvalidTreeError(f"edge ({a}, {b}) leaves the node set")
+            if a == b:
+                raise InvalidTreeError(f"self-loop on node {a}")
+            adj[a].add(b)
+            adj[b].add(a)
+        # Connectivity check (node count == edge count + 1 rules out cycles
+        # only when connected, so verify connectivity explicitly).
+        start = next(iter(node_set))
+        seen = {start}
+        stack = [start]
+        while stack:
+            for nbr in adj[stack.pop()]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        if len(seen) != len(node_set):
+            raise InvalidTreeError("edge set is disconnected")
+
+        self.nodes: FrozenSet[int] = node_set
+        self.edges: FrozenSet[Edge] = edge_set
+        self._adj = {n: frozenset(s) for n, s in adj.items()}
+        self._hash = hash((node_set, edge_set))
+        self._diameter: Optional[int] = None
+
+    # ------------------------------------------------------------ identity
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinedTupleTree):
+            return NotImplemented
+        return self.nodes == other.nodes and self.edges == other.edges
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"JTT(nodes={sorted(self.nodes)}, "
+            f"edges={sorted(self.edges)})"
+        )
+
+    # ----------------------------------------------------------- structure
+
+    @property
+    def size(self) -> int:
+        """Number of nodes (the classic ``size(T)``)."""
+        return len(self.nodes)
+
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """Tree neighbors of ``node``."""
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise InvalidTreeError(f"node {node} not in tree") from None
+
+    def degree(self, node: int) -> int:
+        """Tree degree of ``node``."""
+        return len(self.neighbors(node))
+
+    def leaves(self) -> List[int]:
+        """Degree-<=1 nodes (a single-node tree's node is a leaf)."""
+        if len(self.nodes) == 1:
+            return list(self.nodes)
+        return [n for n in self.nodes if len(self._adj[n]) == 1]
+
+    @property
+    def diameter(self) -> int:
+        """Longest path length in edges (0 for a single node)."""
+        if self._diameter is None:
+            if len(self.nodes) == 1:
+                self._diameter = 0
+            else:
+                self._diameter = tree_diameter(self.edges)
+        return self._diameter
+
+    def path(self, source: int, target: int) -> List[int]:
+        """The unique tree path between two nodes (inclusive)."""
+        if source not in self._adj or target not in self._adj:
+            raise InvalidTreeError("path endpoints must be tree nodes")
+        if source == target:
+            return [source]
+        parent: Dict[int, int] = {source: source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for nbr in self._adj[node]:
+                if nbr not in parent:
+                    parent[nbr] = node
+                    if nbr == target:
+                        out = [target]
+                        while out[-1] != source:
+                            out.append(parent[out[-1]])
+                        out.reverse()
+                        return out
+                    stack.append(nbr)
+        raise InvalidTreeError("tree is disconnected")  # pragma: no cover
+
+    def traversal_from(self, root: int) -> List[Tuple[int, Optional[int]]]:
+        """BFS order of (node, parent) pairs rooted at ``root``."""
+        if root not in self._adj:
+            raise InvalidTreeError(f"root {root} not in tree")
+        order: List[Tuple[int, Optional[int]]] = [(root, None)]
+        seen = {root}
+        idx = 0
+        while idx < len(order):
+            node, _ = order[idx]
+            idx += 1
+            for nbr in sorted(self._adj[node]):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    order.append((nbr, node))
+        return order
+
+    # ---------------------------------------------------------- validation
+
+    def verify_edges_exist(self, graph: DataGraph) -> None:
+        """Check every tree edge is a (bidirectional) link in the graph."""
+        for a, b in self.edges:
+            if not (graph.has_edge(a, b) or graph.has_edge(b, a)):
+                raise InvalidTreeError(
+                    f"tree edge ({a}, {b}) has no corresponding graph link"
+                )
+
+    def is_reduced(self, match: MatchSets) -> bool:
+        """Definition 3 reducedness: every leaf contains a keyword.
+
+        For the rootless identity this is exactly the right condition:
+        choosing any internal node (or any keyword node) as root then
+        satisfies both of Definition 3's clauses.
+        """
+        return all(not match.is_free(leaf) for leaf in self.leaves())
+
+    def covers(self, match: MatchSets) -> bool:
+        """AND semantics: the tree covers every query keyword."""
+        return match.covered_by(self.nodes) == frozenset(match.keywords)
+
+    def validate_answer(
+        self,
+        graph: DataGraph,
+        match: MatchSets,
+        max_diameter: Optional[int] = None,
+    ) -> None:
+        """Full Definition-3 answer validation; raises on violation."""
+        self.verify_edges_exist(graph)
+        if not self.is_reduced(match):
+            raise NotReducedError(
+                f"tree has a free leaf: {sorted(self.leaves())}"
+            )
+        if not self.covers(match):
+            missing = frozenset(match.keywords) - match.covered_by(self.nodes)
+            raise NotReducedError(f"tree misses keywords {sorted(missing)}")
+        if max_diameter is not None and self.diameter > max_diameter:
+            raise InvalidTreeError(
+                f"diameter {self.diameter} exceeds cap {max_diameter}"
+            )
+
+    def non_free_nodes(self, match: MatchSets) -> List[int]:
+        """``En(Q) ∩ V(T)`` — the keyword-containing nodes, sorted."""
+        return sorted(n for n in self.nodes if not match.is_free(n))
+
+    # -------------------------------------------------------- construction
+
+    @classmethod
+    def _trusted(
+        cls,
+        nodes: FrozenSet[int],
+        edges: FrozenSet[Edge],
+        adj: Dict[int, FrozenSet[int]],
+    ) -> "JoinedTupleTree":
+        """Internal fast path: build without re-validating.
+
+        Only for callers that construct from an already-validated tree in
+        a way that provably preserves treeness (:meth:`with_edge`,
+        :meth:`union` at a single shared node).
+        """
+        tree = object.__new__(cls)
+        tree.nodes = nodes
+        tree.edges = edges
+        tree._adj = adj
+        tree._hash = hash((nodes, edges))
+        tree._diameter = None
+        return tree
+
+    @classmethod
+    def single(cls, node: int) -> "JoinedTupleTree":
+        """A single-node tree."""
+        return cls([node], [])
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Iterable[int]]) -> "JoinedTupleTree":
+        """Union of node paths (must form a tree)."""
+        nodes: Set[int] = set()
+        edges: Set[Edge] = set()
+        for path in paths:
+            path = list(path)
+            nodes.update(path)
+            for a, b in zip(path, path[1:]):
+                edges.add(canonical_edge(a, b))
+        return cls(nodes, edges)
+
+    def with_edge(self, existing: int, new_node: int) -> "JoinedTupleTree":
+        """A new tree extended by one edge to a new node.
+
+        Attaching a fresh leaf to a tree always yields a tree, so this
+        uses the trusted fast path.
+        """
+        if existing not in self.nodes:
+            raise InvalidTreeError(f"node {existing} not in tree")
+        if new_node in self.nodes:
+            raise InvalidTreeError(f"node {new_node} already in tree")
+        adj = dict(self._adj)
+        adj[existing] = adj[existing] | {new_node}
+        adj[new_node] = frozenset((existing,))
+        return JoinedTupleTree._trusted(
+            self.nodes | {new_node},
+            self.edges | {canonical_edge(existing, new_node)},
+            adj,
+        )
+
+    def union(self, other: "JoinedTupleTree") -> "JoinedTupleTree":
+        """Union of two trees (must overlap in a way that yields a tree).
+
+        When the trees share exactly one node, the union is provably a
+        tree and the trusted fast path applies; any other overlap falls
+        back to the validating constructor.
+        """
+        shared = self.nodes & other.nodes
+        if len(shared) == 1:
+            pivot = next(iter(shared))
+            adj = {**self._adj, **other._adj}
+            adj[pivot] = self._adj[pivot] | other._adj[pivot]
+            return JoinedTupleTree._trusted(
+                self.nodes | other.nodes,
+                self.edges | other.edges,
+                adj,
+            )
+        return JoinedTupleTree(
+            self.nodes | other.nodes, set(self.edges) | set(other.edges)
+        )

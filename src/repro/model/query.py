@@ -1,0 +1,54 @@
+"""The input query of Definition 1: a set of keywords, AND semantics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+from ..exceptions import EvaluationError
+
+
+@dataclass(frozen=True)
+class Query:
+    """A keyword query ``Q = {k_1, ..., k_|Q|}``.
+
+    Keywords are stored lowercased and de-duplicated but keep their first
+    occurrence order in ``keywords`` (useful for reporting); ``keyword_set``
+    is the set view used for coverage checks.  The paper assumes AND
+    semantics: an answer must cover every keyword.
+    """
+
+    keywords: Tuple[str, ...]
+
+    def __init__(self, keywords: Iterable[str]) -> None:
+        seen = set()
+        ordered = []
+        for raw in keywords:
+            keyword = raw.strip().lower()
+            if not keyword:
+                raise EvaluationError("query keywords must be non-empty")
+            if keyword not in seen:
+                seen.add(keyword)
+                ordered.append(keyword)
+        if not ordered:
+            raise EvaluationError("a query needs at least one keyword")
+        object.__setattr__(self, "keywords", tuple(ordered))
+
+    @classmethod
+    def parse(cls, text: str) -> "Query":
+        """Build a query from a whitespace-separated keyword string."""
+        return cls(text.split())
+
+    @property
+    def keyword_set(self) -> FrozenSet[str]:
+        """The keywords as a frozenset."""
+        return frozenset(self.keywords)
+
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+    def __iter__(self):
+        return iter(self.keywords)
+
+    def __str__(self) -> str:
+        return " ".join(self.keywords)

@@ -1,0 +1,46 @@
+"""RWMP — Random Walk with Message Passing (Section III), the paper's core.
+
+The model stacks three pieces:
+
+1. node importance from the random walk of Equation (1)
+   (:mod:`repro.importance`);
+2. per-node message dampening rates derived from importance
+   (:mod:`repro.rwmp.dampening`, Equation 2);
+3. typed message generation/passing inside a candidate tree and the
+   resulting tree score (:mod:`repro.rwmp.messages`,
+   :mod:`repro.rwmp.scoring`, Equations 3-4).
+"""
+
+from .dampening import DampeningModel, log_dampening, linear_dampening
+from .messages import pass_messages
+from .explain import (
+    DeliveryTrace,
+    HopTrace,
+    NodeExplanation,
+    TreeExplanation,
+    explain_tree,
+    render_explanation,
+)
+from .scoring import (
+    RWMPScorer,
+    average_importance_score,
+    all_node_average_score,
+    size_normalized_importance_score,
+)
+
+__all__ = [
+    "DampeningModel",
+    "log_dampening",
+    "linear_dampening",
+    "pass_messages",
+    "RWMPScorer",
+    "average_importance_score",
+    "all_node_average_score",
+    "size_normalized_importance_score",
+    "explain_tree",
+    "render_explanation",
+    "TreeExplanation",
+    "NodeExplanation",
+    "DeliveryTrace",
+    "HopTrace",
+]

@@ -1,0 +1,97 @@
+"""Typed message generation and passing inside a tree (Section III-C.1).
+
+The procedure, exactly as specified by the paper:
+
+* **Generation** — a non-free source ``v_i`` emits
+  ``r_ii = t * p_i * |v_i ∩ Q| / |v_i|`` messages of type ``v_i``.
+* **Passing** — surfers carry messages only along tree edges.  At node
+  ``v_j`` the messages leaving toward neighbor ``v_k`` are
+  ``f_ij * w_jk / Σ_{v_n ∈ N(v_j) ∩ V(T)} w_jn``: the split is
+  proportional to the *directed* edge weights toward the node's tree
+  neighbors, and the share pointing back along the path to the source is
+  sent but **discarded** (it still consumes its share of the split).
+* **Dampening** — every non-source node keeps only ``d_j`` of what it
+  receives (``f_ij = d_j * r_ij``) before forwarding.
+
+:func:`pass_messages` implements one source's propagation over a tree and
+returns the post-dampening count ``f`` at every other tree node — the
+quantity Equation (3) consumes at destinations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..exceptions import InvalidTreeError
+from ..graph.datagraph import DataGraph
+from ..model.jtt import JoinedTupleTree
+
+
+def pass_messages(
+    graph: DataGraph,
+    tree: JoinedTupleTree,
+    source: int,
+    initial: float,
+    dampening: Callable[[int], float],
+) -> Dict[int, float]:
+    """Propagate ``initial`` messages of type ``source`` through ``tree``.
+
+    Args:
+        graph: the data graph (provides directed edge weights).
+        tree: the tree to propagate within.
+        source: the emitting node (must be in the tree).
+        initial: the generation count ``r_ss`` at the source.
+        dampening: per-node dampening rate function (``d_j``).
+
+    Returns:
+        node -> post-dampening message count ``f`` for every tree node
+        except the source.  Nodes a message cannot reach (zero-weight
+        forward edges) map to 0.0.
+    """
+    if source not in tree.nodes:
+        raise InvalidTreeError(f"source {source} not in tree")
+    f: Dict[int, float] = {n: 0.0 for n in tree.nodes if n != source}
+    if initial <= 0.0 or len(tree.nodes) == 1:
+        return f
+
+    # BFS from the source; `outgoing[node]` is the message count a node
+    # forwards (post-dampening; the source forwards its full generation).
+    order = tree.traversal_from(source)
+    outgoing: Dict[int, float] = {source: initial}
+    for node, parent in order:
+        if parent is None:
+            continue
+        # Split at the parent among all of the parent's tree neighbors.
+        denominator = 0.0
+        for nbr in tree.neighbors(parent):
+            denominator += graph.weight(parent, nbr)
+        if denominator <= 0.0:
+            received = 0.0
+        else:
+            share = graph.weight(parent, node) / denominator
+            received = outgoing.get(parent, 0.0) * share
+        kept = received * dampening(node)
+        f[node] = kept
+        outgoing[node] = kept
+    return f
+
+
+def message_matrix(
+    graph: DataGraph,
+    tree: JoinedTupleTree,
+    generations: Dict[int, float],
+    dampening: Callable[[int], float],
+) -> Dict[int, Dict[int, float]]:
+    """All-pairs message delivery for a set of sources.
+
+    Args:
+        generations: source node -> generation count ``r_ss``.
+
+    Returns:
+        ``matrix[source][node] = f`` (post-dampening count of ``source``
+        messages at ``node``), for every source in ``generations``.
+    """
+    return {
+        source: pass_messages(graph, tree, source, r, dampening)
+        for source, r in generations.items()
+    }

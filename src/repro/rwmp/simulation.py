@@ -1,0 +1,115 @@
+"""Monte-Carlo simulation of the RWMP message-passing process.
+
+Section III-C *defines* RWMP operationally: surfers at the source pick
+up typed messages, walk along tree edges choosing neighbors with
+probability proportional to edge weights, drop messages at each node
+with probability ``1 - d_j``, and messages walking back toward the
+source are discarded.  The analytic engine
+(:func:`repro.rwmp.messages.pass_messages`) computes this process's
+expectations in closed form.
+
+This module simulates the actual stochastic process, surfer by surfer.
+Its purpose is validation — ``tests/test_rwmp_simulation.py`` checks the
+simulation's delivery frequencies converge to the analytic engine's
+values — plus pedagogy: it is the most literal reading of the paper's
+model you can run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from ..exceptions import InvalidTreeError
+from ..graph.datagraph import DataGraph
+from ..model.jtt import JoinedTupleTree
+
+
+def simulate_message_pass(
+    graph: DataGraph,
+    tree: JoinedTupleTree,
+    source: int,
+    initial: float,
+    dampening: Callable[[int], float],
+    surfers: int = 20000,
+    seed: int = 0,
+) -> Dict[int, float]:
+    """Estimate message deliveries by simulating individual surfers.
+
+    Each simulated surfer carries ``initial / surfers`` message mass and
+    performs the walk the paper describes:
+
+    1. start at the source, step to a tree neighbor chosen with
+       probability proportional to the directed edge weights toward
+       in-tree neighbors;
+    2. at each node entered, keep the messages with probability ``d``
+       (the in-node message exchange), else the messages are discarded
+       and the walk ends;
+    3. surviving mass is tallied at the node, then the surfer steps on
+       to a neighbor again chosen by edge weight — a step back along the
+       arrival edge discards the messages (the paper's back-message
+       rule).
+
+    Args:
+        graph: the data graph (edge weights).
+        tree: the tree to walk within.
+        source: the emitting node.
+        initial: total message mass emitted (``r_ss``).
+        dampening: per-node keep probability.
+        surfers: number of simulated walkers.
+        seed: RNG seed.
+
+    Returns:
+        node -> expected delivered mass (comparable to
+        :func:`repro.rwmp.messages.pass_messages`).
+    """
+    if source not in tree.nodes:
+        raise InvalidTreeError(f"source {source} not in tree")
+    if surfers < 1:
+        raise InvalidTreeError("need at least one surfer")
+    rng = random.Random(seed)
+    tally: Dict[int, float] = {n: 0.0 for n in tree.nodes if n != source}
+    if initial <= 0.0 or len(tree.nodes) == 1:
+        return tally
+    mass = initial / surfers
+
+    # Pre-compute per-node in-tree neighbor distributions.
+    neighbors: Dict[int, list] = {}
+    cumulative: Dict[int, list] = {}
+    for node in tree.nodes:
+        nbrs = sorted(tree.neighbors(node))
+        weights = [graph.weight(node, nbr) for nbr in nbrs]
+        total = sum(weights)
+        neighbors[node] = nbrs
+        if total <= 0:
+            cumulative[node] = []
+            continue
+        running = 0.0
+        cdf = []
+        for weight in weights:
+            running += weight / total
+            cdf.append(running)
+        cumulative[node] = cdf
+
+    for _ in range(surfers):
+        node = source
+        came_from = -1
+        while True:
+            cdf = cumulative[node]
+            if not cdf:
+                break  # no outgoing weight: messages stall and are lost
+            r = rng.random()
+            nxt = neighbors[node][-1]
+            for idx, threshold in enumerate(cdf):
+                if r <= threshold:
+                    nxt = neighbors[node][idx]
+                    break
+            if nxt == came_from:
+                break  # back along the path: discarded
+            # in-node exchange at the entered node
+            if rng.random() >= dampening(nxt):
+                break  # dropped
+            tally[nxt] += mass
+            came_from = node
+            node = nxt
+    return tally

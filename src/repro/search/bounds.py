@@ -1,0 +1,365 @@
+"""Admissible upper bounds for candidate trees (Section IV-B).
+
+The paper combines a *complete estimate* ``ce`` (best score reachable by
+completing the candidate) and a *potential estimate* ``pe`` (best node
+score any additionally attached non-free node could get) into
+``ub(C) = max(ce(C), pe(C))`` (Lemma 1).  This module implements both,
+tightened to be provably admissible under this library's exact scoring —
+the property tests in ``tests/test_search_bounds.py`` check
+``ub(C) >= score(T)`` for every answer ``T`` expandable from ``C``.
+
+Derivation (see DESIGN.md for the narrative version).  Write ``C`` for the
+candidate with root ``r``, ``S`` for its non-free nodes, and ``T ⊇ C`` for
+any answer grown/merged from it.  The expansion invariant guarantees that
+in ``T`` only ``r`` has gained tree neighbors; every other node of ``C``
+keeps exactly the neighborhood it has in ``C``.  Consequently:
+
+* ``f_T(u→v) <= fbar_C(u→v)`` for ``u, v ∈ C``, where ``fbar`` is the
+  delivery computed on ``C`` with the split share at ``r`` replaced by 1
+  (expansion can only enlarge ``r``'s split denominator);
+* any message from a future source ``x ∉ C`` reaches ``v ∈ C`` only
+  through ``r``, so ``f_T(x→v) <= gen(x) * ret(x→r) * inside(v)``, where
+  ``ret(x→r)`` is an upper bound on the retention of any path into ``r``
+  (at worst ``d_r``, tighter with an index) and ``inside(v)`` is the exact
+  in-``C`` delivery factor from ``r`` to ``v`` (dampening *after* ``r``);
+* symmetrically ``f_T(u→x) <= fbar_C(u→r) * ret(r→x)``; per-``x``
+  retention and missing-keyword generation caps combine in
+  :meth:`UpperBoundEstimator._potential_estimate` (see also
+  docs/ALGORITHMS.md §2.2).
+
+Then for ``v ∈ S`` the node score in any ``T`` is bounded by
+``b(v) = min( min_{u∈S\\{v}} fbar_C(u→v),
+min_{k missing} G_k * inside(v) )`` with
+``G_k = max_{x∈En(k)\\C} gen(x) * ret(x→r)`` (some ``x`` covering each
+missing keyword must exist in any completion).  Every node of
+``T \\ C`` scores at most the potential estimate ``pe``.  Since ``score(T)`` is the average over ``S(T) = S ∪ X`` and
+``avg(A ∪ B) <= max(avg A, max B)``:
+
+    score(T) <= max( ce = avg_{v∈S} b(v),  pe )            (Lemma 1)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.datagraph import DataGraph
+from ..model.jtt import JoinedTupleTree
+from ..rwmp.scoring import RWMPScorer
+from ..text.matcher import MatchSets
+from .candidate import CandidateTree
+
+
+class UpperBoundEstimator:
+    """Computes ``ub(C) = max(ce(C), pe(C))`` for candidate trees.
+
+    Args:
+        graph: the data graph.
+        scorer: the query's RWMP scorer (supplies generation counts and
+            dampening rates).
+        index: optional index (naive pairs or star) exposing
+            ``retention_upper(u, v)`` and ``distance_lower(u, v)``; used to
+            tighten the outside-retention factors (Section V "Benefits").
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        scorer: RWMPScorer,
+        index: Optional[object] = None,
+        semantics: str = "and",
+    ) -> None:
+        self.graph = graph
+        self.scorer = scorer
+        self.match: MatchSets = scorer.match
+        self.index = index
+        #: Under OR semantics a completion need not supply the missing
+        #: keywords, so every missing-keyword bound term is dropped (the
+        #: remaining terms stay admissible for the wider answer space).
+        self.semantics = semantics
+        self._sorted_gen: Dict[str, List[Tuple[float, int]]] = {}
+        self._max_rate_enq: Optional[float] = None
+        # Index lookups repeat heavily across candidates sharing a root
+        # (star-index case 2/3 decompositions are not free); memoize them
+        # for the lifetime of the query.
+        self._ret_cache: Dict[Tuple[int, int], float] = {}
+        self._dist_cache: Dict[Tuple[int, int], float] = {}
+        self._nbr_rate_cache: Dict[int, float] = {}
+
+    def _index_retention(self, u: int, v: int) -> float:
+        key = (u, v)
+        cached = self._ret_cache.get(key)
+        if cached is None:
+            cached = self.index.retention_upper(u, v)
+            self._ret_cache[key] = cached
+        return cached
+
+    def _index_distance(self, u: int, v: int) -> float:
+        key = (u, v)
+        cached = self._dist_cache.get(key)
+        if cached is None:
+            cached = self.index.distance_lower(u, v)
+            self._dist_cache[key] = cached
+        return cached
+
+    # -------------------------------------------------------------- pieces
+
+    def _keyword_candidates(self, keyword: str) -> List[Tuple[float, int]]:
+        """Nodes of ``En(k)`` with their generation counts, descending."""
+        cached = self._sorted_gen.get(keyword)
+        if cached is None:
+            pairs = [
+                (self.scorer.generation(node), node)
+                for node in self.match.per_keyword.get(keyword, ())
+            ]
+            pairs.sort(key=lambda item: (-item[0], item[1]))
+            cached = pairs
+            self._sorted_gen[keyword] = cached
+        return cached
+
+    def _max_enq_rate(self) -> float:
+        """Maximum dampening rate among all non-free nodes of the query."""
+        if self._max_rate_enq is None:
+            rates = [
+                self.scorer.dampening.rate(node)
+                for node in self.match.all_nodes
+            ]
+            self._max_rate_enq = max(rates) if rates else 1.0
+        return self._max_rate_enq
+
+    def _max_neighbor_rate(self, node: int) -> float:
+        """Largest dampening rate among ``node``'s graph neighbors.
+
+        Any path ending (or starting) at ``node`` whose other endpoint is
+        not adjacent must pass through one of these neighbors, so their
+        best rate bounds the extra hop's retention.  Cached per node.
+        """
+        cached = self._nbr_rate_cache.get(node)
+        if cached is None:
+            rate = self.scorer.dampening.rate
+            neighbors = self.graph.neighbors(node)
+            cached = max((rate(n) for n in neighbors), default=1.0)
+            self._nbr_rate_cache[node] = cached
+        return cached
+
+    def _adjacent(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b) or self.graph.has_edge(b, a)
+
+    def _retention_into(self, node: int, root: int, d_root: float) -> float:
+        """Upper bound on message retention of any path ``node -> root``."""
+        if self.index is not None:
+            return min(d_root, self._index_retention(node, root))
+        if self._adjacent(node, root):
+            return d_root
+        # non-adjacent: at least one intermediate, itself a root neighbor
+        return d_root * self._max_neighbor_rate(root)
+
+    def _best_outside_gen(
+        self, keyword: str, cand: CandidateTree, d_root: float
+    ) -> float:
+        """``G_k``: best ``gen(x) * ret(x -> root)`` over ``En(k) \\ C``."""
+        best = 0.0
+        for gen, node in self._keyword_candidates(keyword):
+            if gen * d_root <= best:
+                break  # sorted by gen desc; no later node can beat `best`
+            if node in cand.tree.nodes:
+                continue
+            best = max(best, gen * self._retention_into(node, cand.root, d_root))
+        return best
+
+    def _max_gen_outside(self, keyword: str, cand: CandidateTree) -> float:
+        """Largest generation count among ``En(k) \\ C`` (no retention)."""
+        for gen, node in self._keyword_candidates(keyword):
+            if node not in cand.tree.nodes:
+                return gen
+        return 0.0
+
+    def _potential_estimate(
+        self,
+        cand: CandidateTree,
+        fbar_min: float,
+        missing,
+    ) -> float:
+        """``pe``: bound on the score of any node added outside ``C``.
+
+        For a specific added node ``x`` two families of deliveries bound
+        its min-over-sources score:
+
+        * from any source already in ``C``: at most
+          ``fbar_min * ret(root -> x)``, where the retention is at worst
+          ``d_x`` (every delivery dampens at its destination) and tighter
+          with an index;
+        * for every *missing* keyword ``k`` that ``x`` itself does not
+          match, the completion contains a source ``y ∈ En(k) \\ C``
+          distinct from ``x``, and ``f(y -> x) <= gen(y) * d_x``.
+
+        ``pe`` is the max of this per-``x`` bound over all possible
+        additions; nodes matching every missing keyword fall back to the
+        first family only.
+        """
+        rate = self.scorer.dampening.rate
+        caps = {k: self._max_gen_outside(k, cand) for k in missing}
+        best = 0.0
+        for x in self.match.all_nodes:
+            if x in cand.tree.nodes:
+                continue
+            d_x = rate(x)
+            if self.index is not None:
+                ret = min(d_x, self._index_retention(cand.root, x))
+            elif self._adjacent(cand.root, x):
+                ret = d_x
+            else:
+                # non-adjacent: charge the forced intermediate hop
+                ret = d_x * self._max_neighbor_rate(cand.root)
+            bound = fbar_min * ret
+            x_keywords = self.match.keywords_of.get(x, frozenset())
+            for keyword in missing:
+                if keyword not in x_keywords:
+                    bound = min(bound, caps[keyword] * d_x)
+            best = max(best, bound)
+            if best >= fbar_min * self._max_enq_rate():
+                break  # cannot grow further
+        return best
+
+    def _tree_transfer(
+        self, tree: JoinedTupleTree, root: int
+    ) -> Tuple[Dict[int, Tuple[int, ...]], Dict[Tuple[int, int], float]]:
+        """Per-directed-edge transfer factors with the root split freed.
+
+        The delivery of one message unit across edge ``a -> b`` is
+        ``share(a -> b) * d_b`` with ``share = w(a, b) / den(a)`` over
+        ``a``'s in-tree out-weights — except at the root, whose split is
+        replaced by 1 (the admissibility device: expansion only enlarges
+        the root's denominator).  A delivery between any two tree nodes
+        is then the product of the factors along their unique path, which
+        lets every per-source pass run without touching the graph.
+        """
+        rate = self.scorer.dampening.rate
+        adj: Dict[int, Tuple[int, ...]] = {
+            n: tuple(sorted(tree.neighbors(n))) for n in tree.nodes
+        }
+        tau: Dict[Tuple[int, int], float] = {}
+        for a in tree.nodes:
+            out = self.graph.out_edges(a)
+            if a == root:
+                for b in adj[a]:
+                    tau[(a, b)] = rate(b)
+                continue
+            den = sum(out.get(b, 0.0) for b in adj[a])
+            for b in adj[a]:
+                share = out.get(b, 0.0) / den if den > 0.0 else 0.0
+                tau[(a, b)] = share * rate(b)
+        return adj, tau
+
+    @staticmethod
+    def _deliver(
+        adj: Dict[int, Tuple[int, ...]],
+        tau: Dict[Tuple[int, int], float],
+        source: int,
+        initial: float,
+    ) -> Dict[int, float]:
+        """Deliveries from ``source`` to every other node under ``tau``."""
+        delivered: Dict[int, float] = {}
+        if initial <= 0.0:
+            return {n: 0.0 for n in adj if n != source}
+        stack = [(source, -1, initial)]
+        while stack:
+            node, parent, value = stack.pop()
+            for nbr in adj[node]:
+                if nbr != parent:
+                    kept = value * tau[(node, nbr)]
+                    delivered[nbr] = kept
+                    stack.append((nbr, node, kept))
+        for n in adj:
+            if n != source and n not in delivered:
+                delivered[n] = 0.0
+        return delivered
+
+    # -------------------------------------------------------------- bounds
+
+    def upper_bound(self, cand: CandidateTree) -> float:
+        """``ub(C) = max(ce(C), pe(C))`` — admissible by Lemma 1."""
+        tree = cand.tree
+        root = cand.root
+        sources = tree.non_free_nodes(self.match)
+        if not sources:
+            return 0.0
+        gen = self.scorer.generation
+        rate = self.scorer.dampening.rate
+        d_root = rate(root)
+
+        adj, tau = self._tree_transfer(tree, root)
+        fbar: Dict[int, Dict[int, float]] = {
+            u: self._deliver(adj, tau, u, gen(u)) for u in sources
+        }
+        fbar_to_root = {
+            u: (gen(u) if u == root else fbar[u].get(root, 0.0))
+            for u in sources
+        }
+        inside = self._deliver(adj, tau, root, 1.0)
+        inside[root] = 1.0
+
+        if self.semantics == "or":
+            missing: frozenset = frozenset()
+        else:
+            missing = frozenset(self.match.keywords) - cand.covered
+        g_of = {
+            k: self._best_outside_gen(k, cand, d_root) for k in missing
+        }
+
+        bounds: Dict[int, float] = {}
+        for v in sources:
+            terms = [fbar[u][v] for u in sources if u != v]
+            terms.extend(g_of[k] * inside[v] for k in missing)
+            if terms:
+                bounds[v] = min(terms)
+            else:
+                # Lone complete source: T may equal C (score = gen(v)), or
+                # gain extra sources whose deliveries bound v's new min.
+                outside_best = max(
+                    (
+                        self._best_outside_gen(k, cand, d_root)
+                        for k in self.match.keywords
+                    ),
+                    default=0.0,
+                )
+                bounds[v] = max(gen(v), outside_best * inside[v])
+        ce = sum(bounds.values()) / len(bounds)
+
+        pe = self._potential_estimate(
+            cand, min(fbar_to_root.values()), missing
+        )
+        return max(ce, pe)
+
+    # ------------------------------------------------------------- pruning
+
+    def completion_impossible(self, cand: CandidateTree, max_diameter: int) -> bool:
+        """Distance-based pruning: no completion can respect the cap.
+
+        For every missing keyword some matching node must eventually attach
+        through the (current or a future) root; as shown in DESIGN.md the
+        final diameter is then at least ``dist(root, En(k)) + depth(C)``,
+        which is safe to test with any *lower bound* on the distance.
+        Without an index this check is skipped (the paper's no-index
+        configuration has no distance information either).
+        """
+        if self.semantics == "or":
+            return False  # nothing is ever *required* to attach
+        missing = frozenset(self.match.keywords) - cand.covered
+        if not missing:
+            return False
+        for keyword in missing:
+            nodes = self.match.per_keyword.get(keyword, set())
+            outside = [n for n in nodes if n not in cand.tree.nodes]
+            if not outside:
+                return True  # keyword cannot be supplied at all
+            if self.index is None:
+                continue
+            budget = max_diameter - cand.depth
+            if budget < 1:
+                return True  # attaching anything would exceed the cap
+            if all(
+                self._index_distance(cand.root, n) > budget
+                for n in outside
+            ):
+                return True
+        return False

@@ -1,0 +1,257 @@
+"""The branch-and-bound top-k search (Algorithm 1).
+
+Candidate trees live in a max-priority queue keyed by their upper bound;
+the head is repeatedly expanded (grow + merge), complete answers are
+offered to the top-k list, and the search stops as soon as the head's
+upper bound cannot beat the worst kept answer — at which point the kept
+answers are provably optimal (Theorem 1).
+
+Implementation notes:
+
+* every *generated* candidate is registered per root so later candidates
+  with the same root can merge against it (the paper's Line 16);
+* candidates are deduplicated by (root, tree) signature;
+* a candidate pruned because ``ub <= minscore`` is safe to drop entirely:
+  any answer expandable from it is bounded by that same ``ub`` (see the
+  correctness argument in DESIGN.md);
+* the diameter cap prunes structurally (``diameter > D``) and — when an
+  index is available — via distance lower bounds
+  (:meth:`UpperBoundEstimator.completion_impossible`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..config import SearchParams
+from ..exceptions import SearchError
+from ..graph.datagraph import DataGraph
+from ..model.answer import RankedAnswer, RankedList
+from ..rwmp.scoring import RWMPScorer
+from ..text.matcher import MatchSets
+from .bounds import UpperBoundEstimator
+from .candidate import CandidateTree, Signature
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one search run (used by the efficiency benches).
+
+    Attributes:
+        expanded: candidates dequeued and expanded.
+        generated: candidates created (before dedup/pruning).
+        enqueued: candidates that entered the priority queue.
+        pruned_bound: candidates dropped because ``ub <= minscore``.
+        pruned_diameter: candidates dropped by the diameter cap.
+        pruned_distance: candidates dropped by index distance pruning.
+        answers_found: complete answers offered to the top-k list.
+        stopped_early: True when the bound test ended the search before
+            the queue drained.
+    """
+
+    expanded: int = 0
+    generated: int = 0
+    enqueued: int = 0
+    pruned_bound: int = 0
+    pruned_diameter: int = 0
+    pruned_distance: int = 0
+    answers_found: int = 0
+    stopped_early: bool = False
+
+
+@dataclass(frozen=True)
+class AnytimeSnapshot:
+    """One anytime progress report of the branch-and-bound search.
+
+    Attributes:
+        answers: the best answers found so far, best first.
+        frontier_bound: upper bound on the score of every answer not yet
+            discovered (``-inf`` once the queue is exhausted).
+        proven_optimal: True on the final snapshot when the search
+            terminated through the bound test or queue exhaustion —
+            the answers are then the true top-k (Theorem 1).
+    """
+
+    answers: List[RankedAnswer]
+    frontier_bound: float
+    proven_optimal: bool
+
+    @property
+    def gap(self) -> float:
+        """How far above the current k-th answer the frontier reaches
+        (0 when nothing unseen can change the list)."""
+        if not self.answers:
+            return float("inf")
+        kth = self.answers[-1].score
+        return max(0.0, self.frontier_bound - kth)
+
+
+class BranchAndBoundSearch:
+    """Top-k answer search for one query.
+
+    Args:
+        graph: the data graph.
+        scorer: the query's RWMP scorer.
+        match: the query's match sets (must be the scorer's).
+        params: search parameters (k, diameter cap, merge mode).
+        index: optional pairs/star index for bound tightening and
+            distance pruning.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        scorer: RWMPScorer,
+        match: MatchSets,
+        params: Optional[SearchParams] = None,
+        index: Optional[object] = None,
+    ) -> None:
+        if scorer.match is not match:
+            raise SearchError("scorer and search must share the match sets")
+        self.graph = graph
+        self.scorer = scorer
+        self.match = match
+        self.params = params or SearchParams()
+        self.bounds = UpperBoundEstimator(
+            graph, scorer, index, semantics=self.params.semantics
+        )
+        self.stats = SearchStats()
+
+    # --------------------------------------------------------------- public
+
+    def run(self) -> List[RankedAnswer]:
+        """Execute Algorithm 1 and return the top-k answers, best first."""
+        snapshot = None
+        for snapshot in self.snapshots():
+            pass
+        return snapshot.answers if snapshot is not None else []
+
+    def snapshots(self):
+        """Anytime execution: yield progress snapshots during the search.
+
+        The branch-and-bound loop is naturally *anytime*: at every point
+        the kept answers are the best found so far and the queue head's
+        upper bound caps everything undiscovered.  This generator yields
+        an :class:`AnytimeSnapshot` whenever the kept top-k improves, and
+        one final snapshot when the search terminates — with
+        ``proven_optimal=True`` if termination came from the bound test
+        or queue exhaustion (a ``max_candidates`` abort stays unproven).
+
+        Consumers can stop iterating at any time; the last snapshot's
+        ``frontier_bound`` is the quality certificate: no unseen answer
+        can score above it.
+        """
+        params = self.params
+        top_k = RankedList(params.k)
+        heap: List = []
+        counter = itertools.count()
+        seen: Set[Signature] = set()
+        by_root: Dict[int, List[CandidateTree]] = {}
+
+        def admit(cand: CandidateTree) -> bool:
+            """Register, score-if-complete, bound, and enqueue a candidate.
+
+            Returns True when the candidate was new (not a duplicate), so
+            the merge cascade knows whether to continue through it.
+            """
+            self.stats.generated += 1
+            if cand.diameter > params.diameter:
+                self.stats.pruned_diameter += 1
+                return False
+            signature = cand.signature()
+            if signature in seen:
+                return False
+            seen.add(signature)
+            if cand.is_answer(self.match, params.diameter, params.semantics):
+                answer = RankedAnswer(cand.tree, self.scorer.score(cand.tree))
+                self.stats.answers_found += 1
+                top_k.offer(answer)
+            if self.bounds.completion_impossible(cand, params.diameter):
+                # No completion can exist through any future root or merge,
+                # so expanding (or merging through) this candidate is futile.
+                self.stats.pruned_distance += 1
+                return False
+            ub = self.bounds.upper_bound(cand)
+            if top_k.full and ub <= top_k.min_score():
+                # Lemma 1: every answer expandable from this candidate —
+                # via grows or merges — scores at most `ub`, which cannot
+                # beat the kept top-k; safe to drop the whole subtree of
+                # the search space.
+                self.stats.pruned_bound += 1
+                return False
+            by_root.setdefault(cand.root, []).append(cand)
+            heapq.heappush(heap, (-ub, next(counter), cand))
+            self.stats.enqueued += 1
+            return True
+
+        for node in sorted(self.match.all_nodes):
+            admit(CandidateTree.initial(node, self.match))
+
+        last_revision = -1
+        proven = True
+        frontier = float("-inf")
+        while heap:
+            neg_ub, _, cand = heapq.heappop(heap)
+            ub = -neg_ub
+            if top_k.full and ub <= top_k.min_score():
+                # everything unexplored (this candidate included) is
+                # bounded by its ub — the stop rule's certificate
+                self.stats.stopped_early = True
+                frontier = ub
+                break
+            if (
+                params.max_candidates
+                and self.stats.expanded >= params.max_candidates
+            ):
+                proven = False
+                frontier = ub
+                break
+            if top_k.revision != last_revision:
+                last_revision = top_k.revision
+                yield AnytimeSnapshot(
+                    answers=top_k.as_list(),
+                    frontier_bound=ub,
+                    proven_optimal=False,
+                )
+            self.stats.expanded += 1
+            self._expand(cand, admit, by_root)
+
+        yield AnytimeSnapshot(
+            answers=top_k.as_list(),
+            frontier_bound=frontier,
+            proven_optimal=proven,
+        )
+
+    # -------------------------------------------------------------- expand
+
+    def _expand(self, cand: CandidateTree, admit, by_root) -> None:
+        """Grow ``cand`` in every direction, then cascade merges.
+
+        Every newly admitted candidate is merged against all previously
+        registered candidates sharing its root; merge results re-enter the
+        cascade, which is how roots with several children arise.
+        """
+        work: List[CandidateTree] = []
+        if cand.depth + 1 <= self.params.diameter:
+            for neighbor in sorted(self.graph.neighbors(cand.root)):
+                if neighbor not in cand.tree.nodes:
+                    work.append(cand.grow(neighbor, self.match))
+        while work:
+            current = work.pop()
+            if not admit(current):
+                continue
+            # `admit` may have registered `current`; snapshot partners so
+            # the iteration is stable while the cascade appends new ones.
+            for partner in list(by_root.get(current.root, ())):
+                if current.depth + partner.depth > self.params.diameter:
+                    # the merged tree would break the cap; skip before
+                    # paying for the union construction
+                    self.stats.generated += 1
+                    self.stats.pruned_diameter += 1
+                    continue
+                merged = current.merge(partner, strict=self.params.strict_merge)
+                if merged is not None:
+                    work.append(merged)

@@ -1,0 +1,151 @@
+"""Candidate trees and the grow/merge expansion operators (Section IV-B).
+
+A candidate tree ``C(v_i)`` is a rooted tree covering at least one query
+keyword.  The two expansion operators come from Ding et al.'s dynamic
+programming:
+
+* **grow** — a neighbor ``v_j ∉ C`` of the root becomes the new root with
+  the old tree as its single child;
+* **merge** — two candidates with the same root and otherwise disjoint
+  node sets are unioned.
+
+These operators maintain the key invariant the upper bounds rely on: once
+a node stops being the root, its tree neighborhood is frozen — any later
+expansion attaches only at the current root.
+
+The paper's merge precondition ("the result covers more keywords than
+either") is optional (``strict``): DESIGN.md explains why the permissive
+variant is required for completeness over Definition-3 answers.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from ..exceptions import SearchError
+from ..model.jtt import JoinedTupleTree, canonical_edge
+from ..text.matcher import MatchSets
+
+#: Hashable identity of a candidate: (root, tree).
+Signature = Tuple[int, JoinedTupleTree]
+
+
+class CandidateTree:
+    """An immutable rooted candidate tree with cached search bookkeeping.
+
+    Attributes:
+        tree: the underlying (rootless) tree.
+        root: the root node id.
+        depth: maximum root-to-node distance.
+        diameter: the tree's diameter (maintained incrementally).
+        covered: keywords covered by the tree's nodes.
+    """
+
+    __slots__ = ("tree", "root", "depth", "diameter", "covered")
+
+    def __init__(
+        self,
+        tree: JoinedTupleTree,
+        root: int,
+        depth: int,
+        diameter: int,
+        covered: FrozenSet[str],
+    ) -> None:
+        if root not in tree.nodes:
+            raise SearchError(f"root {root} not in candidate tree")
+        self.tree = tree
+        self.root = root
+        self.depth = depth
+        self.diameter = diameter
+        self.covered = covered
+
+    # -------------------------------------------------------- construction
+
+    @classmethod
+    def initial(cls, node: int, match: MatchSets) -> "CandidateTree":
+        """The single-node candidate for a non-free node."""
+        keywords = match.keywords_of.get(node)
+        if not keywords:
+            raise SearchError(
+                f"initial candidates must be non-free nodes, got {node}"
+            )
+        return cls(JoinedTupleTree.single(node), node, 0, 0, keywords)
+
+    def grow(self, new_root: int, match: MatchSets) -> "CandidateTree":
+        """Tree growing: ``new_root`` adopts this tree as its only child.
+
+        The caller is responsible for checking graph adjacency between
+        ``new_root`` and the current root (the search does this against
+        the data graph); this method checks only tree-level validity.
+        """
+        if new_root in self.tree.nodes:
+            raise SearchError(f"grow target {new_root} already in tree")
+        tree = self.tree.with_edge(self.root, new_root)
+        depth = self.depth + 1
+        diameter = max(self.diameter, depth)
+        covered = self.covered | match.keywords_of.get(new_root, frozenset())
+        return CandidateTree(tree, new_root, depth, diameter, covered)
+
+    def merge(
+        self,
+        other: "CandidateTree",
+        strict: bool = False,
+    ) -> Optional["CandidateTree"]:
+        """Tree merging; returns None when the merge is not permitted.
+
+        Permitted when both candidates share the root, their node sets are
+        otherwise disjoint (the paper's cycle "sanity check"), and — in
+        strict mode — the union covers strictly more keywords than either
+        operand.
+        """
+        if self.root != other.root:
+            return None
+        if self.tree.nodes & other.tree.nodes != {self.root}:
+            return None
+        covered = self.covered | other.covered
+        if strict and (covered == self.covered or covered == other.covered):
+            return None
+        tree = self.tree.union(other.tree)
+        depth = max(self.depth, other.depth)
+        diameter = max(
+            self.diameter, other.diameter, self.depth + other.depth
+        )
+        return CandidateTree(tree, self.root, depth, diameter, covered)
+
+    # ------------------------------------------------------------ queries
+
+    def signature(self) -> Signature:
+        """Hashable identity (root + tree)."""
+        return (self.root, self.tree)
+
+    def is_complete(self, match: MatchSets) -> bool:
+        """Covers every query keyword."""
+        return self.covered == frozenset(match.keywords)
+
+    def is_answer(
+        self,
+        match: MatchSets,
+        max_diameter: int,
+        semantics: str = "and",
+    ) -> bool:
+        """Answer validity: coverage per semantics, reduced, within cap.
+
+        Under the paper's AND semantics every keyword must be covered
+        (Definition 3); under OR semantics any non-empty coverage counts
+        (candidates always cover at least one keyword).
+        """
+        if semantics == "and" and not self.is_complete(match):
+            return False
+        return (
+            self.diameter <= max_diameter
+            and self.tree.is_reduced(match)
+        )
+
+    def __len__(self) -> int:
+        return len(self.tree.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Candidate(root={self.root}, nodes={sorted(self.tree.nodes)}, "
+            f"covered={sorted(self.covered)})"
+        )

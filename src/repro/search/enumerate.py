@@ -1,0 +1,68 @@
+"""Exhaustive answer enumeration (test oracle).
+
+Enumerates every Definition-3 answer up to a node-count cap by growing
+subtrees edge-by-edge with signature-based de-duplication.  Exponential by
+nature — use only on small graphs (the optimality property tests do).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set
+
+from ..exceptions import SearchError
+from ..graph.datagraph import DataGraph
+from ..model.jtt import JoinedTupleTree
+from ..text.matcher import MatchSets
+
+
+def enumerate_answers(
+    graph: DataGraph,
+    match: MatchSets,
+    max_diameter: int,
+    max_nodes: int = 8,
+) -> Iterator[JoinedTupleTree]:
+    """Yield every valid answer tree (reduced, covering, within caps).
+
+    Args:
+        graph: the data graph.
+        match: the query's match sets.
+        max_diameter: Definition-3 diameter cap ``D``.
+        max_nodes: enumeration size cap (raises if < 1).
+
+    Yields:
+        Each distinct :class:`JoinedTupleTree` answer exactly once, in a
+        deterministic order.
+    """
+    if max_nodes < 1:
+        raise SearchError("max_nodes must be >= 1")
+    seen: Set[JoinedTupleTree] = set()
+    frontier: List[JoinedTupleTree] = []
+    for node in sorted(match.all_nodes):
+        tree = JoinedTupleTree.single(node)
+        seen.add(tree)
+        frontier.append(tree)
+
+    emitted: List[JoinedTupleTree] = []
+    while frontier:
+        tree = frontier.pop()
+        if (
+            tree.diameter <= max_diameter
+            and tree.is_reduced(match)
+            and tree.covers(match)
+        ):
+            emitted.append(tree)
+        if len(tree.nodes) >= max_nodes:
+            continue
+        for node in tree.nodes:
+            for neighbor in graph.neighbors(node):
+                if neighbor in tree.nodes:
+                    continue
+                extended = tree.with_edge(node, neighbor)
+                if extended.diameter > max_diameter:
+                    continue
+                if extended not in seen:
+                    seen.add(extended)
+                    frontier.append(extended)
+
+    emitted.sort(key=lambda t: (len(t.nodes), sorted(t.nodes), sorted(t.edges)))
+    yield from emitted

@@ -1,0 +1,193 @@
+"""The naive search algorithm (Section IV-A).
+
+Breadth-first search is performed from every non-free node up to distance
+``ceil(D / 2)``, recording, at every visited node, the source, distance,
+and *all* shortest-path predecessors.  Any node reachable from a set of
+non-free nodes that jointly cover the query becomes an answer-tree root;
+answers are assembled by combining one path per chosen source, in every
+combination.
+
+This is intentionally the paper's expensive strawman: it expands every
+non-free node exhaustively before assembling anything (Fig. 10 measures
+exactly that cost against branch-and-bound).  A ``max_answers_per_root``
+valve exists so the benchmark harness can keep runtimes finite on larger
+samples; the paper's uncapped behavior is the default.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..config import SearchParams
+from ..exceptions import InvalidTreeError, SearchError
+from ..graph.datagraph import DataGraph
+from ..graph.traversal import bfs_within
+from ..model.answer import RankedAnswer, RankedList
+from ..model.jtt import JoinedTupleTree
+from ..rwmp.scoring import RWMPScorer
+from ..text.matcher import MatchSets
+
+
+class NaiveSearch:
+    """The brute-force top-k search of Section IV-A.
+
+    Args:
+        graph: the data graph.
+        scorer: the query's RWMP scorer.
+        match: the query's match sets.
+        params: search parameters (k and diameter cap are used).
+        max_paths_per_source: cap on enumerated shortest paths from a root
+            to one source (0 = unlimited).
+        max_answers_per_root: cap on assembled trees per root
+            (0 = unlimited, the paper's behavior).
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        scorer: RWMPScorer,
+        match: MatchSets,
+        params: Optional[SearchParams] = None,
+        max_paths_per_source: int = 0,
+        max_answers_per_root: int = 0,
+    ) -> None:
+        if scorer.match is not match:
+            raise SearchError("scorer and search must share the match sets")
+        self.graph = graph
+        self.scorer = scorer
+        self.match = match
+        self.params = params or SearchParams()
+        self.max_paths_per_source = max_paths_per_source
+        self.max_answers_per_root = max_answers_per_root
+
+    # --------------------------------------------------------------- public
+
+    def run(self) -> List[RankedAnswer]:
+        """Execute the naive algorithm; returns the top-k, best first."""
+        top_k = RankedList(self.params.k)
+        for tree in self.iter_answers():
+            top_k.offer(RankedAnswer(tree, self.scorer.score(tree)))
+        return top_k.as_list()
+
+    def iter_answers(self) -> Iterator[JoinedTupleTree]:
+        """Yield every distinct valid answer the BFS assembly reaches.
+
+        This is the scoring-free core of the algorithm, also used by the
+        evaluation harness to build per-query candidate pools that every
+        ranking function ranks identically (IR pooling).
+        """
+        params = self.params
+        radius = (params.diameter + 1) // 2
+        seen: Set[JoinedTupleTree] = set()
+
+        # Phase 1: BFS from every non-free node, all predecessors kept.
+        preds_of: Dict[int, Dict[int, List[int]]] = {}
+        reach: Dict[int, Set[int]] = {}
+        for source in sorted(self.match.all_nodes):
+            preds = bfs_within(self.graph, source, radius)
+            preds_of[source] = preds
+            for node in preds:
+                reach.setdefault(node, set()).add(source)
+
+        # Phase 2: roots covering all keywords assemble answers.
+        all_keywords = frozenset(self.match.keywords)
+        for root in sorted(reach):
+            sources = reach[root]
+            if self.match.covered_by(sources) != all_keywords:
+                continue
+            produced = 0
+            capped = False
+            for combo in self._covering_combinations(sources):
+                if capped:
+                    break
+                for tree in self._assemble(root, combo, preds_of):
+                    if tree in seen:
+                        continue
+                    seen.add(tree)
+                    if tree.diameter > params.diameter:
+                        continue
+                    if not tree.is_reduced(self.match):
+                        continue
+                    if not tree.covers(self.match):
+                        continue
+                    yield tree
+                    produced += 1
+                    if (
+                        self.max_answers_per_root
+                        and produced >= self.max_answers_per_root
+                    ):
+                        capped = True
+                        break
+
+    # -------------------------------------------------------------- pieces
+
+    def _covering_combinations(
+        self, sources: Set[int]
+    ) -> Iterator[Tuple[int, ...]]:
+        """All minimal-ish source combinations covering every keyword.
+
+        One source is chosen per keyword (a source matching several
+        keywords may be chosen for each); the resulting sets are
+        de-duplicated.
+        """
+        per_keyword: List[List[int]] = []
+        for keyword in self.match.keywords:
+            matching = sorted(
+                s for s in sources
+                if keyword in self.match.keywords_of.get(s, frozenset())
+            )
+            if not matching:
+                return
+            per_keyword.append(matching)
+        emitted: Set[FrozenSet[int]] = set()
+        for picks in itertools.product(*per_keyword):
+            combo = frozenset(picks)
+            if combo not in emitted:
+                emitted.add(combo)
+                yield tuple(sorted(combo))
+
+    def _assemble(
+        self,
+        root: int,
+        combo: Tuple[int, ...],
+        preds_of: Dict[int, Dict[int, List[int]]],
+    ) -> Iterator[JoinedTupleTree]:
+        """Yield all trees formed by one shortest path per source."""
+        path_options: List[List[List[int]]] = []
+        for source in combo:
+            paths = self._paths(root, source, preds_of[source])
+            if not paths:
+                return
+            path_options.append(paths)
+        for selection in itertools.product(*path_options):
+            try:
+                yield JoinedTupleTree.from_paths(selection)
+            except InvalidTreeError:
+                continue  # overlapping paths formed a cycle; skip
+
+    def _paths(
+        self,
+        root: int,
+        source: int,
+        preds: Dict[int, List[int]],
+    ) -> List[List[int]]:
+        """All shortest paths source..root from the predecessor DAG."""
+        if root not in preds:
+            return []
+        out: List[List[int]] = []
+        stack: List[List[int]] = [[root]]
+        while stack:
+            partial = stack.pop()
+            tail = partial[-1]
+            if tail == source:
+                out.append(list(reversed(partial)))
+                if (
+                    self.max_paths_per_source
+                    and len(out) >= self.max_paths_per_source
+                ):
+                    break
+                continue
+            for pred in preds[tail]:
+                stack.append(partial + [pred])
+        return out

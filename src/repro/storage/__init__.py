@@ -1,0 +1,26 @@
+"""Persistence: save and load built systems.
+
+Building a deployment (graph construction, power iteration, index
+materialization) is the expensive part of CI-Rank; query answering is
+fast.  This package serializes every build artifact to a directory so a
+deployment is constructed once and reopened instantly:
+
+* the data graph (nodes, text, attrs, weighted edges) as JSON;
+* the importance vector as JSON (values + metadata);
+* the star/pairs index tables as JSON;
+* a manifest tying the pieces together with the RWMP parameters.
+"""
+
+from .serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    load_system,
+    save_system,
+)
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_system",
+    "load_system",
+]

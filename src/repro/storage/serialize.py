@@ -1,0 +1,225 @@
+"""Serialization of graphs, importance vectors, indexes, and systems.
+
+The on-disk layout of a saved system directory::
+
+    manifest.json      versions, parameters, component file names
+    graph.json         nodes + edges
+    importance.json    the importance vector
+    index.json         (optional) star or pairs index tables
+
+Everything is plain JSON: the datasets this reproduction targets are
+laptop-scale, and diff-able artifacts beat opaque pickles for a research
+codebase (no arbitrary code execution on load, either).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from ..config import RWMPParams, SearchParams
+from ..exceptions import ReproError
+from ..graph.datagraph import DataGraph
+from ..importance.pagerank import ImportanceVector
+from ..indexing.pairs import PairsIndex
+from ..indexing.star import StarIndex
+from ..system import CIRankSystem
+from ..text.inverted_index import InvertedIndex
+
+FORMAT_VERSION = 1
+
+
+# ------------------------------------------------------------------ graph
+
+
+def graph_to_dict(graph: DataGraph) -> Dict[str, Any]:
+    """The JSON-able representation of a data graph."""
+    nodes = []
+    for node in graph.nodes():
+        info = graph.info(node)
+        nodes.append({
+            "relation": info.relation,
+            "text": info.text,
+            "sources": [list(s) for s in info.sources],
+            "attrs": info.attrs,
+        })
+    edges = [
+        [node, target, weight]
+        for node in graph.nodes()
+        for target, weight in sorted(graph.out_edges(node).items())
+    ]
+    return {"nodes": nodes, "edges": edges}
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> DataGraph:
+    """Rebuild a data graph from :func:`graph_to_dict` output."""
+    graph = DataGraph()
+    try:
+        for record in payload["nodes"]:
+            node = graph.add_node(
+                record["relation"], record["text"], None,
+                dict(record.get("attrs", {})),
+            )
+            graph.info(node).sources = [
+                (table, pk) for table, pk in record.get("sources", [])
+            ]
+        for source, target, weight in payload["edges"]:
+            graph.add_edge(int(source), int(target), float(weight))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed graph payload: {exc}") from None
+    return graph
+
+
+# ------------------------------------------------------------- importance
+
+
+def _importance_to_dict(importance: ImportanceVector) -> Dict[str, Any]:
+    return {
+        "values": [float(v) for v in importance.values],
+        "teleport": importance.teleport,
+        "iterations": importance.iterations,
+        "converged": importance.converged,
+    }
+
+
+def _importance_from_dict(payload: Dict[str, Any]) -> ImportanceVector:
+    try:
+        return ImportanceVector(
+            np.asarray(payload["values"], dtype=float),
+            float(payload["teleport"]),
+            int(payload["iterations"]),
+            bool(payload["converged"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed importance payload: {exc}") from None
+
+
+# ------------------------------------------------------------------ index
+
+
+def _index_to_dict(index: Union[StarIndex, PairsIndex]) -> Dict[str, Any]:
+    kind = "star" if isinstance(index, StarIndex) else "pairs"
+    payload: Dict[str, Any] = {
+        "kind": kind,
+        "horizon": index.horizon,
+        "d_max": index._d_max,
+        "entries": {
+            str(source): {
+                str(target): [dist, retention]
+                for target, (dist, retention) in table.items()
+            }
+            for source, table in index._entries.items()
+        },
+        "radius": {str(k): v for k, v in index._radius.items()},
+    }
+    if kind == "star":
+        payload["star_relations"] = sorted(index.star_relations)
+        payload["max_ball"] = index.max_ball
+    return payload
+
+
+def _index_from_dict(
+    payload: Dict[str, Any],
+    graph: DataGraph,
+    dampening,
+) -> Union[StarIndex, PairsIndex]:
+    kind = payload.get("kind")
+    if kind == "star":
+        index = StarIndex.__new__(StarIndex)
+        index.star_relations = frozenset(payload["star_relations"])
+        index._is_star = [
+            graph.info(node).relation in index.star_relations
+            for node in graph.nodes()
+        ]
+        index.max_ball = payload.get("max_ball", 0)
+    elif kind == "pairs":
+        index = PairsIndex.__new__(PairsIndex)
+    else:
+        raise ReproError(f"unknown index kind {kind!r}")
+    index.graph = graph
+    index.dampening = dampening
+    index.horizon = int(payload["horizon"])
+    index._d_max = float(payload["d_max"])
+    index._entries = {
+        int(source): {
+            int(target): (int(entry[0]), float(entry[1]))
+            for target, entry in table.items()
+        }
+        for source, table in payload["entries"].items()
+    }
+    index._radius = {int(k): int(v) for k, v in payload["radius"].items()}
+    return index
+
+
+# ----------------------------------------------------------------- system
+
+
+def save_system(system: CIRankSystem, directory: Union[str, Path]) -> Path:
+    """Persist a built system to ``directory`` (created if missing).
+
+    Returns the directory path.  The inverted index is *not* stored — it
+    rebuilds from the graph text in linear time on load.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "graph.json").write_text(
+        json.dumps(graph_to_dict(system.graph))
+    )
+    (directory / "importance.json").write_text(
+        json.dumps(_importance_to_dict(system.importance))
+    )
+    manifest: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "params": {
+            "alpha": system.params.alpha,
+            "g": system.params.g,
+            "teleport": system.params.teleport,
+        },
+        "search_params": {
+            "k": system.search_params.k,
+            "diameter": system.search_params.diameter,
+            "strict_merge": system.search_params.strict_merge,
+            "semantics": system.search_params.semantics,
+        },
+        "has_index": system.graph_index is not None,
+    }
+    if system.graph_index is not None:
+        (directory / "index.json").write_text(
+            json.dumps(_index_to_dict(system.graph_index))
+        )
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_system(directory: Union[str, Path]) -> CIRankSystem:
+    """Reopen a system saved by :func:`save_system`."""
+    directory = Path(directory)
+    try:
+        manifest = json.loads((directory / "manifest.json").read_text())
+    except FileNotFoundError:
+        raise ReproError(f"no manifest.json in {directory}") from None
+    if manifest.get("format") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported format {manifest.get('format')!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    graph = graph_from_dict(
+        json.loads((directory / "graph.json").read_text())
+    )
+    importance = _importance_from_dict(
+        json.loads((directory / "importance.json").read_text())
+    )
+    params = RWMPParams(**manifest["params"])
+    search_params = SearchParams(**manifest["search_params"])
+    index = InvertedIndex.build(graph)
+    system = CIRankSystem(graph, index, importance, params, search_params)
+    if manifest.get("has_index"):
+        system.graph_index = _index_from_dict(
+            json.loads((directory / "index.json").read_text()),
+            graph,
+            system.dampening,
+        )
+    return system

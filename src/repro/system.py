@@ -1,0 +1,207 @@
+"""The end-to-end CI-Rank system facade.
+
+:class:`CIRankSystem` wires the whole stack together: database -> data
+graph (with entity merging) -> inverted index -> importance vector ->
+optional star/pairs index -> per-query scorer and branch-and-bound
+search.  It is the one-stop entry point the examples and the CLI use::
+
+    from repro import CIRankSystem, generate_imdb
+
+    system = CIRankSystem.from_database(generate_imdb(), merge_tables=(
+        "actor", "actress", "director", "producer"))
+    for answer in system.search("halloran winmont", k=5):
+        print(system.describe(answer))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .config import EdgeWeights, RWMPParams, SearchParams
+from .db.database import Database
+from .exceptions import ReproError
+from .graph.builder import GraphBuilder
+from .graph.datagraph import DataGraph
+from .importance.feedback import FeedbackModel
+from .importance.pagerank import ImportanceVector, pagerank
+from .indexing.pairs import PairsIndex
+from .indexing.star import StarIndex
+from .model.answer import RankedAnswer
+from .rwmp.dampening import DampeningModel
+from .rwmp.scoring import RWMPScorer
+from .search.branch_and_bound import BranchAndBoundSearch
+from .search.naive import NaiveSearch
+from .text.inverted_index import InvertedIndex
+from .text.matcher import KeywordMatcher, MatchSets
+
+
+class CIRankSystem:
+    """A ready-to-query CI-Rank deployment over one database graph."""
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        index: InvertedIndex,
+        importance: ImportanceVector,
+        params: Optional[RWMPParams] = None,
+        search_params: Optional[SearchParams] = None,
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self.importance = importance
+        self.params = params or RWMPParams()
+        self.search_params = search_params or SearchParams()
+        self.dampening = DampeningModel(self.importance, self.params)
+        self.matcher = KeywordMatcher(index)
+        self.graph_index: Optional[object] = None
+
+    # ------------------------------------------------------------ assembly
+
+    @classmethod
+    def from_database(
+        cls,
+        db: Database,
+        merge_tables: Iterable[str] = (),
+        weights: Optional[EdgeWeights] = None,
+        params: Optional[RWMPParams] = None,
+        search_params: Optional[SearchParams] = None,
+        teleport_vector: Optional[np.ndarray] = None,
+    ) -> "CIRankSystem":
+        """Build the full stack from a database.
+
+        Args:
+            db: the source database.
+            merge_tables: tables subject to entity merging (Section VI-A).
+            weights: edge weight table (defaults to Table II).
+            params: RWMP parameters.
+            search_params: top-k search parameters.
+            teleport_vector: optional biased teleport vector (user
+                feedback, Section VI-A).
+        """
+        params = params or RWMPParams()
+        graph = GraphBuilder(weights, merge_tables).build(db)
+        index = InvertedIndex.build(graph)
+        importance = pagerank(
+            graph, teleport=params.teleport, teleport_vector=teleport_vector
+        )
+        return cls(graph, index, importance, params, search_params)
+
+    @classmethod
+    def from_csv_directory(
+        cls,
+        schema,
+        directory,
+        merge_tables: Iterable[str] = (),
+        weights: Optional[EdgeWeights] = None,
+        params: Optional[RWMPParams] = None,
+        search_params: Optional[SearchParams] = None,
+    ) -> "CIRankSystem":
+        """Build the full stack from a CSV dump directory.
+
+        See :func:`repro.db.load_csv_directory` for the expected layout
+        (one ``<table>.csv`` per table plus an optional ``links.csv``).
+        """
+        from .db.csv_loader import load_csv_directory
+        db = load_csv_directory(schema, directory)
+        return cls.from_database(
+            db, merge_tables=merge_tables, weights=weights,
+            params=params, search_params=search_params,
+        )
+
+    def build_star_index(self, **kwargs) -> StarIndex:
+        """Attach a star index (Section V-B) used by subsequent searches."""
+        self.graph_index = StarIndex(self.graph, self.dampening, **kwargs)
+        return self.graph_index
+
+    def build_pairs_index(self, **kwargs) -> PairsIndex:
+        """Attach the naive all-pairs index (Section V-A)."""
+        self.graph_index = PairsIndex(self.graph, self.dampening, **kwargs)
+        return self.graph_index
+
+    def apply_feedback(self, feedback: FeedbackModel) -> None:
+        """Re-rank importance under a feedback-biased teleport vector."""
+        self.importance = pagerank(
+            self.graph,
+            teleport=self.params.teleport,
+            teleport_vector=feedback.teleport_vector(),
+        )
+        self.dampening = DampeningModel(self.importance, self.params)
+        if self.graph_index is not None:
+            raise ReproError(
+                "feedback changes dampening rates; rebuild the graph index "
+                "(build_star_index / build_pairs_index) after apply_feedback"
+            )
+
+    # -------------------------------------------------------------- search
+
+    def scorer_for(self, match: MatchSets) -> RWMPScorer:
+        """The RWMP scorer for one query's match sets."""
+        return RWMPScorer(self.graph, self.index, match, self.dampening)
+
+    def search(
+        self,
+        query_text: str,
+        k: Optional[int] = None,
+        diameter: Optional[int] = None,
+        algorithm: str = "branch-and-bound",
+    ) -> List[RankedAnswer]:
+        """Top-k keyword search.
+
+        Args:
+            query_text: whitespace-separated keywords (AND semantics).
+            k: number of answers (defaults to the configured k).
+            diameter: answer diameter cap (defaults to configured D).
+            algorithm: ``"branch-and-bound"`` (default) or ``"naive"``.
+
+        Returns:
+            Ranked answers, best first (possibly fewer than k).
+        """
+        if algorithm not in ("branch-and-bound", "naive"):
+            raise ReproError(f"unknown algorithm {algorithm!r}")
+        match = self.matcher.match(query_text)
+        if self.search_params.semantics == "or":
+            # OR needs only one matchable keyword
+            if not any(match.per_keyword.values()):
+                return []
+        elif not match.matchable:
+            return []
+        params = SearchParams(
+            k=k if k is not None else self.search_params.k,
+            diameter=(
+                diameter if diameter is not None
+                else self.search_params.diameter
+            ),
+            strict_merge=self.search_params.strict_merge,
+            max_candidates=self.search_params.max_candidates,
+            semantics=self.search_params.semantics,
+        )
+        scorer = self.scorer_for(match)
+        if algorithm == "branch-and-bound":
+            search = BranchAndBoundSearch(
+                self.graph, scorer, match, params, index=self.graph_index
+            )
+        else:
+            search = NaiveSearch(self.graph, scorer, match, params)
+        return search.run()
+
+    # ------------------------------------------------------------- display
+
+    def describe(self, answer: RankedAnswer) -> str:
+        """One-line description of an answer."""
+        return answer.describe(self.graph)
+
+    def explain(self, query_text: str, answer: RankedAnswer) -> str:
+        """The full message-flow breakdown of one answer's score.
+
+        Renders per-source generation counts, per-hop splits/dampening,
+        the binding (minimum) source at each keyword node, and the
+        weakest link pulling the average down (see
+        :mod:`repro.rwmp.explain`).
+        """
+        from .rwmp.explain import explain_tree, render_explanation
+        match = self.matcher.match(query_text)
+        scorer = self.scorer_for(match)
+        explanation = explain_tree(scorer, answer.tree)
+        return render_explanation(self.graph, explanation)

@@ -1,0 +1,21 @@
+"""Full-text substrate: tokenization, inverted index, keyword matching.
+
+This package replaces Apache Lucene in the original system.  It provides
+exactly what the ranking functions need: term postings with term
+frequencies, document frequencies, document lengths, and per-relation
+statistics for the IR-style baselines.
+"""
+
+from .analyzer import Analyzer, tokenize
+from .inverted_index import InvertedIndex, Posting, RelationStats
+from .matcher import KeywordMatcher, MatchSets
+
+__all__ = [
+    "Analyzer",
+    "tokenize",
+    "InvertedIndex",
+    "Posting",
+    "RelationStats",
+    "KeywordMatcher",
+    "MatchSets",
+]

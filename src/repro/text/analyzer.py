@@ -1,0 +1,73 @@
+"""Text analysis: lowercasing, tokenization, optional stopword removal.
+
+Keyword queries and node texts go through the same :class:`Analyzer`, so a
+keyword matches a node exactly when the analyzed token appears in the
+node's analyzed token list — the substrate equivalent of Lucene's analyzer
+pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List, Optional
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: A minimal English stopword list; ranking papers in this line of work
+#: (DISCOVER, SPARK) strip only the most frequent function words.
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    """a an and are as at be by for from has in is it of on or the to with""".split()
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase alphanumeric tokenization (no stopword removal)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+class Analyzer:
+    """Configurable analysis pipeline.
+
+    Args:
+        stopwords: tokens to drop; pass ``frozenset()`` to keep everything.
+        min_length: tokens shorter than this are dropped.
+        stemming: apply the Porter stemmer after stopword removal, so
+            morphological variants match (Lucene's PorterStemFilter
+            equivalent).
+    """
+
+    def __init__(
+        self,
+        stopwords: Optional[Iterable[str]] = DEFAULT_STOPWORDS,
+        min_length: int = 1,
+        stemming: bool = False,
+    ) -> None:
+        self.stopwords = frozenset(stopwords or ())
+        self.min_length = max(1, min_length)
+        self.stemming = stemming
+
+    def analyze(self, text: str) -> List[str]:
+        """Analyzed token list of ``text`` (duplicates preserved)."""
+        tokens = [
+            token
+            for token in tokenize(text)
+            if len(token) >= self.min_length and token not in self.stopwords
+        ]
+        if self.stemming:
+            from .stemming import porter_stem
+            tokens = [porter_stem(token) for token in tokens]
+        return tokens
+
+    def analyze_query(self, text: str) -> List[str]:
+        """Analyzed, de-duplicated keyword list of a query string.
+
+        Order of first occurrence is preserved so that query keyword
+        positions remain stable for reporting.
+        """
+        seen = set()
+        out: List[str] = []
+        for token in self.analyze(text):
+            if token not in seen:
+                seen.add(token)
+                out.append(token)
+        return out

@@ -1,0 +1,129 @@
+"""Inverted index over data-graph nodes.
+
+Stores, per term, the posting list of (node, term frequency) pairs, and,
+per relation, the statistics the IR-style scoring functions consume:
+number of tuples ``N_Rel``, per-term document frequency ``df_k(Rel)``,
+and average text length ``avdl``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..exceptions import ReproError
+from ..graph.datagraph import DataGraph
+from .analyzer import Analyzer
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One posting: a node and the term's frequency in its text."""
+
+    node: int
+    tf: int
+
+
+@dataclass
+class RelationStats:
+    """Per-relation statistics for IR scoring.
+
+    Attributes:
+        tuples: number of nodes of the relation (N_Rel).
+        total_length: summed analyzed token count.
+        df: term -> number of the relation's nodes containing the term.
+    """
+
+    tuples: int = 0
+    total_length: int = 0
+    df: Dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.df is None:
+            self.df = {}
+
+    @property
+    def avdl(self) -> float:
+        """Average document (node text) length; 1.0 for empty relations."""
+        if self.tuples == 0 or self.total_length == 0:
+            return 1.0
+        return self.total_length / self.tuples
+
+
+class InvertedIndex:
+    """Term -> postings index over the nodes of a :class:`DataGraph`."""
+
+    def __init__(self, analyzer: Optional[Analyzer] = None) -> None:
+        self.analyzer = analyzer or Analyzer()
+        self._postings: Dict[str, List[Posting]] = {}
+        self._doc_length: Dict[int, int] = {}
+        self._node_terms: Dict[int, Dict[str, int]] = {}
+        self._relation_of: Dict[int, str] = {}
+        self._stats: Dict[str, RelationStats] = {}
+        self._built = False
+
+    @classmethod
+    def build(cls, graph: DataGraph, analyzer: Optional[Analyzer] = None) -> "InvertedIndex":
+        """Index every node of ``graph``."""
+        index = cls(analyzer)
+        for node in graph.nodes():
+            info = graph.info(node)
+            index.add_document(node, info.relation, info.text)
+        index._built = True
+        return index
+
+    def add_document(self, node: int, relation: str, text: str) -> None:
+        """Index one node's text under the given relation."""
+        tokens = self.analyzer.analyze(text)
+        counts: Dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        self._doc_length[node] = len(tokens)
+        self._node_terms[node] = counts
+        self._relation_of[node] = relation
+        stats = self._stats.setdefault(relation, RelationStats())
+        stats.tuples += 1
+        stats.total_length += len(tokens)
+        for term, tf in counts.items():
+            self._postings.setdefault(term, []).append(Posting(node, tf))
+            stats.df[term] = stats.df.get(term, 0) + 1
+
+    # ------------------------------------------------------------- lookups
+
+    def postings(self, term: str) -> List[Posting]:
+        """Posting list of an (already analyzed) term; empty if unseen."""
+        return self._postings.get(term, [])
+
+    def matching_nodes(self, term: str) -> Set[int]:
+        """Node ids whose text contains ``term``."""
+        return {p.node for p in self._postings.get(term, ())}
+
+    def tf(self, term: str, node: int) -> int:
+        """Frequency of ``term`` in ``node`` (0 if absent)."""
+        return self._node_terms.get(node, {}).get(term, 0)
+
+    def doc_length(self, node: int) -> int:
+        """Analyzed token count of ``node`` (dl_v)."""
+        return self._doc_length.get(node, 0)
+
+    def node_terms(self, node: int) -> Dict[str, int]:
+        """All terms of ``node`` with frequencies (do not mutate)."""
+        return self._node_terms.get(node, {})
+
+    def relation_stats(self, relation: str) -> RelationStats:
+        """Statistics for ``relation`` (empty stats if unindexed)."""
+        return self._stats.get(relation, RelationStats())
+
+    def relation_of(self, node: int) -> str:
+        """Relation an indexed node belongs to."""
+        try:
+            return self._relation_of[node]
+        except KeyError:
+            raise ReproError(f"node {node} is not indexed") from None
+
+    def vocabulary(self) -> Iterator[str]:
+        """Iterate over indexed terms."""
+        return iter(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._doc_length)

@@ -1,0 +1,83 @@
+"""Keyword matching: computing the non-free node sets of Definition 2.
+
+Given a query ``Q = {k_1, ..., k_|Q|}``, :class:`KeywordMatcher` returns,
+per keyword, the non-free node set ``En(k_i)`` (nodes whose text contains
+the keyword) and the union ``En(Q)``.  The complement — the free node set
+``Ef(Q)`` — is never materialized (it is almost the whole graph); callers
+test membership via :meth:`MatchSets.is_free`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from ..exceptions import EvaluationError
+from .inverted_index import InvertedIndex
+
+
+@dataclass
+class MatchSets:
+    """Match information for one query.
+
+    Attributes:
+        keywords: the analyzed query keywords, in query order.
+        per_keyword: keyword -> ``En(k)`` node set.
+        all_nodes: ``En(Q)`` — union of the per-keyword sets.
+        keywords_of: node -> frozenset of the keywords it contains.
+    """
+
+    keywords: List[str]
+    per_keyword: Dict[str, Set[int]]
+    all_nodes: Set[int] = field(default_factory=set)
+    keywords_of: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.all_nodes:
+            for nodes in self.per_keyword.values():
+                self.all_nodes |= nodes
+        if not self.keywords_of:
+            per_node: Dict[int, Set[str]] = {}
+            for keyword, nodes in self.per_keyword.items():
+                for node in nodes:
+                    per_node.setdefault(node, set()).add(keyword)
+            self.keywords_of = {
+                node: frozenset(kws) for node, kws in per_node.items()
+            }
+
+    def is_free(self, node: int) -> bool:
+        """Whether ``node`` contains no query keyword (Definition 2)."""
+        return node not in self.all_nodes
+
+    def covered_by(self, nodes) -> FrozenSet[str]:
+        """Keywords covered by a collection of nodes."""
+        covered: Set[str] = set()
+        for node in nodes:
+            covered |= self.keywords_of.get(node, frozenset())
+        return frozenset(covered)
+
+    @property
+    def matchable(self) -> bool:
+        """True when every keyword matches at least one node."""
+        return all(self.per_keyword.get(k) for k in self.keywords)
+
+
+class KeywordMatcher:
+    """Resolves query keywords to non-free node sets via the index."""
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self.index = index
+
+    def match(self, query_text: str) -> MatchSets:
+        """Analyze ``query_text`` and compute its match sets.
+
+        Raises:
+            EvaluationError: if the query analyzes to zero keywords.
+        """
+        keywords = self.index.analyzer.analyze_query(query_text)
+        if not keywords:
+            raise EvaluationError(
+                f"query {query_text!r} contains no searchable keywords"
+            )
+        per_keyword = {k: self.index.matching_nodes(k) for k in keywords}
+        return MatchSets(keywords, per_keyword)

@@ -1,0 +1,189 @@
+"""The Porter stemming algorithm (Porter, 1980), from scratch.
+
+An optional analyzer stage: with stemming on, "integration" and
+"integrating" match the keyword "integrate" — the behavior Lucene's
+analyzers (the original system's text layer) provide via PorterStemFilter.
+
+This is the classic five-step algorithm.  The implementation follows the
+original paper's rules, including the m (measure) condition, *S/*v*/*d/*o
+conditions, and the step ordering; ``tests/test_stemming.py`` pins the
+published example vocabulary.
+"""
+
+from __future__ import annotations
+
+_VOWELS = set("aeiou")
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """The number of VC sequences (the 'm' of the paper)."""
+    m = 0
+    previous_vowel = False
+    for i in range(len(stem)):
+        consonant = _is_consonant(stem, i)
+        if consonant and previous_vowel:
+            m += 1
+        previous_vowel = not consonant
+    return m
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(stem: str) -> bool:
+    return (
+        len(stem) >= 2
+        and stem[-1] == stem[-2]
+        and _is_consonant(stem, len(stem) - 1)
+    )
+
+
+def _ends_cvc(stem: str) -> bool:
+    """*o: ends consonant-vowel-consonant, last not w, x, or y."""
+    if len(stem) < 3:
+        return False
+    return (
+        _is_consonant(stem, len(stem) - 3)
+        and not _is_consonant(stem, len(stem) - 2)
+        and _is_consonant(stem, len(stem) - 1)
+        and stem[-1] not in "wxy"
+    )
+
+
+def _replace(word: str, suffix: str, replacement: str, m_min: int) -> str:
+    stem = word[: len(word) - len(suffix)]
+    if _measure(stem) > m_min:
+        return stem + replacement
+    return word
+
+
+def porter_stem(word: str) -> str:
+    """Stem one lowercase word."""
+    if len(word) <= 2:
+        return word
+    word = _step_1a(word)
+    word = _step_1b(word)
+    word = _step_1c(word)
+    word = _step_2(word)
+    word = _step_3(word)
+    word = _step_4(word)
+    word = _step_5(word)
+    return word
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _measure(stem) > 0:
+            return word[:-1]
+        return word
+    flag = False
+    if word.endswith("ed") and _contains_vowel(word[:-2]):
+        word = word[:-2]
+        flag = True
+    elif word.endswith("ing") and _contains_vowel(word[:-3]):
+        word = word[:-3]
+        flag = True
+    if flag:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and not word.endswith(("l", "s", "z")):
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2_RULES = (
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+    ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+    ("alli", "al"), ("entli", "ent"), ("eli", "e"), ("ousli", "ous"),
+    ("ization", "ize"), ("ation", "ate"), ("ator", "ate"),
+    ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+    ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"),
+    ("biliti", "ble"),
+)
+
+_STEP3_RULES = (
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+)
+
+_STEP4_SUFFIXES = (
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+)
+
+
+def _step_2(word: str) -> str:
+    for suffix, replacement in _STEP2_RULES:
+        if word.endswith(suffix):
+            return _replace(word, suffix, replacement, 0)
+    return word
+
+
+def _step_3(word: str) -> str:
+    for suffix, replacement in _STEP3_RULES:
+        if word.endswith(suffix):
+            return _replace(word, suffix, replacement, 0)
+    return word
+
+
+def _step_4(word: str) -> str:
+    for suffix in _STEP4_SUFFIXES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 1:
+                return stem
+            return word
+    # "ion" strips only after s or t (*S or *T condition)
+    if word.endswith("ion") and word[-4:-3] in ("s", "t"):
+        stem = word[:-3]
+        if _measure(stem) > 1:
+            return stem
+    return word
+
+
+def _step_5(word: str) -> str:
+    # step 5a
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1 or (m == 1 and not _ends_cvc(stem)):
+            word = stem
+    # step 5b
+    if (
+        _measure(word) > 1
+        and _ends_double_consonant(word)
+        and word.endswith("l")
+    ):
+        word = word[:-1]
+    return word

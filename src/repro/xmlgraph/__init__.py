@@ -1,0 +1,15 @@
+"""XML data as a CI-Rank data graph.
+
+Section III of the paper notes the approach "is general enough to be
+applied to other types of structured data that can be modeled as graphs,
+such as XML data".  This package delivers that claim: it maps an XML
+document (or several) onto a :class:`repro.graph.DataGraph` — elements
+become nodes, parent-child containment and ID/IDREF references become
+the bidirectional weighted edges — so the entire RWMP + search stack
+runs on XML unchanged.
+"""
+
+from .mapping import XmlGraphConfig, xml_to_graph
+from .search import XmlSearchSystem
+
+__all__ = ["XmlGraphConfig", "xml_to_graph", "XmlSearchSystem"]

@@ -1,0 +1,171 @@
+"""Mapping XML documents onto the data graph.
+
+Conventions (standard for keyword search over XML, e.g. XKeyword/EASE):
+
+* every element becomes a node whose *relation* is its tag name;
+* a node's searchable text is its direct text content plus its attribute
+  values (descendant text belongs to the descendants);
+* parent-child containment yields one bidirectional edge pair — downward
+  ("contains") and upward ("contained-in") weights are configurable;
+* ``ID``/``IDREF(S)`` attributes yield reference edge pairs, the XML
+  analogue of FK->PK links;
+* numeric attributes are preserved in ``NodeInfo.attrs`` so evaluation
+  oracles (citation counts, ratings...) keep working.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import DatasetError
+from ..graph.datagraph import DataGraph
+
+#: Attribute names treated as element identity / references by default.
+DEFAULT_ID_ATTRS = ("id",)
+DEFAULT_IDREF_ATTRS = ("idref", "ref", "cite")
+
+
+@dataclass(frozen=True)
+class XmlGraphConfig:
+    """Weights and attribute conventions of the XML mapping.
+
+    Attributes:
+        down_weight: parent -> child edge weight.
+        up_weight: child -> parent edge weight.
+        ref_weight: referencing -> referenced edge weight.
+        backref_weight: referenced -> referencing edge weight (like the
+            paper's asymmetric citation weights).
+        id_attrs: attribute names holding element ids.
+        idref_attrs: attribute names holding (whitespace-separated)
+            references to element ids.
+        numeric_attrs: attribute names copied into ``attrs`` as numbers
+            rather than indexed as text.
+    """
+
+    down_weight: float = 1.0
+    up_weight: float = 1.0
+    ref_weight: float = 0.5
+    backref_weight: float = 0.1
+    id_attrs: Tuple[str, ...] = DEFAULT_ID_ATTRS
+    idref_attrs: Tuple[str, ...] = DEFAULT_IDREF_ATTRS
+    numeric_attrs: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("down_weight", self.down_weight),
+            ("up_weight", self.up_weight),
+            ("ref_weight", self.ref_weight),
+            ("backref_weight", self.backref_weight),
+        ):
+            if value <= 0:
+                raise DatasetError(f"{name} must be positive, got {value}")
+
+
+def _element_text(element: ET.Element, config: XmlGraphConfig) -> str:
+    """Direct text + non-structural attribute values."""
+    parts: List[str] = []
+    if element.text and element.text.strip():
+        parts.append(element.text.strip())
+    skip = set(config.id_attrs) | set(config.idref_attrs) | set(
+        config.numeric_attrs
+    )
+    for name, value in sorted(element.attrib.items()):
+        if name not in skip and value.strip():
+            parts.append(value.strip())
+    # tail text of children belongs to this element's content model
+    for child in element:
+        if child.tail and child.tail.strip():
+            parts.append(child.tail.strip())
+    return " ".join(parts)
+
+
+def _numeric_attrs(element: ET.Element, config: XmlGraphConfig) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for name in config.numeric_attrs:
+        raw = element.attrib.get(name)
+        if raw is None:
+            continue
+        try:
+            out[name] = int(raw)
+        except ValueError:
+            try:
+                out[name] = float(raw)
+            except ValueError:
+                out[name] = raw
+    return out
+
+
+def xml_to_graph(
+    documents: Iterable[str],
+    config: Optional[XmlGraphConfig] = None,
+) -> DataGraph:
+    """Build a data graph from XML document strings.
+
+    Args:
+        documents: XML sources (strings).  Multiple documents share one
+            graph but ids resolve per document (standard XML semantics).
+        config: the mapping configuration.
+
+    Returns:
+        The populated :class:`DataGraph`.
+
+    Raises:
+        DatasetError: on malformed XML or dangling IDREFs.
+    """
+    config = config or XmlGraphConfig()
+    graph = DataGraph()
+    for doc_index, source in enumerate(documents):
+        try:
+            root = ET.fromstring(source)
+        except ET.ParseError as exc:
+            raise DatasetError(
+                f"document {doc_index} is not well-formed XML: {exc}"
+            ) from None
+        ids: Dict[str, int] = {}
+        pending_refs: List[Tuple[int, str]] = []
+
+        def visit(element: ET.Element, parent: Optional[int]) -> None:
+            node = graph.add_node(
+                element.tag.lower(),
+                _element_text(element, config),
+                ("xml", doc_index),
+                _numeric_attrs(element, config),
+            )
+            for id_attr in config.id_attrs:
+                identifier = element.attrib.get(id_attr)
+                if identifier:
+                    if identifier in ids:
+                        raise DatasetError(
+                            f"duplicate id {identifier!r} in document "
+                            f"{doc_index}"
+                        )
+                    ids[identifier] = node
+            for ref_attr in config.idref_attrs:
+                raw = element.attrib.get(ref_attr)
+                if raw:
+                    for target in raw.split():
+                        pending_refs.append((node, target))
+            if parent is not None:
+                graph.add_link(
+                    parent, node, config.down_weight, config.up_weight
+                )
+            for child in element:
+                visit(child, node)
+
+        visit(root, None)
+        for source_node, identifier in pending_refs:
+            target = ids.get(identifier)
+            if target is None:
+                raise DatasetError(
+                    f"dangling IDREF {identifier!r} in document {doc_index}"
+                )
+            if target != source_node:
+                graph.add_link(
+                    source_node, target,
+                    config.ref_weight, config.backref_weight,
+                )
+    if graph.node_count == 0:
+        raise DatasetError("no XML documents supplied")
+    return graph

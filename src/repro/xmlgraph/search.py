@@ -1,0 +1,68 @@
+"""A ready-to-query CI-Rank system over XML documents."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..config import RWMPParams, SearchParams
+from ..importance.pagerank import pagerank
+from ..model.answer import RankedAnswer
+from ..system import CIRankSystem
+from ..text.inverted_index import InvertedIndex
+from .mapping import XmlGraphConfig, xml_to_graph
+
+
+class XmlSearchSystem(CIRankSystem):
+    """CI-Rank keyword search over XML (Section III's generality claim).
+
+    A thin assembly layer: the documents are mapped to a data graph and
+    everything else — importance, RWMP, search, indexing — is inherited
+    from :class:`repro.CIRankSystem` unchanged.
+    """
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[str],
+        mapping: Optional[XmlGraphConfig] = None,
+        params: Optional[RWMPParams] = None,
+        search_params: Optional[SearchParams] = None,
+    ) -> "XmlSearchSystem":
+        """Build the full stack from XML sources.
+
+        Args:
+            documents: XML document strings.
+            mapping: element/edge mapping configuration.
+            params: RWMP parameters.
+            search_params: top-k search parameters.
+        """
+        params = params or RWMPParams()
+        graph = xml_to_graph(documents, mapping)
+        index = InvertedIndex.build(graph)
+        importance = pagerank(graph, teleport=params.teleport)
+        return cls(graph, index, importance, params, search_params)
+
+    @classmethod
+    def from_files(
+        cls,
+        paths,
+        mapping: Optional[XmlGraphConfig] = None,
+        params: Optional[RWMPParams] = None,
+        search_params: Optional[SearchParams] = None,
+    ) -> "XmlSearchSystem":
+        """Build from XML files on disk."""
+        documents = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                documents.append(handle.read())
+        return cls.from_documents(
+            documents, mapping=mapping, params=params,
+            search_params=search_params,
+        )
+
+    def elements_of(self, answer: RankedAnswer) -> List[str]:
+        """The tag names of an answer's elements, sorted by node id."""
+        return [
+            self.graph.info(node).relation
+            for node in sorted(answer.tree.nodes)
+        ]

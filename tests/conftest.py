@@ -1,0 +1,111 @@
+"""Shared fixtures: hand-built graphs and small synthetic systems."""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+# Allow running the suite from a source checkout without installation
+# (offline environments may lack the `wheel` package pip's editable
+# install requires).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro import (
+    CIRankSystem,
+    DampeningModel,
+    DataGraph,
+    DblpConfig,
+    ImdbConfig,
+    InvertedIndex,
+    KeywordMatcher,
+    RWMPParams,
+    RWMPScorer,
+    generate_dblp,
+    generate_imdb,
+    pagerank,
+)
+
+IMDB_MERGE = ("actor", "actress", "director", "producer")
+
+
+@pytest.fixture(scope="session")
+def tiny_imdb_system() -> CIRankSystem:
+    """A small but structurally complete IMDB deployment."""
+    db = generate_imdb(ImdbConfig(
+        movies=80, actors=90, actresses=50, directors=25, producers=15,
+        companies=12, seed=7,
+    ))
+    return CIRankSystem.from_database(db, merge_tables=IMDB_MERGE)
+
+
+@pytest.fixture(scope="session")
+def tiny_dblp_system() -> CIRankSystem:
+    """A small but structurally complete DBLP deployment."""
+    db = generate_dblp(DblpConfig(
+        conferences=8, papers=120, authors=90, seed=11,
+    ))
+    return CIRankSystem.from_database(db)
+
+
+@pytest.fixture()
+def chain_graph() -> DataGraph:
+    """a(kw1) -- b(free) -- c(free) -- d(kw2), uniform weights."""
+    g = DataGraph()
+    g.add_node("t", "apple")          # 0
+    g.add_node("t", "filler one")     # 1
+    g.add_node("t", "filler two")     # 2
+    g.add_node("t", "berry")          # 3
+    g.add_link(0, 1, 1.0, 1.0)
+    g.add_link(1, 2, 1.0, 1.0)
+    g.add_link(2, 3, 1.0, 1.0)
+    return g
+
+
+@pytest.fixture()
+def star_graph() -> DataGraph:
+    """Hub (free) with four keyword leaves; leaf 0 richer in edges."""
+    g = DataGraph()
+    g.add_node("hub", "center")       # 0
+    g.add_node("t", "apple")          # 1
+    g.add_node("t", "berry")          # 2
+    g.add_node("t", "cedar")          # 3
+    g.add_node("t", "delta")          # 4
+    for leaf in (1, 2, 3, 4):
+        g.add_link(0, leaf, 1.0, 1.0)
+    return g
+
+
+def make_query_env(graph: DataGraph, query_text: str, params=None):
+    """Build (index, match, scorer) for a hand graph + query."""
+    index = InvertedIndex.build(graph)
+    match = KeywordMatcher(index).match(query_text)
+    importance = pagerank(graph)
+    dampening = DampeningModel(importance, params or RWMPParams())
+    scorer = RWMPScorer(graph, index, match, dampening)
+    return index, match, scorer
+
+
+def random_test_graph(seed: int, n: int = 10, extra_edges: int = 6) -> DataGraph:
+    """A random connected bidirectional graph with keyword-bearing texts."""
+    rng = random.Random(seed)
+    g = DataGraph()
+    words = ["apple", "berry", "cedar", "delta", "ember", "frost", "gale"]
+    for _ in range(n):
+        k = rng.randint(1, 2)
+        text = " ".join(rng.choice(words) for _ in range(k))
+        g.add_node(f"t{rng.randint(0, 1)}", text)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    for i in range(1, n):
+        a, b = nodes[i], rng.choice(nodes[:i])
+        g.add_link(a, b, rng.choice([0.5, 1.0]), rng.choice([0.1, 0.5, 1.0]))
+    for _ in range(extra_edges):
+        a, b = rng.sample(range(n), 2)
+        if not g.has_edge(a, b):
+            g.add_link(a, b, rng.choice([0.5, 1.0]), rng.choice([0.1, 0.5, 1.0]))
+    return g

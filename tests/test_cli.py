@@ -1,0 +1,74 @@
+"""Tests for the extended CLI (save / load / export / json)."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_save_requires_out(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["save", "--dataset", "imdb"])
+
+    def test_search_flags(self):
+        args = build_parser().parse_args([
+            "search", "--query", "x", "--json", "--load", "/tmp/d",
+        ])
+        assert args.json and args.load == "/tmp/d"
+
+
+class TestSaveLoadFlow:
+    def test_save_then_search(self, tmp_path, capsys):
+        out = tmp_path / "deployment"
+        code = main([
+            "save", "--dataset", "dblp", "--seed", "3",
+            "--out", str(out), "--star-index",
+        ])
+        assert code == 0
+        assert (out / "manifest.json").exists()
+        assert (out / "index.json").exists()
+        capsys.readouterr()
+
+        # find a real token from the saved graph
+        from repro.storage import load_system
+        system = load_system(out)
+        token = next(
+            t for t in system.index.vocabulary()
+            if len(system.index.matching_nodes(t)) == 1
+        )
+        code = main([
+            "search", "--load", str(out), "--query", token, "--json",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "1." in output
+        payload = json.loads(output[output.index("{"):])
+        assert payload["query"] == token
+        assert payload["answers"]
+
+
+class TestExport:
+    def test_export_graphml(self, tmp_path, capsys):
+        out = tmp_path / "graph.graphml"
+        code = main([
+            "export", "--dataset", "dblp", "--seed", "3",
+            "--out", str(out),
+        ])
+        assert code == 0
+        root = ET.parse(out).getroot()
+        ns = "{http://graphml.graphdrawing.org/xmlns}"
+        assert root.findall(f".//{ns}node")
+
+
+class TestEvaluate:
+    def test_evaluate_prints_comparison(self, capsys):
+        code = main([
+            "evaluate", "--dataset", "dblp", "--seed", "3", "--queries", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CI-Rank" in out and "MRR" in out

@@ -1,0 +1,264 @@
+"""Tests for repro.datasets: generators, workloads, query log."""
+
+from collections import Counter
+
+import pytest
+
+from repro import (
+    DatasetError,
+    DblpConfig,
+    ImdbConfig,
+    WorkloadConfig,
+    build_graph,
+    generate_dblp,
+    generate_imdb,
+    generate_workload,
+    simulate_query_log,
+)
+from repro.datasets.workloads import (
+    ADJACENT_PAIR,
+    DISTANT_PAIR,
+    SINGLE,
+    TRIPLE,
+)
+
+
+class TestImdbGenerator:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_imdb(ImdbConfig(
+            movies=60, actors=70, actresses=40, directors=20,
+            producers=12, companies=10, seed=5,
+        ))
+
+    def test_cardinalities(self, db):
+        assert db.count("movie") == 60
+        assert db.count("actor") == 70
+        assert db.count("company") == 10
+
+    def test_votes_zipfian(self, db):
+        votes = [row.values["votes"] for row in db.rows("movie")]
+        assert votes[0] > votes[10] > votes[50]
+        assert min(votes) >= 5
+
+    def test_every_movie_cast(self, db):
+        linked = {b for name, a, b in db.links("acts_in")}
+        assert len(linked) == 60  # every movie has at least one actor
+
+    def test_multi_role_names_exist(self, db):
+        actor_names = {r.values["name"] for r in db.rows("actor")}
+        director_names = [r.values["name"] for r in db.rows("director")]
+        assert any(name in actor_names for name in director_names)
+
+    def test_recurring_collaborations(self, db):
+        """Repeat casts must produce actor pairs sharing >= 2 movies."""
+        movies_of = {}
+        for _, actor, movie in db.links("acts_in"):
+            movies_of.setdefault(actor, set()).add(movie)
+        pair_counts = Counter()
+        for actor, movies in movies_of.items():
+            for other, other_movies in movies_of.items():
+                if actor < other:
+                    pair_counts[(actor, other)] = len(movies & other_movies)
+        assert max(pair_counts.values()) >= 2
+
+    def test_deterministic(self):
+        config = ImdbConfig(movies=20, actors=25, actresses=10,
+                            directors=8, producers=5, companies=4, seed=3)
+        a, b = generate_imdb(config), generate_imdb(config)
+        assert [r.values for r in a.rows("movie")] == \
+            [r.values for r in b.rows("movie")]
+        assert list(a.links()) == list(b.links())
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            ImdbConfig(movies=0)
+        with pytest.raises(DatasetError):
+            ImdbConfig(multi_role_fraction=1.5)
+
+
+class TestDblpGenerator:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_dblp(DblpConfig(
+            conferences=6, papers=100, authors=60, seed=2,
+        ))
+
+    def test_cardinalities(self, db):
+        assert db.count("conference") == 6
+        assert db.count("paper") == 100
+        assert db.count("author") == 60
+
+    def test_citations_point_backwards(self, db):
+        """Papers only cite chronologically earlier papers."""
+        for _, citing, cited in db.links("cites"):
+            assert cited < citing
+
+    def test_citation_counts_match_links(self, db):
+        indegree = Counter(cited for _, __, cited in db.links("cites"))
+        for row in db.rows("paper"):
+            assert row.values["citations"] == indegree.get(row.pk, 0)
+
+    def test_citation_skew(self, db):
+        """Preferential attachment: the top paper well above the median."""
+        counts = sorted(
+            (row.values["citations"] for row in db.rows("paper")),
+            reverse=True,
+        )
+        assert counts[0] >= 3 * max(1, counts[len(counts) // 2])
+
+    def test_every_paper_has_authors(self, db):
+        papers_with_authors = {p for _, __, p in db.links("writes")}
+        assert len(papers_with_authors) == 100
+
+    def test_recurring_coauthors(self, db):
+        papers_of = {}
+        for _, author, paper in db.links("writes"):
+            papers_of.setdefault(author, set()).add(paper)
+        best = 0
+        authors = list(papers_of)
+        for i, a in enumerate(authors):
+            for b in authors[i + 1:]:
+                best = max(best, len(papers_of[a] & papers_of[b]))
+        assert best >= 2
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            DblpConfig(papers=0)
+        with pytest.raises(DatasetError):
+            DblpConfig(attachment_bias=2.0)
+
+
+class TestWorkloads:
+    def test_synthetic_mix_quotas(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.synthetic(queries=20),
+        )
+        kinds = Counter(q.kind for q in workload)
+        assert kinds[DISTANT_PAIR] == 10
+        assert kinds[TRIPLE] == 4
+        assert kinds[SINGLE] == 3
+        assert kinds[ADJACENT_PAIR] == 3
+
+    def test_aol_mix(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.aol_like(queries=20),
+        )
+        kinds = Counter(q.kind for q in workload)
+        assert kinds[DISTANT_PAIR] == 2   # ~11.4% need free connectors
+        assert kinds[ADJACENT_PAIR] >= 10
+
+    def test_oracle_consistency(self, tiny_imdb_system):
+        """Best nodesets contain the targets plus at most one connector,
+        and connector queries are flagged as needing free nodes."""
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.synthetic(queries=12),
+        )
+        for query in workload:
+            targets = set(query.target_nodes)
+            for nodeset in query.best_nodesets:
+                assert targets <= nodeset
+                assert len(nodeset) <= len(targets) + 1
+            if query.kind in (DISTANT_PAIR, TRIPLE):
+                assert query.requires_free_nodes
+            else:
+                assert not query.requires_free_nodes
+
+    def test_distant_pairs_share_multiple_connectors(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        config = WorkloadConfig.synthetic(queries=10)
+        workload = generate_workload(system.graph, system.index, config)
+        hub = config.hub_relation
+        for query in workload:
+            if query.kind != DISTANT_PAIR:
+                continue
+            a, b = query.target_nodes
+            shared = {
+                n for n in system.graph.neighbors(a)
+                if system.graph.info(n).relation == hub
+            } & set(system.graph.neighbors(b))
+            assert len(shared) >= config.min_connectors
+
+    def test_queries_deterministic(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        config = WorkloadConfig.synthetic(queries=8)
+        a = generate_workload(system.graph, system.index, config)
+        b = generate_workload(system.graph, system.index, config)
+        assert [q.text for q in a] == [q.text for q in b]
+
+    def test_dblp_flavor(self, tiny_dblp_system):
+        system = tiny_dblp_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.dblp(queries=8),
+        )
+        assert len(workload) == 8
+        for query in workload:
+            for node in query.target_nodes:
+                relation = system.graph.info(node).relation
+                assert relation in ("author", "paper")
+
+    def test_keywords_actually_match_targets(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.synthetic(queries=10),
+        )
+        for query in workload:
+            match = system.matcher.match(query.text)
+            covered = match.covered_by(query.target_nodes)
+            assert covered == frozenset(match.keywords)
+
+
+class TestQueryLog:
+    def test_records_shape(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        log = simulate_query_log(system.graph, system.index, records=50)
+        assert len(log) == 50
+        for click in log:
+            assert click.frequency >= 1
+            assert 0 <= click.clicked_node < system.graph.node_count
+            assert click.query
+
+    def test_popularity_bias(self, tiny_imdb_system):
+        """Popular movies accumulate more click mass than obscure ones
+        (click mass = record frequency, the paper's labeling signal)."""
+        system = tiny_imdb_system
+        log = simulate_query_log(
+            system.graph, system.index, records=300,
+            relations=("movie",), seed=13,
+        )
+        mass = sum(
+            system.graph.info(c.clicked_node).attrs.get("votes", 0)
+            * c.frequency
+            for c in log
+        ) / sum(c.frequency for c in log)
+        movie_votes = [
+            system.graph.info(n).attrs.get("votes", 0)
+            for n in system.graph.nodes_of_relation("movie")
+        ]
+        avg_all = sum(movie_votes) / len(movie_votes)
+        assert mass > avg_all
+
+    def test_frequent_labeling_threshold(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        log = simulate_query_log(system.graph, system.index, records=100)
+        assert any(c.frequent for c in log)
+        assert all((c.frequency >= 3) == c.frequent for c in log)
+
+    def test_deterministic(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        a = simulate_query_log(system.graph, system.index, records=30, seed=4)
+        b = simulate_query_log(system.graph, system.index, records=30, seed=4)
+        assert a == b
+
+    def test_bad_relations(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        with pytest.raises(DatasetError):
+            simulate_query_log(
+                system.graph, system.index, relations=("ghost",)
+            )

@@ -1,0 +1,149 @@
+"""Tests for repro.db.database."""
+
+import pytest
+
+from repro import Column, Database, ForeignKey, IntegrityError, Schema, Table
+from repro.db.schema import FLOAT, INTEGER, ManyToMany, dblp_schema
+
+
+@pytest.fixture()
+def schema():
+    author = Table("author", [Column("name")])
+    paper = Table(
+        "paper",
+        [Column("title"), Column("year", INTEGER, searchable=False),
+         Column("rating", FLOAT, searchable=False)],
+        [ForeignKey("venue", "conf_id", "conf")],
+    )
+    conf = Table("conf", [Column("name")])
+    return Schema(
+        [author, paper, conf],
+        [ManyToMany("writes", "author", "paper"),
+         ManyToMany("cites", "paper", "paper")],
+    )
+
+
+@pytest.fixture()
+def db(schema):
+    d = Database(schema)
+    d.insert("conf", 1, name="icde")
+    d.insert("author", 1, name="ada")
+    d.insert("author", 2, name="bob")
+    d.insert("paper", 1, title="trees", year=2010, conf_id=1)
+    d.insert("paper", 2, title="graphs", year=2011, conf_id=1)
+    return d
+
+
+class TestInsert:
+    def test_duplicate_pk_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("author", 1, name="again")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("author", 3, nickname="x")
+
+    def test_integer_coercion(self, db):
+        row = db.insert("paper", 3, title="t", year="2012", conf_id=1)
+        assert row.values["year"] == 2012
+
+    def test_bad_integer_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("paper", 4, title="t", year="not-a-year", conf_id=1)
+
+    def test_float_coercion(self, db):
+        row = db.insert("paper", 5, title="t", rating="4.5", conf_id=1)
+        assert row.values["rating"] == 4.5
+
+    def test_dangling_fk_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("paper", 6, title="t", conf_id=99)
+
+    def test_nullable_fk_may_be_absent(self, db):
+        row = db.insert("paper", 7, title="standalone")
+        assert "conf_id" not in row.values
+
+    def test_non_nullable_fk_required(self):
+        child = Table("child", [Column("x")],
+                      [ForeignKey("p", "parent_id", "parent", nullable=False)])
+        parent = Table("parent", [Column("y")])
+        d = Database(Schema([parent, child]))
+        d.insert("parent", 1, y="a")
+        with pytest.raises(IntegrityError):
+            d.insert("child", 1, x="b")
+        d.insert("child", 2, x="c", parent_id=1)
+
+
+class TestAccess:
+    def test_get(self, db):
+        assert db.get("author", 1).values["name"] == "ada"
+
+    def test_get_missing(self, db):
+        with pytest.raises(IntegrityError):
+            db.get("author", 42)
+
+    def test_rows_in_insertion_order(self, db):
+        assert [r.pk for r in db.rows("author")] == [1, 2]
+
+    def test_counts(self, db):
+        assert db.count("author") == 2
+        assert len(db) == 5
+
+    def test_row_text(self, db):
+        row = db.get("paper", 1)
+        assert row.text(["title"]) == "trees"
+        assert row.text(["title", "missing"]) == "trees"
+
+
+class TestLinks:
+    def test_link_roundtrip(self, db):
+        db.link("writes", 1, 1)
+        db.link("writes", 2, 1)
+        assert db.link_count("writes") == 2
+        assert ("writes", 1, 1) in list(db.links())
+
+    def test_duplicate_link_ignored(self, db):
+        db.link("writes", 1, 1)
+        db.link("writes", 1, 1)
+        assert db.link_count() == 1
+
+    def test_unknown_link_name(self, db):
+        from repro import SchemaError
+        with pytest.raises(SchemaError):
+            db.link("nope", 1, 1)
+
+    def test_dangling_endpoints(self, db):
+        with pytest.raises(IntegrityError):
+            db.link("writes", 99, 1)
+        with pytest.raises(IntegrityError):
+            db.link("writes", 1, 99)
+
+    def test_self_citation_loop_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.link("cites", 1, 1)
+
+    def test_self_relation_ok_for_distinct_rows(self, db):
+        db.link("cites", 2, 1)
+        assert db.link_count("cites") == 1
+
+    def test_links_filter(self, db):
+        db.link("writes", 1, 1)
+        db.link("cites", 2, 1)
+        assert db.link_count("writes") == 1
+        assert db.link_count("cites") == 1
+        assert db.link_count() == 2
+
+
+class TestValidate:
+    def test_validate_passes_on_consistent_store(self, db):
+        db.link("writes", 1, 1)
+        db.validate()  # must not raise
+
+    def test_paper_schema_database(self):
+        d = Database(dblp_schema())
+        d.insert("conference", 1, name="icde 2012")
+        d.insert("paper", 1, title="ci rank", conference_id=1)
+        d.insert("author", 1, name="xiaohui yu")
+        d.link("writes", 1, 1)
+        d.validate()
+        assert len(d) == 3

@@ -1,0 +1,75 @@
+"""Tests for repro.db.loader."""
+
+import pytest
+
+from repro import Column, DatasetError, ForeignKey, Schema, Table, load_records
+from repro.db.schema import ManyToMany
+
+
+@pytest.fixture()
+def schema():
+    parent = Table("parent", [Column("name")])
+    child = Table("child", [Column("name")],
+                  [ForeignKey("up", "parent_id", "parent")])
+    return Schema([parent, child], [ManyToMany("pals", "child", "child")])
+
+
+class TestLoadRecords:
+    def test_loads_out_of_order_tables(self, schema):
+        """Child listed before parent still loads (topological order)."""
+        db = load_records(schema, {
+            "rows": {
+                "child": [{"pk": 1, "name": "c", "parent_id": 1}],
+                "parent": [{"pk": 1, "name": "p"}],
+            },
+        })
+        assert db.count("child") == 1
+        assert db.get("child", 1).values["parent_id"] == 1
+
+    def test_links_loaded(self, schema):
+        db = load_records(schema, {
+            "rows": {
+                "parent": [{"pk": 1, "name": "p"}],
+                "child": [{"pk": 1, "name": "a"}, {"pk": 2, "name": "b"}],
+            },
+            "links": [{"link": "pals", "a": 1, "b": 2}],
+        })
+        assert db.link_count("pals") == 1
+
+    def test_unknown_table_rejected(self, schema):
+        with pytest.raises(DatasetError):
+            load_records(schema, {"rows": {"ghost": []}})
+
+    def test_missing_pk_rejected(self, schema):
+        with pytest.raises(DatasetError):
+            load_records(schema, {"rows": {"parent": [{"name": "p"}]}})
+
+    def test_malformed_link_rejected(self, schema):
+        with pytest.raises(DatasetError):
+            load_records(schema, {
+                "rows": {"parent": [{"pk": 1, "name": "p"}],
+                         "child": [{"pk": 1, "name": "c"}]},
+                "links": [{"link": "pals"}],
+            })
+
+    def test_cyclic_fk_tables_rejected(self):
+        a = Table("a", [Column("x")], [ForeignKey("f", "b_id", "b")])
+        b = Table("b", [Column("y")], [ForeignKey("g", "a_id", "a")])
+        schema = Schema([a, b])
+        with pytest.raises(DatasetError):
+            load_records(schema, {
+                "rows": {"a": [{"pk": 1, "x": "1"}], "b": [{"pk": 1, "y": "1"}]},
+            })
+
+    def test_self_referencing_table_loads(self):
+        t = Table("t", [Column("x")], [ForeignKey("f", "t_id", "t")])
+        schema = Schema([t])
+        db = load_records(schema, {
+            "rows": {"t": [{"pk": 1, "x": "root"},
+                           {"pk": 2, "x": "leaf", "t_id": 1}]},
+        })
+        assert db.count("t") == 2
+
+    def test_empty_records(self, schema):
+        db = load_records(schema, {})
+        assert len(db) == 0

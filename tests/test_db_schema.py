@@ -1,0 +1,122 @@
+"""Tests for repro.db.schema."""
+
+import pytest
+
+from repro import Column, ForeignKey, ManyToMany, Schema, SchemaError, Table
+from repro.db.schema import INTEGER, TEXT, dblp_schema, imdb_schema
+
+
+class TestColumn:
+    def test_defaults(self):
+        col = Column("title")
+        assert col.type == TEXT
+        assert col.searchable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", type="blob")
+
+
+class TestForeignKey:
+    def test_fields_required(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("", "col", "t")
+        with pytest.raises(SchemaError):
+            ForeignKey("fk", "", "t")
+        with pytest.raises(SchemaError):
+            ForeignKey("fk", "col", "")
+
+
+class TestManyToMany:
+    def test_fields_required(self):
+        with pytest.raises(SchemaError):
+            ManyToMany("", "a", "b")
+
+
+class TestTable:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("x"), Column("x")])
+
+    def test_duplicate_fk_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(
+                "t", [Column("x")],
+                [ForeignKey("f", "a_id", "a"), ForeignKey("f", "b_id", "b")],
+            )
+
+    def test_fk_cannot_reuse_pk_column(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("x")], [ForeignKey("f", "id", "a")])
+
+    def test_searchable_columns_excludes_nontext(self):
+        t = Table("t", [
+            Column("title"),
+            Column("year", INTEGER, searchable=False),
+            Column("notes", TEXT, searchable=False),
+        ])
+        assert t.searchable_columns == ["title"]
+
+    def test_name_lowercased(self):
+        assert Table("Movie", [Column("title")]).name == "movie"
+
+
+class TestSchema:
+    def test_duplicate_table_rejected(self):
+        t = Table("t", [Column("x")])
+        with pytest.raises(SchemaError):
+            Schema([t, Table("T", [Column("y")])])
+
+    def test_dangling_fk_rejected(self):
+        t = Table("t", [Column("x")], [ForeignKey("f", "o_id", "other")])
+        with pytest.raises(SchemaError):
+            Schema([t])
+
+    def test_dangling_m2m_rejected(self):
+        t = Table("t", [Column("x")])
+        with pytest.raises(SchemaError):
+            Schema([t], [ManyToMany("link", "t", "ghost")])
+
+    def test_duplicate_m2m_rejected(self):
+        a, b = Table("a", [Column("x")]), Table("b", [Column("y")])
+        with pytest.raises(SchemaError):
+            Schema([a, b], [ManyToMany("l", "a", "b"), ManyToMany("l", "b", "a")])
+
+    def test_lookup_and_contains(self):
+        schema = Schema([Table("t", [Column("x")])])
+        assert schema.table("T").name == "t"
+        assert "t" in schema
+        assert "nope" not in schema
+        with pytest.raises(SchemaError):
+            schema.table("nope")
+
+    def test_iteration_and_len(self):
+        schema = imdb_schema()
+        assert len(schema) == 6
+        assert {t.name for t in schema} == {
+            "movie", "actor", "actress", "director", "producer", "company"
+        }
+
+
+class TestPaperSchemas:
+    def test_imdb_relationships_all_touch_movie(self):
+        """Fig. 1(b): Movie is the star table."""
+        schema = imdb_schema()
+        for source, _, target in schema.relationship_types():
+            assert "movie" in (source, target)
+
+    def test_imdb_relationship_count(self):
+        assert len(imdb_schema().relationship_types()) == 5
+
+    def test_dblp_relationships(self):
+        schema = dblp_schema()
+        rels = schema.relationship_types()
+        assert ("paper", "venue", "conference") in rels
+        assert ("author", "writes", "paper") in rels
+        assert ("paper", "cites", "paper") in rels
+        for source, _, target in rels:
+            assert "paper" in (source, target)

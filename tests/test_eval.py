@@ -1,0 +1,263 @@
+"""Tests for repro.eval: metrics, relevance, pooling, harnesses, report."""
+
+import pytest
+
+from repro import (
+    EvaluationError,
+    JoinedTupleTree,
+    RWMPParams,
+    SearchParams,
+    WorkloadConfig,
+    generate_workload,
+    graded_precision,
+    mean_reciprocal_rank,
+    reciprocal_rank,
+)
+from repro.datasets.workloads import EvalQuery, SINGLE
+from repro.eval.harness import (
+    BANKS,
+    CI_RANK,
+    DISCOVER2,
+    SPARK,
+    EffectivenessHarness,
+    EfficiencyHarness,
+    tree_from_nodeset,
+)
+from repro.eval.metrics import mean
+from repro.eval.pool import build_pool
+from repro.eval.relevance import RelevanceOracle
+from repro.eval.report import format_series, format_table
+
+
+class TestMetrics:
+    def test_reciprocal_rank_first(self):
+        ranked = [frozenset({1}), frozenset({2})]
+        assert reciprocal_rank(ranked, [frozenset({1})]) == 1.0
+
+    def test_reciprocal_rank_later(self):
+        ranked = [frozenset({1}), frozenset({2}), frozenset({3})]
+        assert reciprocal_rank(ranked, [frozenset({3})]) == pytest.approx(1 / 3)
+
+    def test_reciprocal_rank_absent(self):
+        assert reciprocal_rank([frozenset({1})], [frozenset({9})]) == 0.0
+
+    def test_reciprocal_rank_ties_all_count(self):
+        ranked = [frozenset({2}), frozenset({1})]
+        best = [frozenset({1}), frozenset({2})]
+        assert reciprocal_rank(ranked, best) == 1.0
+
+    def test_reciprocal_rank_empty_best_rejected(self):
+        with pytest.raises(EvaluationError):
+            reciprocal_rank([], [])
+
+    def test_mrr(self):
+        assert mean_reciprocal_rank([1.0, 0.5]) == 0.75
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            mean([])
+
+    def test_graded_precision(self):
+        assert graded_precision([1.0, 0.5, 0.0]) == 0.5
+        assert graded_precision([]) == 0.0
+
+    def test_graded_precision_validates_range(self):
+        with pytest.raises(EvaluationError):
+            graded_precision([1.5])
+
+
+class TestRelevanceOracle:
+    @pytest.fixture()
+    def oracle(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.synthetic(queries=6),
+        )
+        query = next(q for q in workload if len(q.target_nodes) >= 2)
+        match = system.matcher.match(query.text)
+        return query, match, RelevanceOracle(query, match)
+
+    def test_best_tree_is_relevant_and_best(self, tiny_imdb_system, oracle):
+        query, match, oracle_obj = oracle
+        tree = tree_from_nodeset(
+            tiny_imdb_system.graph, sorted(query.best_nodesets[0])
+        )
+        assert tree is not None
+        assert oracle_obj.is_relevant(tree)
+        assert oracle_obj.is_best(tree)
+        assert oracle_obj.grade(tree) == 1.0
+
+    def test_wrong_tree_graded_zero(self, tiny_imdb_system, oracle):
+        query, match, oracle_obj = oracle
+        other = JoinedTupleTree.single(
+            next(
+                n for n in tiny_imdb_system.graph.nodes()
+                if n not in query.target_nodes
+            )
+        )
+        assert oracle_obj.grade(other) == 0.0
+
+    def test_keyword_coverage_partial(self, tiny_imdb_system, oracle):
+        query, match, oracle_obj = oracle
+        partial = JoinedTupleTree.single(query.target_nodes[0])
+        coverage = oracle_obj.keyword_coverage(partial)
+        assert 0.0 < coverage < 1.0
+
+
+class TestPoolAndTreeFromNodeset:
+    def test_tree_from_connected_nodeset(self, star_graph):
+        tree = tree_from_nodeset(star_graph, [0, 1, 2])
+        assert tree is not None
+        assert tree.nodes == frozenset({0, 1, 2})
+
+    def test_tree_from_disconnected_nodeset(self, star_graph):
+        assert tree_from_nodeset(star_graph, [1, 2]) is None
+
+    def test_pool_contents_valid(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.synthetic(queries=4),
+        )
+        query = workload[0]
+        match = system.matcher.match(query.text)
+        scorer = system.scorer_for(match)
+        pool = build_pool(system.graph, scorer, match, diameter=4,
+                          max_pool=50)
+        assert pool
+        assert len(pool) == len(set(pool))
+        for tree in pool:
+            tree.validate_answer(system.graph, match, 4)
+
+
+class TestEffectivenessHarness:
+    @pytest.fixture(scope="class")
+    def harness(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.synthetic(queries=16),
+        )
+        return EffectivenessHarness(
+            system.graph, system.index, system.importance, workload,
+            diameter=4,
+        )
+
+    def test_results_in_range(self, harness):
+        for system_name in (CI_RANK, SPARK, BANKS, DISCOVER2):
+            result = harness.evaluate_system(system_name)
+            assert 0.0 <= result.mrr <= 1.0
+            assert 0.0 <= result.precision <= 1.0
+            assert len(result.per_query_rr) == 16
+
+    def test_pools_cached(self, harness):
+        query = harness.queries[0]
+        match1, pool1 = harness.pool_for(query)
+        match2, pool2 = harness.pool_for(query)
+        assert match1 is match2 and pool1 is pool2
+
+    def test_best_answers_force_included(self, harness):
+        for query in harness.queries:
+            _, pool = harness.pool_for(query)
+            nodesets = {frozenset(t.nodes) for t in pool}
+            assert any(b in nodesets for b in query.best_nodesets)
+
+    def test_cirank_beats_or_ties_baselines(self, harness):
+        """The headline claim on the connector-heavy synthetic mix.
+
+        Aggregated over 16 queries; per-query inversions are expected
+        (the paper itself reports MRR 0.85, not 1.0), so a small
+        tolerance absorbs sampling noise."""
+        results = harness.compare((SPARK, BANKS, CI_RANK))
+        assert results[CI_RANK].mrr >= results[SPARK].mrr - 0.02
+        assert results[CI_RANK].mrr >= results[BANKS].mrr - 0.02
+
+    def test_sweep(self, harness):
+        settings = [RWMPParams(alpha=0.1), RWMPParams(alpha=0.3)]
+        results = harness.sweep_cirank(settings)
+        assert len(results) == 2
+        assert results[0][0].alpha == 0.1
+
+    def test_unknown_system_rejected(self, harness):
+        with pytest.raises(EvaluationError):
+            harness.evaluate_system("PAGERANK")
+
+    def test_empty_workload_rejected(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        with pytest.raises(EvaluationError):
+            EffectivenessHarness(
+                system.graph, system.index, system.importance, [],
+            )
+
+
+class TestEfficiencyHarness:
+    def test_timings_recorded(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.synthetic(queries=3),
+        )
+        harness = EfficiencyHarness(
+            system.graph, system.index, system.importance,
+            [q.text for q in workload],
+        )
+        result = harness.time_branch_and_bound(SearchParams(k=3, diameter=3))
+        assert len(result.per_query_seconds) == 3
+        assert result.mean_seconds > 0
+        assert result.total_seconds >= result.mean_seconds
+
+    def test_naive_timing(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.synthetic(queries=2),
+        )
+        harness = EfficiencyHarness(
+            system.graph, system.index, system.importance,
+            [q.text for q in workload],
+        )
+        result = harness.time_naive(SearchParams(k=3, diameter=3))
+        assert result.label == "naive"
+        assert len(result.per_query_seconds) == 2
+
+    def test_empty_queries_rejected(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        with pytest.raises(EvaluationError):
+            EfficiencyHarness(
+                system.graph, system.index, system.importance, [],
+            )
+
+
+class TestReport:
+    def test_format_table(self):
+        out = format_table(
+            ("system", "MRR"), [("CI-Rank", 0.85), ("SPARK", 0.79)],
+            title="Fig. 8",
+        )
+        assert "Fig. 8" in out
+        assert "CI-Rank" in out
+        assert "0.8500" in out
+        # aligned columns: every line same length or shorter
+        lines = out.splitlines()
+        assert lines[1].startswith("system")
+
+    def test_format_series(self):
+        out = format_series("alpha sweep", [0.1, 0.2], [0.8, 0.9],
+                            x_label="alpha", y_label="MRR")
+        assert "alpha sweep" in out and "0.9000" in out
+
+
+class TestPerKindBreakdown:
+    def test_per_kind_rr_partitions_queries(self, tiny_imdb_system):
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.synthetic(queries=10),
+        )
+        harness = EffectivenessHarness(
+            system.graph, system.index, system.importance, workload,
+        )
+        result = harness.evaluate_system(CI_RANK)
+        kinds = {q.kind for q in workload}
+        assert set(result.per_kind_rr) == kinds
+        # the overall MRR is the query-count-weighted mean of the kinds
+        weighted = sum(
+            result.per_kind_rr[k] * sum(1 for q in workload if q.kind == k)
+            for k in kinds
+        ) / len(workload)
+        assert weighted == pytest.approx(result.mrr)

@@ -1,0 +1,93 @@
+"""Tests for repro.eval.stats."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import EvaluationError
+from repro.eval.stats import (
+    BootstrapResult,
+    bootstrap_ci,
+    paired_permutation_test,
+)
+
+
+class TestBootstrap:
+    def test_mean_and_ordering(self):
+        result = bootstrap_ci([0.5, 0.7, 0.9, 1.0], seed=1)
+        assert result.mean == pytest.approx(0.775)
+        assert result.lower <= result.mean <= result.upper
+
+    def test_constant_data_zero_width(self):
+        result = bootstrap_ci([0.8] * 10)
+        assert result.lower == result.upper == pytest.approx(0.8)
+
+    def test_deterministic(self):
+        a = bootstrap_ci([0.1, 0.9, 0.4], seed=7)
+        b = bootstrap_ci([0.1, 0.9, 0.4], seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_wider_confidence_wider_interval(self):
+        data = [0.2, 0.4, 0.6, 0.8, 1.0, 0.1, 0.9]
+        narrow = bootstrap_ci(data, confidence=0.5, seed=2)
+        wide = bootstrap_ci(data, confidence=0.99, seed=2)
+        assert (wide.upper - wide.lower) >= (narrow.upper - narrow.lower)
+
+    def test_str(self):
+        text = str(bootstrap_ci([0.5, 0.5]))
+        assert "@95%" in text
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([])
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([0.5], confidence=1.0)
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([0.5], resamples=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30,
+    ))
+    def test_interval_contains_sample_mean(self, values):
+        result = bootstrap_ci(values, seed=3)
+        assert result.lower - 1e-12 <= result.mean <= result.upper + 1e-12
+
+
+class TestPermutationTest:
+    def test_identical_systems_p_one(self):
+        a = [0.5, 0.7, 0.9]
+        assert paired_permutation_test(a, list(a)) == 1.0
+
+    def test_clear_difference_small_p(self):
+        a = [0.9, 0.95, 1.0, 0.85, 0.92, 0.97, 0.88, 0.93,
+             0.91, 0.99, 0.9, 0.94, 0.96, 0.89]
+        b = [0.3, 0.4, 0.35, 0.5, 0.45, 0.38, 0.42, 0.41,
+             0.36, 0.44, 0.39, 0.47, 0.33, 0.48]
+        p = paired_permutation_test(a, b)
+        assert p < 0.01
+
+    def test_exact_path_for_small_n(self):
+        """n <= log2(permutations): the exact enumeration runs."""
+        a = [1.0, 1.0, 1.0]
+        b = [0.0, 0.0, 0.0]
+        p = paired_permutation_test(a, b, permutations=5000)
+        # all-same-sign assignments: 2 of 8
+        assert p == pytest.approx(2 / 8)
+
+    def test_symmetry(self):
+        a = [0.9, 0.3, 0.7, 0.8, 0.2]
+        b = [0.4, 0.6, 0.5, 0.3, 0.7]
+        assert paired_permutation_test(a, b, seed=4) == pytest.approx(
+            paired_permutation_test(b, a, seed=4)
+        )
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            paired_permutation_test([1.0], [1.0, 2.0])
+        with pytest.raises(EvaluationError):
+            paired_permutation_test([], [])
+
+    def test_noise_gives_large_p(self):
+        a = [0.5, 0.6, 0.4, 0.55, 0.45]
+        b = [0.52, 0.58, 0.42, 0.53, 0.47]
+        assert paired_permutation_test(a, b) > 0.05

@@ -1,0 +1,81 @@
+"""Tests for repro.experiments — the programmatic figure runner."""
+
+import pytest
+
+from repro import DblpConfig, EvaluationError, ImdbConfig
+from repro.experiments import ExperimentSuite, SuiteConfig
+
+
+@pytest.fixture(scope="module")
+def suite():
+    # deliberately small so the whole module runs quickly
+    return ExperimentSuite(SuiteConfig(
+        imdb=ImdbConfig(movies=70, actors=80, actresses=45, directors=22,
+                        producers=14, companies=10, seed=7),
+        dblp=DblpConfig(conferences=8, papers=110, authors=80, seed=11),
+        queries=6,
+    ))
+
+
+class TestRegistry:
+    def test_available_ids_run(self, suite):
+        assert "fig8" in ExperimentSuite.available()
+
+    def test_unknown_experiment(self, suite):
+        with pytest.raises(EvaluationError):
+            suite.run("fig99")
+
+
+class TestEffectivenessExperiments:
+    def test_fig8_shape(self, suite):
+        result = suite.run("fig8")
+        assert result.experiment == "fig8"
+        assert len(result.rows) == 3
+        labels = [row[0] for row in result.rows]
+        assert "DBLP" in labels
+        for row in result.rows:
+            for value in row[1:]:
+                assert 0.0 <= value <= 1.0
+        rendered = result.render()
+        assert "Fig. 8" in rendered and "CI-Rank" in rendered
+
+    def test_fig9_values_in_range(self, suite):
+        result = suite.run("fig9")
+        for row in result.rows:
+            for value in row[1:]:
+                assert 0.0 <= value <= 1.0
+
+    def test_fig6_sweeps_alphas(self, suite):
+        result = suite.run("fig6")
+        alphas = [row[0] for row in result.rows]
+        assert alphas == sorted(alphas)
+        assert 0.15 in alphas
+
+    def test_fig7_sweeps_gs(self, suite):
+        result = suite.run("fig7")
+        gs = [row[0] for row in result.rows]
+        assert 20.0 in gs
+
+    def test_systems_cached(self, suite):
+        a = suite.imdb_system()
+        b = suite.imdb_system()
+        assert a is b
+
+
+class TestTableExperiments:
+    def test_table2_matches_paper(self, suite):
+        result = suite.run("table2")
+        as_dict = {label: weight for label, weight in result.rows}
+        assert as_dict["actor -> movie"] == 1.0
+        assert as_dict["producer -> movie"] == 0.5
+        assert as_dict["paper#cites -> paper"] == 0.5
+        assert as_dict["paper -> paper#cites"] == 0.1
+
+
+class TestCliIntegration:
+    def test_reproduce_command(self, capsys):
+        from repro.cli import main
+        code = main(["reproduce", "--experiment", "table2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table II" in out

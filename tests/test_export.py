@@ -1,0 +1,88 @@
+"""Tests for repro.export."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import JoinedTupleTree, RankedAnswer
+from repro.export import (
+    answer_to_dot,
+    answer_to_json,
+    graph_to_graphml,
+    ranking_to_json,
+)
+
+
+@pytest.fixture()
+def answer():
+    return RankedAnswer(
+        JoinedTupleTree([0, 1, 2], [(0, 1), (1, 2)]), 0.75
+    )
+
+
+class TestDot:
+    def test_structure(self, chain_graph, answer):
+        dot = answer_to_dot(chain_graph, answer, highlight=[0])
+        assert dot.startswith('graph "answer" {')
+        assert "n0 -- n1;" in dot
+        assert "n1 -- n2;" in dot
+        assert "peripheries=2" in dot
+        assert "score = 0.75" in dot
+        assert dot.strip().endswith("}")
+
+    def test_labels_escaped_and_truncated(self, chain_graph):
+        chain_graph.info(0).text = 'a "quoted" ' + "x" * 60
+        answer = RankedAnswer(JoinedTupleTree.single(0), 1.0)
+        dot = answer_to_dot(chain_graph, answer)
+        assert "..." in dot
+        assert '\\"' in dot  # json escaping keeps DOT valid
+
+
+class TestJson:
+    def test_answer_record(self, chain_graph, answer):
+        record = answer_to_json(chain_graph, answer)
+        assert record["score"] == 0.75
+        assert [n["id"] for n in record["nodes"]] == [0, 1, 2]
+        assert record["edges"] == [[0, 1], [1, 2]]
+
+    def test_ranking_document_parses(self, chain_graph, answer):
+        doc = ranking_to_json(chain_graph, [answer], query="apple berry")
+        parsed = json.loads(doc)
+        assert parsed["query"] == "apple berry"
+        assert len(parsed["answers"]) == 1
+        assert parsed["answers"][0]["nodes"][0]["relation"] == "t"
+
+
+class TestGraphml:
+    def test_well_formed_and_complete(self, chain_graph):
+        doc = graph_to_graphml(chain_graph)
+        root = ET.fromstring(doc)
+        ns = "{http://graphml.graphdrawing.org/xmlns}"
+        nodes = root.findall(f".//{ns}node")
+        edges = root.findall(f".//{ns}edge")
+        assert len(nodes) == chain_graph.node_count
+        assert len(edges) == chain_graph.edge_count
+
+    def test_weights_preserved(self, chain_graph):
+        doc = graph_to_graphml(chain_graph)
+        root = ET.fromstring(doc)
+        ns = "{http://graphml.graphdrawing.org/xmlns}"
+        weights = [
+            float(e.find(f"{ns}data").text)
+            for e in root.findall(f".//{ns}edge")
+        ]
+        assert all(w == 1.0 for w in weights)
+
+    def test_text_escaped(self, chain_graph):
+        chain_graph.info(0).text = "a < b & c"
+        doc = graph_to_graphml(chain_graph)
+        ET.fromstring(doc)  # must stay well-formed
+        assert "a &lt; b &amp; c" in doc
+
+    def test_roundtrip_into_system_export(self, tiny_dblp_system):
+        doc = graph_to_graphml(tiny_dblp_system.graph)
+        root = ET.fromstring(doc)
+        ns = "{http://graphml.graphdrawing.org/xmlns}"
+        assert len(root.findall(f".//{ns}node")) == \
+            tiny_dblp_system.graph.node_count

@@ -1,0 +1,150 @@
+"""Tests for repro.graph.builder."""
+
+import pytest
+
+from repro import Database, EdgeWeights, GraphBuilder, build_graph
+from repro.db.schema import dblp_schema, imdb_schema
+
+
+@pytest.fixture()
+def imdb_db():
+    db = Database(imdb_schema())
+    db.insert("movie", 1, title="braveheart", year=1995, votes=900000)
+    db.insert("movie", 2, title="payback", year=1999, votes=150000)
+    db.insert("actor", 1, name="mel gibson")
+    db.insert("actor", 2, name="brendan gleeson")
+    db.insert("director", 1, name="mel gibson")
+    db.insert("producer", 1, name="bruce davey")
+    db.link("acts_in", 1, 1)
+    db.link("acts_in", 2, 1)
+    db.link("acts_in", 1, 2)
+    db.link("directs", 1, 1)
+    db.link("produces", 1, 1)
+    return db
+
+
+@pytest.fixture()
+def dblp_db():
+    db = Database(dblp_schema())
+    db.insert("conference", 1, name="vldb")
+    db.insert("paper", 1, title="tsimmis project", citations=38, conference_id=1)
+    db.insert("paper", 2, title="capability mediation", citations=7, conference_id=1)
+    db.insert("author", 1, name="yannis papakonstantinou")
+    db.link("writes", 1, 1)
+    db.link("writes", 1, 2)
+    db.link("cites", 2, 1)
+    return db
+
+
+class TestBuilderBasics:
+    def test_one_node_per_tuple_without_merging(self, imdb_db):
+        graph = build_graph(imdb_db)
+        assert graph.node_count == len(imdb_db)
+
+    def test_m2n_link_edges_both_directions(self, imdb_db):
+        graph = build_graph(imdb_db)
+        actor = graph.nodes_of_relation("actor")
+        movies = graph.nodes_of_relation("movie")
+        mel = next(n for n in actor if graph.info(n).text == "mel gibson")
+        braveheart = next(
+            n for n in movies if "braveheart" in graph.info(n).text
+        )
+        assert graph.weight(mel, braveheart) == 1.0
+        assert graph.weight(braveheart, mel) == 1.0
+
+    def test_table2_weights_applied(self, imdb_db):
+        graph = build_graph(imdb_db)
+        producer = graph.nodes_of_relation("producer")[0]
+        movie = next(
+            n for n in graph.nodes_of_relation("movie")
+            if "braveheart" in graph.info(n).text
+        )
+        assert graph.weight(producer, movie) == 0.5
+        assert graph.weight(movie, producer) == 0.5
+
+    def test_fk_edges(self, dblp_db):
+        graph = build_graph(dblp_db)
+        conf = graph.nodes_of_relation("conference")[0]
+        papers = graph.nodes_of_relation("paper")
+        assert all(graph.weight(p, conf) == 0.5 for p in papers)
+        assert all(graph.weight(conf, p) == 0.5 for p in papers)
+
+    def test_citation_asymmetric_weights(self, dblp_db):
+        """Table II: citing -> cited 0.5, cited -> citing 0.1."""
+        graph = build_graph(dblp_db)
+        papers = graph.nodes_of_relation("paper")
+        tsimmis = next(p for p in papers if "tsimmis" in graph.info(p).text)
+        mediation = next(
+            p for p in papers if "mediation" in graph.info(p).text
+        )
+        assert graph.weight(mediation, tsimmis) == 0.5
+        assert graph.weight(tsimmis, mediation) == 0.1
+
+    def test_attrs_carried(self, dblp_db):
+        graph = build_graph(dblp_db)
+        tsimmis = next(
+            p for p in graph.nodes_of_relation("paper")
+            if "tsimmis" in graph.info(p).text
+        )
+        assert graph.info(tsimmis).attrs["citations"] == 38
+
+
+class TestMerging:
+    def test_mel_gibson_merged(self, imdb_db):
+        """Section VI-A: actor and director Mel Gibson become one node
+        with both edges to Braveheart."""
+        graph = build_graph(imdb_db, merge_tables=("actor", "director"))
+        mels = [
+            n for n in graph.nodes()
+            if graph.info(n).text == "mel gibson" and graph.info(n).sources
+        ]
+        assert len(mels) == 1
+        mel = mels[0]
+        assert set(graph.info(mel).sources) == {("actor", 1), ("director", 1)}
+        braveheart = next(
+            n for n in graph.nodes_of_relation("movie")
+            if "braveheart" in graph.info(n).text
+        )
+        # acting (1.0) + directing (1.0) accumulate on one edge pair
+        assert graph.weight(mel, braveheart) == 2.0
+
+    def test_merge_reduces_node_count(self, imdb_db):
+        merged = build_graph(imdb_db, merge_tables=("actor", "director"))
+        unmerged = build_graph(imdb_db)
+        assert merged.node_count == unmerged.node_count - 1
+
+    def test_merge_only_listed_tables(self, imdb_db):
+        imdb_db.insert("producer", 2, name="mel gibson")
+        graph = build_graph(imdb_db, merge_tables=("actor", "director"))
+        producers_named_mel = [
+            n for n in graph.nodes_of_relation("producer")
+            if graph.info(n).text == "mel gibson"
+        ]
+        assert len(producers_named_mel) == 1  # not merged into the actor
+
+    def test_custom_merge_key(self, imdb_db):
+        builder = GraphBuilder(
+            merge_tables=("actor", "director", "producer"),
+            merge_key=lambda row: "everyone",
+        )
+        graph = builder.build(imdb_db)
+        # all 4 people collapse into one node
+        people = [
+            n for n in graph.nodes()
+            if graph.info(n).relation in ("actor", "director", "producer")
+            and graph.info(n).sources
+        ]
+        assert len(people) == 1
+
+
+class TestCustomWeights:
+    def test_override_respected(self, imdb_db):
+        weights = EdgeWeights()
+        weights.set_weight("actor", "movie", 3.0)
+        graph = GraphBuilder(weights).build(imdb_db)
+        actor = next(
+            n for n in graph.nodes_of_relation("actor")
+            if graph.info(n).text == "brendan gleeson"
+        )
+        movie = next(iter(graph.out_edges(actor)))
+        assert graph.weight(actor, movie) == 3.0

@@ -1,0 +1,127 @@
+"""Tests for repro.graph.datagraph."""
+
+import pytest
+
+from repro import DataGraph, GraphError
+
+
+@pytest.fixture()
+def graph():
+    g = DataGraph()
+    g.add_node("movie", "braveheart", ("movie", 1), {"votes": 100})
+    g.add_node("actor", "mel gibson", ("actor", 1))
+    g.add_node("director", "mel gibson", ("director", 1))
+    return g
+
+
+class TestNodes:
+    def test_ids_dense(self, graph):
+        assert list(graph.nodes()) == [0, 1, 2]
+        assert graph.node_count == 3
+
+    def test_info(self, graph):
+        info = graph.info(0)
+        assert info.relation == "movie"
+        assert info.text == "braveheart"
+        assert info.sources == [("movie", 1)]
+        assert info.attrs == {"votes": 100}
+
+    def test_word_count(self, graph):
+        assert graph.info(1).word_count == 2
+
+    def test_unknown_node_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.info(99)
+
+    def test_nodes_of_relation(self, graph):
+        assert graph.nodes_of_relation("actor") == [1]
+        assert graph.relations() == {"movie", "actor", "director"}
+
+
+class TestEdges:
+    def test_add_link_creates_both_directions(self, graph):
+        graph.add_link(1, 0, 1.0, 0.5)
+        assert graph.weight(1, 0) == 1.0
+        assert graph.weight(0, 1) == 0.5
+        assert graph.has_edge(1, 0) and graph.has_edge(0, 1)
+        assert graph.edge_count == 2
+
+    def test_parallel_edges_accumulate(self, graph):
+        """A merged actor+director node linking twice to the same movie
+        ends up with one heavier edge (Section VI-A)."""
+        graph.add_edge(1, 0, 1.0)
+        graph.add_edge(1, 0, 1.0)
+        assert graph.weight(1, 0) == 2.0
+        assert graph.out_degree(1) == 1
+
+    def test_nonpositive_weight_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1, 0.0)
+
+    def test_self_loop_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1, 1.0)
+
+    def test_neighbors_union(self, graph):
+        graph.add_edge(0, 1, 1.0)  # only one direction
+        assert graph.neighbors(0) == {1}
+        assert graph.neighbors(1) == {0}
+
+    def test_in_edges(self, graph):
+        graph.add_link(1, 0, 1.0, 0.5)
+        assert graph.in_edges(0) == {1: 1.0}
+
+    def test_total_out_weight_and_normalization(self, graph):
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(0, 2, 1.0)
+        assert graph.total_out_weight(0) == 2.0
+        norm = graph.normalized_out(0)
+        assert norm == {1: 0.5, 2: 0.5}
+
+    def test_normalized_out_empty_for_sink(self, graph):
+        assert graph.normalized_out(2) == {}
+
+
+class TestNormalizationExample:
+    def test_paper_normalization_example(self):
+        """Section VI-A: movie with edges 1.0/1.0/0.5 normalizes to
+        0.4/0.4/0.2."""
+        g = DataGraph()
+        movie = g.add_node("movie", "m")
+        actor = g.add_node("actor", "a")
+        director = g.add_node("director", "d")
+        producer = g.add_node("producer", "p")
+        g.add_edge(movie, actor, 1.0)
+        g.add_edge(movie, director, 1.0)
+        g.add_edge(movie, producer, 0.5)
+        norm = g.normalized_out(movie)
+        assert norm[actor] == pytest.approx(0.4)
+        assert norm[director] == pytest.approx(0.4)
+        assert norm[producer] == pytest.approx(0.2)
+
+
+class TestMerge:
+    def test_merge_repoints_edges(self, graph):
+        graph.add_link(1, 0, 1.0, 1.0)   # actor - movie
+        graph.add_link(2, 0, 1.0, 1.0)   # director - movie
+        graph.merge_nodes(1, 2)
+        assert graph.weight(1, 0) == 2.0
+        assert graph.weight(0, 1) == 2.0
+        assert graph.out_degree(2) == 0
+        assert graph.in_edges(2) == {}
+        assert ("director", 1) in graph.info(1).sources
+
+    def test_merge_edge_between_pair_dropped(self, graph):
+        graph.add_link(1, 2, 1.0, 1.0)
+        graph.merge_nodes(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_merge_with_self_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.merge_nodes(1, 1)
+
+    def test_merge_keeps_attrs(self, graph):
+        graph.info(2).attrs["award"] = "yes"
+        graph.merge_nodes(1, 2)
+        assert graph.info(1).attrs["award"] == "yes"

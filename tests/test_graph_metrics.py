@@ -1,0 +1,142 @@
+"""Tests for repro.graph.metrics — and, through it, assertions that the
+synthetic datasets produce the structures the experiments require."""
+
+import pytest
+
+from repro import DataGraph, GraphError
+from repro.graph.metrics import (
+    community_mixing,
+    connected_components,
+    degree_distribution,
+    effective_diameter,
+    gini,
+    graph_stats,
+)
+from .conftest import random_test_graph
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([5.0] * 10) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        assert gini([0.0] * 9 + [100.0]) > 0.85
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            gini([-1.0, 2.0])
+
+    def test_known_value(self):
+        # two values a,b: gini = |a-b| / (2(a+b))
+        assert gini([1.0, 3.0]) == pytest.approx(2.0 / 8.0)
+
+
+class TestComponents:
+    def test_single_component(self, chain_graph):
+        components = connected_components(chain_graph)
+        assert len(components) == 1
+        assert sorted(components[0]) == [0, 1, 2, 3]
+
+    def test_isolated_nodes_are_components(self, chain_graph):
+        chain_graph.add_node("t", "lonely")
+        components = connected_components(chain_graph)
+        assert len(components) == 2
+        assert len(components[0]) == 4  # largest first
+
+
+class TestEffectiveDiameter:
+    def test_chain(self, chain_graph):
+        # pairwise distances in a 4-chain: 1,1,1,2,2,3 per direction;
+        # the 90th percentile is 3
+        assert effective_diameter(chain_graph) == 3.0
+
+    def test_edgeless(self):
+        g = DataGraph()
+        g.add_node("t", "a")
+        assert effective_diameter(g) is None
+
+    def test_percentile_validation(self, chain_graph):
+        with pytest.raises(GraphError):
+            effective_diameter(chain_graph, percentile=0.0)
+
+
+class TestCommunityMixing:
+    def test_fully_separated(self):
+        g = DataGraph()
+        for i in range(4):
+            g.add_node("t", f"n{i}")
+        g.add_link(0, 1, 1.0, 1.0)
+        g.add_link(2, 3, 1.0, 1.0)
+        mixing = community_mixing(g, {0: 0, 1: 0, 2: 1, 3: 1})
+        assert mixing == 0.0
+
+    def test_fully_mixed(self):
+        g = DataGraph()
+        for i in range(3):
+            g.add_node("t", f"n{i}")
+        g.add_link(0, 1, 1.0, 1.0)
+        g.add_link(1, 2, 1.0, 1.0)
+        mixing = community_mixing(g, {0: 0, 1: 1, 2: 0})
+        assert mixing == 1.0
+
+    def test_missing_nodes_ignored(self):
+        g = DataGraph()
+        for i in range(3):
+            g.add_node("t", f"n{i}")
+        g.add_link(0, 1, 1.0, 1.0)
+        g.add_link(1, 2, 1.0, 1.0)
+        assert community_mixing(g, {0: 0, 1: 0}) == 0.0
+
+
+class TestGraphStats:
+    def test_shape(self):
+        g = random_test_graph(91, n=15, extra_edges=8)
+        stats = graph_stats(g)
+        assert stats.nodes == 15
+        assert stats.components == 1
+        assert stats.largest_component == 15
+        assert stats.mean_degree > 0
+        assert 0.0 <= stats.degree_gini < 1.0
+        assert stats.effective_diameter is not None
+
+
+class TestDatasetStructure:
+    """The generators must produce the experiment-critical structure."""
+
+    def test_imdb_hub_skew(self, tiny_imdb_system):
+        degrees = degree_distribution(tiny_imdb_system.graph)
+        assert gini([float(d) for d in degrees]) > 0.25
+
+    def test_community_config_separates(self):
+        from repro import ImdbConfig, build_graph, generate_imdb
+        config = ImdbConfig(
+            movies=120, actors=140, actresses=80, directors=40,
+            producers=24, companies=20, communities=8,
+            cross_community_prob=0.02, seed=5,
+        )
+        graph = build_graph(generate_imdb(config))
+        # reconstruct community assignment from pk interleaving
+        community = {}
+        for node in graph.nodes():
+            info = graph.info(node)
+            if info.sources:
+                table, pk = info.sources[0]
+                community[node] = (pk - 1) % 8
+        mixing = community_mixing(graph, community)
+        assert mixing < 0.25  # strong separation...
+        stats = graph_stats(graph)
+        assert stats.effective_diameter >= 4  # ...creates real distance
+
+    def test_single_community_is_tight(self):
+        from repro import ImdbConfig, build_graph, generate_imdb
+        config = ImdbConfig(
+            movies=120, actors=140, actresses=80, directors=40,
+            producers=24, companies=20, communities=1, seed=5,
+        )
+        graph = build_graph(generate_imdb(config))
+        stats = graph_stats(graph)
+        assert stats.largest_component > graph.node_count * 0.8

@@ -1,0 +1,56 @@
+"""Tests for repro.graph.sampling (the Fig. 10 protocol)."""
+
+import pytest
+
+from repro import GraphError, sample_subgraph
+from .conftest import random_test_graph
+
+
+class TestSampleSubgraph:
+    def test_fraction_respected_roughly(self):
+        g = random_test_graph(1, n=60, extra_edges=30)
+        sub, mapping = sample_subgraph(g, 0.5, seed=3)
+        assert 10 <= sub.node_count <= 50
+        assert len(mapping) == sub.node_count
+
+    def test_full_fraction_keeps_everything(self):
+        g = random_test_graph(2, n=20)
+        sub, mapping = sample_subgraph(g, 1.0, seed=0)
+        assert sub.node_count == g.node_count
+        assert sub.edge_count == g.edge_count
+
+    def test_induced_edges_only(self):
+        g = random_test_graph(3, n=30, extra_edges=10)
+        sub, mapping = sample_subgraph(g, 0.4, seed=1)
+        inverse = {new: old for old, new in mapping.items()}
+        for new_node in sub.nodes():
+            for new_target, weight in sub.out_edges(new_node).items():
+                old_a, old_b = inverse[new_node], inverse[new_target]
+                assert g.weight(old_a, old_b) == weight
+
+    def test_deterministic(self):
+        g = random_test_graph(4, n=25)
+        sub1, map1 = sample_subgraph(g, 0.3, seed=9)
+        sub2, map2 = sample_subgraph(g, 0.3, seed=9)
+        assert map1 == map2
+        assert sub1.node_count == sub2.node_count
+
+    def test_keep_relations_forced(self):
+        g = random_test_graph(5, n=40)
+        sub, mapping = sample_subgraph(g, 0.05, seed=2, keep_relations=("t0",))
+        kept_relations = {sub.info(n).relation for n in sub.nodes()}
+        total_t0 = len(g.nodes_of_relation("t0"))
+        assert len(sub.nodes_of_relation("t0")) == total_t0
+
+    def test_metadata_preserved(self):
+        g = random_test_graph(6, n=15)
+        g.info(0).attrs["votes"] = 7
+        sub, mapping = sample_subgraph(g, 1.0, seed=0)
+        assert sub.info(mapping[0]).attrs["votes"] == 7
+        assert sub.info(mapping[0]).text == g.info(0).text
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_bad_fraction_rejected(self, fraction):
+        g = random_test_graph(7, n=5)
+        with pytest.raises(GraphError):
+            sample_subgraph(g, fraction)

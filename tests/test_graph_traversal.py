@@ -1,0 +1,166 @@
+"""Tests for repro.graph.traversal."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DataGraph, GraphError
+from repro.graph.traversal import (
+    best_retention_paths,
+    bfs_distances,
+    bfs_within,
+    shortest_path,
+    tree_diameter,
+)
+
+from .conftest import random_test_graph
+
+
+@pytest.fixture()
+def diamond():
+    """0 - {1, 2} - 3 diamond plus a pendant 4 off node 3."""
+    g = DataGraph()
+    for i in range(5):
+        g.add_node("t", f"n{i}")
+    g.add_link(0, 1, 1.0, 1.0)
+    g.add_link(0, 2, 1.0, 1.0)
+    g.add_link(1, 3, 1.0, 1.0)
+    g.add_link(2, 3, 1.0, 1.0)
+    g.add_link(3, 4, 1.0, 1.0)
+    return g
+
+
+class TestBfs:
+    def test_distances(self, diamond):
+        dist = bfs_distances(diamond, 0)
+        assert dist == {0: 0, 1: 1, 2: 1, 3: 2, 4: 3}
+
+    def test_max_depth(self, diamond):
+        dist = bfs_distances(diamond, 0, max_depth=1)
+        assert dist == {0: 0, 1: 1, 2: 1}
+
+    def test_bfs_within_all_predecessors(self, diamond):
+        preds = bfs_within(diamond, 0, 3)
+        assert preds[0] == []
+        assert sorted(preds[3]) == [1, 2]  # both shortest paths kept
+        assert preds[4] == [3]
+
+    def test_bfs_within_respects_depth(self, diamond):
+        preds = bfs_within(diamond, 0, 2)
+        assert 4 not in preds
+
+
+class TestShortestPath:
+    def test_trivial(self, diamond):
+        assert shortest_path(diamond, 2, 2) == [2]
+
+    def test_path(self, diamond):
+        path = shortest_path(diamond, 0, 4)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 4
+        assert len(path) == 4
+
+    def test_unreachable(self, diamond):
+        lonely = diamond.add_node("t", "lonely")
+        assert shortest_path(diamond, 0, lonely) is None
+
+    def test_max_depth_cuts(self, diamond):
+        assert shortest_path(diamond, 0, 4, max_depth=2) is None
+
+
+class TestBestRetention:
+    def test_single_hop(self, diamond):
+        rates = {i: 0.5 for i in range(5)}
+        best = best_retention_paths(diamond, 0, rates.__getitem__)
+        assert best[0] == pytest.approx(1.0)
+        assert best[1] == pytest.approx(0.5)
+        assert best[3] == pytest.approx(0.25)
+
+    def test_prefers_high_retention_path(self):
+        """Longer path through high-retention nodes can win."""
+        g = DataGraph()
+        for i in range(5):
+            g.add_node("t", f"n{i}")
+        # short path 0-1-4 through lossy node 1; long 0-2-3-4 through good
+        g.add_link(0, 1, 1.0, 1.0)
+        g.add_link(1, 4, 1.0, 1.0)
+        g.add_link(0, 2, 1.0, 1.0)
+        g.add_link(2, 3, 1.0, 1.0)
+        g.add_link(3, 4, 1.0, 1.0)
+        rates = {0: 1.0, 1: 0.1, 2: 0.9, 3: 0.9, 4: 0.9}
+        best = best_retention_paths(g, 0, rates.__getitem__)
+        assert best[4] == pytest.approx(0.9 * 0.9 * 0.9)
+
+    def test_brute_force_agreement(self):
+        """Dijkstra result equals brute-force path enumeration."""
+        import itertools
+        g = random_test_graph(3, n=7, extra_edges=4)
+        rates = {n: 0.2 + 0.1 * (n % 7) for n in g.nodes()}
+        best = best_retention_paths(g, 0, rates.__getitem__)
+
+        def brute(target):
+            best_val = 0.0
+            for length in range(1, 7):
+                for mid in itertools.permutations(
+                    [n for n in g.nodes() if n not in (0, target)], length - 1
+                ):
+                    path = [0, *mid, target]
+                    if all(
+                        b in g.neighbors(a) for a, b in zip(path, path[1:])
+                    ):
+                        val = math.prod(rates[n] for n in path[1:])
+                        best_val = max(best_val, val)
+            return best_val
+
+        for target in (1, 3, 5):
+            assert best[target] == pytest.approx(brute(target))
+
+
+class TestTreeDiameter:
+    def test_single_edge(self):
+        assert tree_diameter([(0, 1)]) == 1
+
+    def test_chain(self):
+        assert tree_diameter([(0, 1), (1, 2), (2, 3)]) == 3
+
+    def test_star(self):
+        assert tree_diameter([(0, 1), (0, 2), (0, 3)]) == 2
+
+    def test_empty(self):
+        assert tree_diameter([]) == 0
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GraphError):
+            tree_diameter([(0, 1), (1, 2), (2, 0)])
+
+    def test_forest_rejected(self):
+        with pytest.raises(GraphError):
+            tree_diameter([(0, 1), (2, 3)])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=30), st.randoms())
+    def test_random_tree_diameter_matches_brute_force(self, n, rng):
+        edges = []
+        for i in range(1, n):
+            edges.append((i, rng.randrange(i)))
+        # brute force: BFS from every node
+        adj = {}
+        for a, b in edges:
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, []).append(a)
+
+        def ecc(start):
+            from collections import deque
+            seen = {start: 0}
+            q = deque([start])
+            while q:
+                x = q.popleft()
+                for y in adj[x]:
+                    if y not in seen:
+                        seen[y] = seen[x] + 1
+                        q.append(y)
+            return max(seen.values())
+
+        expected = max(ecc(v) for v in range(n))
+        assert tree_diameter(edges) == expected

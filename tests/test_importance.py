@@ -1,0 +1,162 @@
+"""Tests for repro.importance: pagerank, Monte Carlo, feedback."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DataGraph,
+    FeedbackModel,
+    GraphError,
+    InvertedIndex,
+    KeywordMatcher,
+    monte_carlo_pagerank,
+    pagerank,
+)
+from repro.importance.pagerank import importance_by_source
+from .conftest import random_test_graph
+
+
+@pytest.fixture()
+def hub_graph():
+    """Node 0 is a hub every other node points to."""
+    g = DataGraph()
+    for i in range(6):
+        g.add_node("t", f"n{i}")
+    for i in range(1, 6):
+        g.add_link(i, 0, 1.0, 0.2)
+    return g
+
+
+class TestPagerank:
+    def test_distribution(self, hub_graph):
+        p = pagerank(hub_graph)
+        assert p.converged
+        assert float(np.sum(p.values)) == pytest.approx(1.0)
+        assert (p.values > 0).all()
+
+    def test_hub_is_most_important(self, hub_graph):
+        p = pagerank(hub_graph)
+        assert p.top(1) == [0]
+        assert p[0] > 3 * p[1]
+
+    def test_symmetric_graph_uniform(self):
+        """A symmetric cycle gives equal importance everywhere."""
+        g = DataGraph()
+        for i in range(4):
+            g.add_node("t", f"n{i}")
+        for i in range(4):
+            g.add_link(i, (i + 1) % 4, 1.0, 1.0)
+        p = pagerank(g)
+        assert np.allclose(p.values, 0.25, atol=1e-6)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            pagerank(DataGraph())
+
+    def test_dangling_nodes_handled(self):
+        g = DataGraph()
+        a = g.add_node("t", "a")
+        b = g.add_node("t", "b")
+        g.add_edge(a, b, 1.0)  # b is a sink
+        p = pagerank(g)
+        assert float(np.sum(p.values)) == pytest.approx(1.0)
+        assert p[b] > p[a]
+
+    def test_teleport_vector_biases(self, hub_graph):
+        u = np.zeros(6)
+        u[3] = 1.0
+        biased = pagerank(hub_graph, teleport_vector=u)
+        uniform = pagerank(hub_graph)
+        assert biased[3] > uniform[3] * 2
+
+    def test_teleport_vector_validation(self, hub_graph):
+        with pytest.raises(GraphError):
+            pagerank(hub_graph, teleport_vector=np.zeros(3))
+        with pytest.raises(GraphError):
+            pagerank(hub_graph, teleport_vector=-np.ones(6))
+        with pytest.raises(GraphError):
+            pagerank(hub_graph, teleport_vector=np.zeros(6))
+
+    def test_p_min_positive(self, hub_graph):
+        p = pagerank(hub_graph)
+        assert p.p_min > 0
+        assert p.p_min == float(p.values.min())
+
+    def test_stationarity(self, hub_graph):
+        """p satisfies Equation (1): p = (1-c) M p + c u."""
+        c = 0.15
+        p = pagerank(hub_graph, teleport=c)
+        n = hub_graph.node_count
+        u = np.full(n, 1.0 / n)
+        walked = np.zeros(n)
+        for node in hub_graph.nodes():
+            norm = hub_graph.normalized_out(node)
+            if not norm:
+                walked += p[node] * u
+                continue
+            for target, prob in norm.items():
+                walked[target] += p[node] * prob
+        rhs = (1 - c) * walked + c * u
+        assert np.allclose(p.values, rhs, atol=1e-8)
+
+    def test_importance_by_source(self, hub_graph):
+        p = pagerank(hub_graph)
+        agg = importance_by_source(hub_graph, p)
+        assert agg["t"] == pytest.approx(1.0)
+
+
+class TestMonteCarlo:
+    def test_close_to_power_iteration(self):
+        g = random_test_graph(11, n=12, extra_edges=8)
+        exact = pagerank(g)
+        estimate = monte_carlo_pagerank(g, walks_per_node=400, seed=5)
+        assert float(np.sum(estimate.values)) == pytest.approx(1.0)
+        # rank correlation on the top nodes rather than exact values
+        assert set(exact.top(3)) & set(estimate.top(4))
+        assert np.abs(estimate.values - exact.values).max() < 0.08
+
+    def test_deterministic_given_seed(self):
+        g = random_test_graph(12, n=8)
+        a = monte_carlo_pagerank(g, walks_per_node=10, seed=1)
+        b = monte_carlo_pagerank(g, walks_per_node=10, seed=1)
+        assert np.array_equal(a.values, b.values)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            monte_carlo_pagerank(DataGraph())
+
+
+class TestFeedback:
+    def test_click_raises_importance(self, hub_graph):
+        feedback = FeedbackModel(hub_graph, bias_strength=0.8)
+        feedback.record_click(4, weight=10.0)
+        biased = pagerank(hub_graph, teleport_vector=feedback.teleport_vector())
+        uniform = pagerank(hub_graph)
+        assert biased[4] > uniform[4]
+
+    def test_no_clicks_gives_uniform(self, hub_graph):
+        feedback = FeedbackModel(hub_graph)
+        u = feedback.teleport_vector()
+        assert np.allclose(u, 1.0 / 6)
+
+    def test_labeled_query_click(self, hub_graph):
+        from repro import EvaluationError
+        hub_graph.info(2).text = "braveheart"
+        index = InvertedIndex.build(hub_graph)
+        matcher = KeywordMatcher(index)
+        feedback = FeedbackModel(hub_graph, bias_strength=0.5)
+        feedback.record_labeled_query(matcher, "braveheart", [2, 3])
+        assert feedback.observations == 2
+        u = feedback.teleport_vector()
+        # matching node weighted double the non-matching one
+        assert u[2] > u[3] > u[1]
+
+    def test_validation(self, hub_graph):
+        from repro import EvaluationError
+        with pytest.raises(EvaluationError):
+            FeedbackModel(hub_graph, bias_strength=1.5)
+        feedback = FeedbackModel(hub_graph)
+        with pytest.raises(EvaluationError):
+            feedback.record_click(99)
+        with pytest.raises(EvaluationError):
+            feedback.record_click(0, weight=0.0)

@@ -1,0 +1,99 @@
+"""Tests for repro.importance.incremental (warm-restart maintenance)."""
+
+import numpy as np
+import pytest
+
+from repro import GraphError, pagerank
+from repro.importance.incremental import (
+    ImportanceMaintainer,
+    refresh_importance,
+)
+from .conftest import random_test_graph
+
+
+class TestRefreshImportance:
+    def test_warm_restart_matches_cold(self):
+        g = random_test_graph(71, n=20, extra_edges=12)
+        base = pagerank(g)
+        # mutate: one new node with two links
+        node = g.add_node("t", "newcomer")
+        g.add_link(node, 0, 1.0, 1.0)
+        g.add_link(node, 5, 1.0, 0.5)
+        warm = refresh_importance(g, base)
+        cold = pagerank(g)
+        assert np.allclose(warm.values, cold.values, atol=1e-8)
+
+    def test_warm_restart_is_cheaper(self):
+        g = random_test_graph(72, n=40, extra_edges=25)
+        base = pagerank(g)
+        node = g.add_node("t", "newcomer")
+        g.add_link(node, 3, 1.0, 1.0)
+        warm = refresh_importance(g, base)
+        cold = pagerank(g)
+        assert warm.iterations < cold.iterations
+
+    def test_weight_change_only(self):
+        g = random_test_graph(73, n=15, extra_edges=8)
+        base = pagerank(g)
+        g.add_edge(0, 1, 5.0)  # accumulate weight on an edge
+        warm = refresh_importance(g, base)
+        cold = pagerank(g)
+        assert np.allclose(warm.values, cold.values, atol=1e-8)
+
+    def test_shrink_rejected(self):
+        g = random_test_graph(74, n=8)
+        base = pagerank(g)
+        smaller = random_test_graph(74, n=5)
+        with pytest.raises(GraphError):
+            refresh_importance(smaller, base)
+
+    def test_teleport_carries_over(self):
+        g = random_test_graph(75, n=10)
+        base = pagerank(g, teleport=0.3)
+        refreshed = refresh_importance(g, base)
+        assert refreshed.teleport == 0.3
+
+
+class TestMaintainer:
+    def test_lazy_refresh(self):
+        g = random_test_graph(76, n=12, extra_edges=6)
+        base = pagerank(g)
+        maintainer = ImportanceMaintainer(g, base)
+        assert maintainer.current() is base  # clean: no recompute
+        assert maintainer.refreshes == 0
+
+    def test_refresh_after_mutation(self):
+        g = random_test_graph(77, n=12, extra_edges=6)
+        maintainer = ImportanceMaintainer(g, pagerank(g))
+        node = g.add_node("t", "late arrival")
+        g.add_link(node, 2, 1.0, 1.0)
+        assert maintainer.dirty  # size mismatch auto-detected
+        refreshed = maintainer.current()
+        assert len(refreshed) == g.node_count
+        assert maintainer.refreshes == 1
+        assert not maintainer.dirty
+        assert maintainer.current() is refreshed  # cached now
+
+    def test_mark_dirty_for_weight_changes(self):
+        g = random_test_graph(78, n=12, extra_edges=6)
+        maintainer = ImportanceMaintainer(g, pagerank(g))
+        g.add_edge(0, 1, 3.0)  # same node count: not auto-detected
+        assert not maintainer.dirty
+        maintainer.mark_dirty()
+        before = maintainer._importance
+        after = maintainer.current()
+        assert after is not before
+        assert maintainer.iterations_spent > 0
+
+    def test_stream_of_updates(self):
+        """Realistic ingest: repeated small batches stay accurate."""
+        g = random_test_graph(79, n=15, extra_edges=8)
+        maintainer = ImportanceMaintainer(g, pagerank(g))
+        for i in range(5):
+            node = g.add_node("t", f"batch {i}")
+            g.add_link(node, i, 1.0, 1.0)
+            maintainer.current()
+        final = maintainer.current()
+        cold = pagerank(g)
+        assert np.allclose(final.values, cold.values, atol=1e-8)
+        assert maintainer.refreshes == 5

@@ -1,0 +1,251 @@
+"""Tests for repro.indexing: loss primitives, pairs index, star index."""
+
+import pytest
+
+from repro import (
+    DampeningModel,
+    DataGraph,
+    IndexingError,
+    PairsIndex,
+    RWMPParams,
+    StarIndex,
+    find_star_relations,
+    pagerank,
+)
+from repro.graph.traversal import best_retention_paths, bfs_distances
+from repro.indexing.loss import ball_bfs, retention_within
+from .conftest import random_test_graph
+
+
+def star_schema_graph(movies=6, people=10, seed=0):
+    """A movie-star graph: every edge touches a movie node."""
+    import random
+    rng = random.Random(seed)
+    g = DataGraph()
+    movie_nodes = [g.add_node("movie", f"movie {i}") for i in range(movies)]
+    person_nodes = [g.add_node("actor", f"person {i}") for i in range(people)]
+    for person in person_nodes:
+        for movie in rng.sample(movie_nodes, rng.randint(1, 3)):
+            g.add_link(person, movie, 1.0, 1.0)
+    # movie-movie sequel links (star-star edges are allowed)
+    for a, b in zip(movie_nodes, movie_nodes[1:]):
+        g.add_link(a, b, 0.5, 0.1)
+    return g
+
+
+@pytest.fixture()
+def dampening():
+    def make(graph):
+        return DampeningModel(pagerank(graph), RWMPParams())
+    return make
+
+
+class TestBallBfs:
+    def test_exact_distances(self, chain_graph):
+        dist, radius = ball_bfs(chain_graph, 0, horizon=2)
+        assert dist == {0: 0, 1: 1, 2: 2}
+        assert radius == 2
+
+    def test_exhausted_ball_reports_full_horizon(self, chain_graph):
+        dist, radius = ball_bfs(chain_graph, 0, horizon=10)
+        assert radius == 10  # nothing beyond: absence means farther
+        assert len(dist) == 4
+
+    def test_max_ball_truncates_to_complete_level(self):
+        g = star_schema_graph(movies=4, people=30)
+        dist, radius = ball_bfs(g, 0, horizon=4, max_ball=3)
+        # only levels that fit completely are kept
+        assert all(d <= radius for d in dist.values())
+        level_nodes = [n for n, d in dist.items() if d == radius]
+        assert level_nodes  # the recorded radius is actually reached
+
+
+class TestRetentionWithin:
+    def test_matches_unrestricted_dijkstra(self):
+        g = random_test_graph(41, n=10, extra_edges=6)
+        rates = {n: 0.3 + 0.05 * (n % 5) for n in g.nodes()}
+        ball = set(g.nodes())
+        restricted = retention_within(g, 0, ball, rates.__getitem__)
+        free = best_retention_paths(g, 0, rates.__getitem__)
+        for node in g.nodes():
+            assert restricted.get(node, 0.0) == pytest.approx(
+                free.get(node, 0.0)
+            )
+
+    def test_restriction_excludes_outside_paths(self):
+        """A longer path beats a shorter one only when the short path
+        crosses a very lossy intermediate; restricting the ball to the
+        short route drops the good detour."""
+        g = DataGraph()
+        for i in range(5):
+            g.add_node("t", f"n{i}")
+        g.add_link(0, 1, 1.0, 1.0)   # 0-1-4: short but 1 is lossy
+        g.add_link(1, 4, 1.0, 1.0)
+        g.add_link(0, 2, 1.0, 1.0)   # 0-2-3-4: longer, high retention
+        g.add_link(2, 3, 1.0, 1.0)
+        g.add_link(3, 4, 1.0, 1.0)
+        rates = {0: 1.0, 1: 0.01, 2: 0.9, 3: 0.9, 4: 0.5}
+        full = retention_within(g, 0, set(g.nodes()), rates.__getitem__)
+        assert full[4] == pytest.approx(0.9 * 0.9 * 0.5)  # detour wins
+        narrow = retention_within(g, 0, {0, 1, 4}, rates.__getitem__)
+        assert narrow[4] == pytest.approx(0.01 * 0.5)
+
+
+class TestPairsIndex:
+    def test_exact_within_horizon(self, dampening):
+        g = random_test_graph(42, n=12, extra_edges=6)
+        model = dampening(g)
+        index = PairsIndex(g, model, horizon=6)
+        for source in (0, 3, 7):
+            dist = bfs_distances(g, source)
+            ret = best_retention_paths(g, source, model.rate)
+            for target in g.nodes():
+                if target == source:
+                    assert index.distance_lower(source, target) == 0
+                    assert index.retention_upper(source, target) == 1.0
+                    continue
+                if target in dist and dist[target] <= 6:
+                    assert index.distance_lower(source, target) == dist[target]
+                    assert index.retention_upper(source, target) >= \
+                        ret[target] - 1e-12
+
+    def test_sound_beyond_horizon(self, dampening):
+        g = random_test_graph(43, n=14, extra_edges=2)
+        model = dampening(g)
+        index = PairsIndex(g, model, horizon=2)
+        dist = bfs_distances(g, 0)
+        ret = best_retention_paths(g, 0, model.rate)
+        for target, true_d in dist.items():
+            assert index.distance_lower(0, target) <= true_d
+            assert index.retention_upper(0, target) >= ret[target] - 1e-12
+
+    def test_entry_count(self, dampening):
+        g = random_test_graph(44, n=8, extra_edges=4)
+        index = PairsIndex(g, dampening(g), horizon=8)
+        assert index.entry_count == 8 * 7  # connected: all ordered pairs
+
+    def test_bad_horizon(self, dampening):
+        g = random_test_graph(45, n=5)
+        with pytest.raises(IndexingError):
+            PairsIndex(g, dampening(g), horizon=0)
+
+
+class TestStarDetection:
+    def test_movie_graph(self):
+        g = star_schema_graph()
+        assert find_star_relations(g) == frozenset({"movie"})
+
+    def test_imdb_synthetic(self, tiny_imdb_system):
+        assert find_star_relations(tiny_imdb_system.graph) == \
+            frozenset({"movie"})
+
+    def test_dblp_synthetic(self, tiny_dblp_system):
+        assert find_star_relations(tiny_dblp_system.graph) == \
+            frozenset({"paper"})
+
+    def test_multi_table_cover(self):
+        """A graph needing two star tables."""
+        g = DataGraph()
+        a = g.add_node("hub_a", "a")
+        b = g.add_node("hub_b", "b")
+        x = g.add_node("leaf", "x")
+        y = g.add_node("leaf", "y")
+        g.add_link(x, a, 1.0, 1.0)
+        g.add_link(y, b, 1.0, 1.0)
+        g.add_link(a, b, 1.0, 1.0)
+        stars = find_star_relations(g)
+        assert "leaf" not in stars or stars == {"leaf"}
+        # whatever cover is chosen, it must cover all edges
+        for node in g.nodes():
+            for target in g.out_edges(node):
+                assert (
+                    g.info(node).relation in stars
+                    or g.info(target).relation in stars
+                )
+
+
+class TestStarIndex:
+    def test_cover_violation_rejected(self):
+        g = random_test_graph(46, n=8)  # t0/t1 relations, edges arbitrary
+        model = DampeningModel(pagerank(g), RWMPParams())
+        with pytest.raises(IndexingError):
+            StarIndex(g, model, star_relations=())
+
+    def test_bounds_sound_everywhere(self, dampening):
+        g = star_schema_graph(movies=8, people=14, seed=3)
+        model = dampening(g)
+        index = StarIndex(g, model, horizon=8)
+        for source in list(g.nodes())[:10]:
+            dist = bfs_distances(g, source)
+            ret = best_retention_paths(g, source, model.rate)
+            for target in g.nodes():
+                lower = index.distance_lower(source, target)
+                upper = index.retention_upper(source, target)
+                if target in dist:
+                    assert lower <= dist[target], (source, target)
+                    assert upper >= ret.get(target, 0.0) - 1e-12, \
+                        (source, target)
+                else:
+                    assert upper == 0.0 or upper <= 1.0
+
+    def test_star_pairs_exact(self, dampening):
+        g = star_schema_graph(movies=8, people=14, seed=4)
+        model = dampening(g)
+        index = StarIndex(g, model, horizon=8)
+        movies = g.nodes_of_relation("movie")
+        dist = bfs_distances(g, movies[0])
+        for other in movies[1:]:
+            if other in dist and dist[other] <= 8:
+                assert index.distance_lower(movies[0], other) == dist[other]
+
+    def test_smaller_than_pairs_index(self, dampening):
+        g = star_schema_graph(movies=6, people=20, seed=5)
+        model = dampening(g)
+        star = StarIndex(g, model, horizon=6)
+        pairs = PairsIndex(g, model, horizon=6)
+        assert star.entry_count < pairs.entry_count
+        assert star.star_node_count == 6
+
+    def test_isolated_node(self, dampening):
+        g = star_schema_graph(movies=4, people=6, seed=6)
+        lonely = g.add_node("actor", "lonely")
+        model = dampening(g)
+        index = StarIndex(g, model, horizon=6)
+        assert index.distance_lower(lonely, 0) == float("inf")
+        assert index.retention_upper(lonely, 0) == 0.0
+
+    def test_is_star_and_neighbors(self, dampening):
+        g = star_schema_graph(movies=4, people=6, seed=7)
+        index = StarIndex(g, dampening(g), horizon=4)
+        assert index.is_star(0)
+        person = g.nodes_of_relation("actor")[0]
+        assert not index.is_star(person)
+        assert set(index.star_neighbors(person)) == {
+            n for n in g.neighbors(person)
+        }
+
+
+class TestStarIndexBallCap:
+    """The max_ball valve must degrade bounds, never soundness."""
+
+    def test_capped_bounds_still_sound(self, dampening):
+        g = star_schema_graph(movies=10, people=25, seed=8)
+        model = dampening(g)
+        capped = StarIndex(g, model, horizon=8, max_ball=6)
+        for source in g.nodes_of_relation("movie")[:5]:
+            dist = bfs_distances(g, source)
+            ret = best_retention_paths(g, source, model.rate)
+            for target in g.nodes():
+                if target == source:
+                    continue
+                assert capped.distance_lower(source, target) <= \
+                    dist.get(target, float("inf"))
+                assert capped.retention_upper(source, target) >= \
+                    ret.get(target, 0.0) - 1e-12
+
+    def test_capped_is_looser_than_uncapped(self, dampening):
+        g = star_schema_graph(movies=10, people=25, seed=8)
+        model = dampening(g)
+        capped = StarIndex(g, model, horizon=8, max_ball=6)
+        free = StarIndex(g, model, horizon=8)
+        assert capped.entry_count <= free.entry_count

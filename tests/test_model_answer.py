@@ -1,0 +1,72 @@
+"""Tests for repro.model.answer."""
+
+import pytest
+
+from repro import JoinedTupleTree, RankedAnswer, RankedList
+
+
+def tree(*nodes):
+    edges = [(a, b) for a, b in zip(nodes, nodes[1:])]
+    return JoinedTupleTree(nodes, edges)
+
+
+class TestRankedAnswer:
+    def test_sort_key_orders_by_score_then_size(self):
+        a = RankedAnswer(tree(0, 1), 2.0)
+        b = RankedAnswer(tree(2, 3, 4), 2.0)
+        c = RankedAnswer(tree(5), 3.0)
+        ranked = sorted([a, b, c], key=RankedAnswer.sort_key)
+        assert ranked == [c, a, b]
+
+    def test_describe_mentions_nodes(self, chain_graph):
+        answer = RankedAnswer(tree(0, 1), 1.5)
+        text = answer.describe(chain_graph)
+        assert "apple" in text and "score=1.5" in text
+
+
+class TestRankedList:
+    def test_keeps_top_k(self):
+        ranked = RankedList(2)
+        ranked.offer(RankedAnswer(tree(0), 1.0))
+        ranked.offer(RankedAnswer(tree(1), 3.0))
+        ranked.offer(RankedAnswer(tree(2), 2.0))
+        assert [a.score for a in ranked] == [3.0, 2.0]
+        assert len(ranked) == 2
+        assert ranked.full
+
+    def test_min_score_before_full(self):
+        ranked = RankedList(3)
+        ranked.offer(RankedAnswer(tree(0), 1.0))
+        assert ranked.min_score() == float("-inf")
+        assert not ranked.full
+
+    def test_min_score_when_full(self):
+        ranked = RankedList(1)
+        ranked.offer(RankedAnswer(tree(0), 1.0))
+        assert ranked.min_score() == 1.0
+
+    def test_duplicate_tree_not_double_counted(self):
+        ranked = RankedList(5)
+        ranked.offer(RankedAnswer(tree(0, 1), 1.0))
+        ranked.offer(RankedAnswer(tree(1, 0), 1.0))  # same rootless tree
+        assert len(ranked) == 1
+
+    def test_duplicate_keeps_higher_score(self):
+        ranked = RankedList(5)
+        ranked.offer(RankedAnswer(tree(0, 1), 1.0))
+        ranked.offer(RankedAnswer(tree(0, 1), 2.0))
+        assert [a.score for a in ranked] == [2.0]
+
+    def test_offer_reports_entry(self):
+        ranked = RankedList(1)
+        assert ranked.offer(RankedAnswer(tree(0), 1.0))
+        assert ranked.offer(RankedAnswer(tree(1), 2.0))
+        assert not ranked.offer(RankedAnswer(tree(2), 0.5))
+
+    def test_getitem_and_as_list(self):
+        ranked = RankedList(3)
+        ranked.offer(RankedAnswer(tree(0), 1.0))
+        ranked.offer(RankedAnswer(tree(1), 2.0))
+        assert ranked[0].score == 2.0
+        snapshot = ranked.as_list()
+        assert [a.score for a in snapshot] == [2.0, 1.0]

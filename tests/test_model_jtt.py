@@ -1,0 +1,205 @@
+"""Tests for repro.model.jtt and repro.model.query."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    EvaluationError,
+    InvalidTreeError,
+    JoinedTupleTree,
+    NotReducedError,
+    Query,
+)
+from repro.model.jtt import canonical_edge
+from .conftest import make_query_env
+
+
+class TestQuery:
+    def test_parse_and_dedup(self):
+        q = Query.parse("Wood bloom WOOD")
+        assert q.keywords == ("wood", "bloom")
+        assert q.keyword_set == frozenset({"wood", "bloom"})
+        assert len(q) == 2
+        assert str(q) == "wood bloom"
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            Query([])
+        with pytest.raises(EvaluationError):
+            Query([" "])
+
+    def test_iteration(self):
+        assert list(Query(["a", "b"])) == ["a", "b"]
+
+
+class TestConstruction:
+    def test_single_node(self):
+        t = JoinedTupleTree.single(5)
+        assert t.nodes == frozenset({5})
+        assert t.size == 1
+        assert t.diameter == 0
+        assert t.leaves() == [5]
+
+    def test_edge_count_must_match(self):
+        with pytest.raises(InvalidTreeError):
+            JoinedTupleTree([0, 1, 2], [(0, 1)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            JoinedTupleTree([0, 1, 2], [(0, 1), (1, 2), (2, 0)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            JoinedTupleTree([0, 1, 2, 3], [(0, 1), (2, 3), (1, 2), (0, 3)])
+
+    def test_edge_outside_nodes_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            JoinedTupleTree([0, 1], [(0, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            JoinedTupleTree([], [])
+
+    def test_from_paths(self):
+        t = JoinedTupleTree.from_paths([[0, 1, 2], [2, 3]])
+        assert t.nodes == frozenset({0, 1, 2, 3})
+        assert t.diameter == 3
+
+    def test_from_paths_cycle_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            JoinedTupleTree.from_paths([[0, 1, 2], [0, 3, 2]])
+
+    def test_with_edge(self):
+        t = JoinedTupleTree.single(0).with_edge(0, 1)
+        assert t.nodes == frozenset({0, 1})
+        with pytest.raises(InvalidTreeError):
+            t.with_edge(0, 1)  # already present
+        with pytest.raises(InvalidTreeError):
+            t.with_edge(9, 10)  # anchor not in tree
+
+    def test_union(self):
+        a = JoinedTupleTree([0, 1], [(0, 1)])
+        b = JoinedTupleTree([0, 2], [(0, 2)])
+        assert a.union(b).nodes == frozenset({0, 1, 2})
+
+
+class TestIdentity:
+    def test_rootless_equality(self):
+        a = JoinedTupleTree([0, 1, 2], [(0, 1), (1, 2)])
+        b = JoinedTupleTree([2, 1, 0], [(2, 1), (1, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_edge_canonicalization(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_different_shapes_differ(self):
+        chain = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        star = JoinedTupleTree([0, 1, 2, 3], [(1, 0), (1, 2), (1, 3)])
+        assert chain != star
+
+
+class TestStructure:
+    @pytest.fixture()
+    def tree(self):
+        #      0
+        #    /   \
+        #   1     2
+        #  / \
+        # 3   4
+        return JoinedTupleTree(
+            [0, 1, 2, 3, 4], [(0, 1), (0, 2), (1, 3), (1, 4)]
+        )
+
+    def test_neighbors_degree(self, tree):
+        assert tree.neighbors(1) == frozenset({0, 3, 4})
+        assert tree.degree(0) == 2
+        with pytest.raises(InvalidTreeError):
+            tree.neighbors(9)
+
+    def test_leaves(self, tree):
+        assert sorted(tree.leaves()) == [2, 3, 4]
+
+    def test_diameter(self, tree):
+        assert tree.diameter == 3  # 3 - 1 - 0 - 2
+
+    def test_path(self, tree):
+        assert tree.path(3, 2) == [3, 1, 0, 2]
+        assert tree.path(4, 4) == [4]
+        with pytest.raises(InvalidTreeError):
+            tree.path(0, 99)
+
+    def test_traversal_from(self, tree):
+        order = tree.traversal_from(0)
+        assert order[0] == (0, None)
+        visited = [n for n, _ in order]
+        assert sorted(visited) == [0, 1, 2, 3, 4]
+        parents = dict(order)
+        assert parents[3] == 1 and parents[1] == 0
+
+    def test_traversal_bad_root(self, tree):
+        with pytest.raises(InvalidTreeError):
+            tree.traversal_from(7)
+
+
+class TestValidation:
+    def test_reduced_and_covers(self, chain_graph):
+        _, match, _ = make_query_env(chain_graph, "apple berry")
+        full = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        assert full.is_reduced(match)
+        assert full.covers(match)
+        full.validate_answer(chain_graph, match, max_diameter=3)
+
+    def test_free_leaf_not_reduced(self, chain_graph):
+        _, match, _ = make_query_env(chain_graph, "apple berry")
+        partial = JoinedTupleTree([0, 1], [(0, 1)])  # free leaf 1
+        assert not partial.is_reduced(match)
+        with pytest.raises(NotReducedError):
+            partial.validate_answer(chain_graph, match)
+
+    def test_missing_keyword_rejected(self, chain_graph):
+        _, match, _ = make_query_env(chain_graph, "apple berry")
+        single = JoinedTupleTree.single(0)
+        assert single.is_reduced(match)
+        with pytest.raises(NotReducedError):
+            single.validate_answer(chain_graph, match)
+
+    def test_diameter_cap(self, chain_graph):
+        _, match, _ = make_query_env(chain_graph, "apple berry")
+        full = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(InvalidTreeError):
+            full.validate_answer(chain_graph, match, max_diameter=2)
+
+    def test_phantom_edge_rejected(self, chain_graph):
+        _, match, _ = make_query_env(chain_graph, "apple berry")
+        phantom = JoinedTupleTree([0, 3], [(0, 3)])
+        with pytest.raises(InvalidTreeError):
+            phantom.validate_answer(chain_graph, match)
+
+    def test_non_free_nodes(self, chain_graph):
+        _, match, _ = make_query_env(chain_graph, "apple berry")
+        full = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        assert full.non_free_nodes(match) == [0, 3]
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=25), st.randoms())
+    def test_random_trees_valid(self, n, rng):
+        """Random parent arrays always build; leaves+diameter consistent."""
+        edges = [(i, rng.randrange(i)) for i in range(1, n)]
+        tree = JoinedTupleTree(range(n), edges)
+        assert tree.size == n
+        assert len(tree.edges) == n - 1
+        if n > 1:
+            leaves = tree.leaves()
+            assert leaves
+            assert all(tree.degree(leaf) == 1 for leaf in leaves)
+            # diameter equals the longest pairwise path
+            longest = max(
+                len(tree.path(a, b)) - 1
+                for a in range(n) for b in range(a, n)
+            )
+            assert tree.diameter == longest

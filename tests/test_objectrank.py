@@ -1,0 +1,87 @@
+"""Tests for the ObjectRank baseline."""
+
+import pytest
+
+from repro import DataGraph, InvertedIndex, JoinedTupleTree, KeywordMatcher
+from repro.baselines.objectrank import ObjectRankScorer
+
+
+@pytest.fixture()
+def citation_graph():
+    """Papers citing a seminal paper; two keyword-matching authors."""
+    g = DataGraph()
+    g.add_node("author", "papakonstantinou")   # 0
+    g.add_node("author", "ullman")             # 1
+    g.add_node("paper", "seminal work")        # 2
+    g.add_node("paper", "minor note")          # 3
+    for author in (0, 1):
+        g.add_link(author, 2, 1.0, 1.0)
+        g.add_link(author, 3, 1.0, 1.0)
+    for i in range(10):
+        citing = g.add_node("paper", f"citing {i}")
+        g.add_link(citing, 2, 0.5, 0.1)
+    return g
+
+
+@pytest.fixture()
+def scorer(citation_graph):
+    index = InvertedIndex.build(citation_graph)
+    match = KeywordMatcher(index).match("papakonstantinou ullman")
+    return ObjectRankScorer(citation_graph, match)
+
+
+class TestAuthority:
+    def test_base_nodes_have_high_self_authority(self, scorer):
+        assert scorer.keyword_authority("ullman", 1) > \
+            scorer.keyword_authority("ullman", 0)
+
+    def test_authority_flows_to_connected(self, scorer, citation_graph):
+        # the seminal paper receives authority from both authors
+        assert scorer.keyword_authority("ullman", 2) > 0
+        assert scorer.keyword_authority("papakonstantinou", 2) > 0
+
+    def test_unmatched_keyword_zero(self, citation_graph):
+        index = InvertedIndex.build(citation_graph)
+        match = KeywordMatcher(index).match("ullman ghostword")
+        scorer = ObjectRankScorer(citation_graph, match)
+        assert scorer.node_score(1) == 0.0
+
+    def test_and_semantics_product(self, scorer):
+        expected = (
+            scorer.keyword_authority("papakonstantinou", 2)
+            * scorer.keyword_authority("ullman", 2)
+        )
+        assert scorer.node_score(2) == pytest.approx(expected)
+
+
+class TestRanking:
+    def test_rank_nodes_sorted(self, scorer):
+        ranked = scorer.rank_nodes(top=5)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert len(ranked) == 5
+
+    def test_rank_nodes_validation(self, scorer):
+        from repro import EvaluationError
+        with pytest.raises(EvaluationError):
+            scorer.rank_nodes(top=0)
+
+    def test_seminal_paper_beats_minor(self, scorer):
+        """The highly cited connector accumulates more authority."""
+        assert scorer.node_score(2) > scorer.node_score(3)
+
+
+class TestTreeExtension:
+    def test_blind_to_structure(self, scorer):
+        """The paper's critique: the naive extension scores any node set
+        identically regardless of how it is wired."""
+        star = JoinedTupleTree([0, 1, 2], [(0, 2), (1, 2)])
+        chain = JoinedTupleTree([0, 1, 2], [(0, 1), (1, 2)])
+        # (chain edge 0-1 does not exist in the graph, but the scorer
+        # never looks — exactly the blindness under test)
+        assert scorer.score(star) == pytest.approx(scorer.score(chain))
+
+    def test_prefers_important_connector(self, scorer):
+        via_seminal = JoinedTupleTree([0, 1, 2], [(0, 2), (1, 2)])
+        via_minor = JoinedTupleTree([0, 1, 3], [(0, 3), (1, 3)])
+        assert scorer.score(via_seminal) > scorer.score(via_minor)

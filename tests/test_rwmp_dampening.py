@@ -1,0 +1,120 @@
+"""Tests for repro.rwmp.dampening (Equation 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DampeningModel, RWMPParams, ReproError, pagerank
+from repro.rwmp.dampening import linear_dampening, log_dampening
+from .conftest import random_test_graph
+
+
+class TestLogDampening:
+    def test_minimum_at_p_min(self):
+        """A node at p_min has exactly one talk step: d = alpha."""
+        rate = log_dampening(alpha=0.15, g=20.0)
+        assert rate(1.0) == pytest.approx(0.15)
+
+    def test_equation_2_value(self):
+        """d = 1 - (1-alpha)^(1 + log_g(ratio)), hand-checked."""
+        alpha, g, ratio = 0.2, 10.0, 1000.0
+        rate = log_dampening(alpha, g)
+        expected = 1.0 - (1.0 - alpha) ** (1.0 + math.log(ratio, g))
+        assert rate(ratio) == pytest.approx(expected)
+        assert rate(ratio) == pytest.approx(1.0 - 0.8 ** 4.0)
+
+    def test_monotonically_increasing(self):
+        rate = log_dampening(0.15, 20.0)
+        values = [rate(r) for r in (1, 2, 10, 100, 10000)]
+        assert values == sorted(values)
+        assert all(0 < v < 1 for v in values)
+
+    def test_ratio_below_one_clamped(self):
+        rate = log_dampening(0.15, 20.0)
+        assert rate(0.5) == pytest.approx(rate(1.0))
+
+    def test_g_controls_maximum(self):
+        """With alpha fixed, larger g lowers the rate at high ratios."""
+        small_g = log_dampening(0.15, 2.0)
+        large_g = log_dampening(0.15, 40.0)
+        assert small_g(1000.0) > large_g(1000.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            log_dampening(0.0, 20.0)
+        with pytest.raises(ReproError):
+            log_dampening(0.15, 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=1.5, max_value=100.0),
+        st.floats(min_value=1.0, max_value=1e9),
+    )
+    def test_range_invariant(self, alpha, g, ratio):
+        """d stays in [alpha, 1]; 1.0 is reachable only by float underflow
+        of (1-alpha)^exponent at extreme parameters."""
+        value = log_dampening(alpha, g)(ratio)
+        assert alpha - 1e-12 <= value <= 1.0
+
+
+class TestLinearDampening:
+    def test_proportional(self):
+        rate = linear_dampening(1000.0)
+        assert rate(500.0) == pytest.approx(0.5)
+        assert rate(1000.0) == pytest.approx(1.0)
+
+    def test_crushes_low_importance(self):
+        """The paper's objection: the range is too large."""
+        rate = linear_dampening(1e6)
+        assert rate(1.0) == pytest.approx(1e-6)
+
+    def test_clipped(self):
+        rate = linear_dampening(10.0)
+        assert rate(50.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            linear_dampening(0.5)
+
+
+class TestDampeningModel:
+    @pytest.fixture()
+    def model(self):
+        graph = random_test_graph(21, n=10)
+        importance = pagerank(graph)
+        return DampeningModel(importance, RWMPParams())
+
+    def test_t_is_inverse_p_min(self, model):
+        assert model.t == pytest.approx(1.0 / model.importance.p_min)
+
+    def test_surfers_at_least_one(self, model):
+        """The least important node hosts exactly one surfer."""
+        counts = [model.surfers(n) for n in range(len(model.importance))]
+        assert min(counts) == pytest.approx(1.0)
+
+    def test_rate_cached_and_monotone_in_importance(self, model):
+        nodes = sorted(
+            range(len(model.importance)), key=lambda n: model.importance[n]
+        )
+        rates = [model.rate(n) for n in nodes]
+        assert rates == sorted(rates)
+        assert model.rate(nodes[0]) == rates[0]  # cached path
+
+    def test_max_rate_dominates(self, model):
+        top = max(model.rate(n) for n in range(len(model.importance)))
+        assert model.max_rate() == pytest.approx(top)
+
+    def test_custom_function(self):
+        graph = random_test_graph(22, n=6)
+        importance = pagerank(graph)
+        model = DampeningModel(importance, fn=lambda ratio: 0.5)
+        assert model.rate(0) == 0.5
+
+    def test_invalid_custom_function_rejected(self):
+        graph = random_test_graph(23, n=6)
+        importance = pagerank(graph)
+        model = DampeningModel(importance, fn=lambda ratio: 2.0)
+        with pytest.raises(ReproError):
+            model.rate(0)

@@ -1,0 +1,108 @@
+"""Tests for repro.rwmp.explain."""
+
+import pytest
+
+from repro import InvalidTreeError, JoinedTupleTree
+from repro.rwmp.explain import (
+    explain_tree,
+    render_explanation,
+)
+from .conftest import make_query_env
+
+
+class TestExplainMatchesEngine:
+    def test_tree_score_exact(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple berry")
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        explanation = explain_tree(scorer, tree)
+        assert explanation.score == pytest.approx(scorer.score(tree))
+
+    def test_node_scores_exact(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple berry cedar")
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (0, 2), (0, 3)])
+        explanation = explain_tree(scorer, tree)
+        node_scores = scorer.node_scores(tree)
+        for node_exp in explanation.nodes:
+            assert node_exp.score == pytest.approx(
+                node_scores[node_exp.node]
+            )
+
+    def test_deliveries_match_message_pass(self, star_graph):
+        from repro import pass_messages
+        _, match, scorer = make_query_env(star_graph, "apple berry")
+        tree = JoinedTupleTree([0, 1, 2], [(0, 1), (0, 2)])
+        explanation = explain_tree(scorer, tree)
+        for node_exp in explanation.nodes:
+            for delivery in node_exp.deliveries:
+                engine = pass_messages(
+                    star_graph, tree, delivery.source,
+                    scorer.generation(delivery.source),
+                    scorer.dampening.rate,
+                )
+                assert delivery.delivered == pytest.approx(
+                    engine[delivery.destination]
+                )
+
+    def test_single_node_convention(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple")
+        tree = JoinedTupleTree.single(0)
+        explanation = explain_tree(scorer, tree)
+        assert explanation.score == pytest.approx(scorer.generation(0))
+        assert explanation.nodes[0].binding_source is None
+
+    def test_sourceless_rejected(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple")
+        free = JoinedTupleTree([1, 2], [(1, 2)])
+        with pytest.raises(InvalidTreeError):
+            explain_tree(scorer, free)
+
+
+class TestStructure:
+    def test_binding_source_is_min(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple berry cedar")
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (0, 2), (0, 3)])
+        explanation = explain_tree(scorer, tree)
+        for node_exp in explanation.nodes:
+            binding = min(node_exp.deliveries, key=lambda d: d.delivered)
+            assert node_exp.binding_source == binding.source
+            assert node_exp.score == pytest.approx(binding.delivered)
+
+    def test_hop_values_monotone_decreasing(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple berry")
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        explanation = explain_tree(scorer, tree)
+        for node_exp in explanation.nodes:
+            for delivery in node_exp.deliveries:
+                values = [delivery.generated] + [
+                    hop.value for hop in delivery.hops
+                ]
+                assert values == sorted(values, reverse=True)
+                assert delivery.hops[-1].node == delivery.destination
+
+    def test_loss_fraction(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple berry")
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        explanation = explain_tree(scorer, tree)
+        delivery = explanation.nodes[0].deliveries[0]
+        assert 0.0 < delivery.loss_fraction < 1.0
+
+    def test_weakest_link(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple berry cedar")
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (0, 2), (0, 3)])
+        explanation = explain_tree(scorer, tree)
+        weakest = explanation.weakest_link()
+        assert weakest is not None
+        assert weakest.score == min(n.score for n in explanation.nodes)
+
+
+class TestRendering:
+    def test_render_contains_key_facts(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple berry")
+        tree = JoinedTupleTree([0, 1, 2], [(0, 1), (0, 2)])
+        explanation = explain_tree(scorer, tree)
+        text = render_explanation(star_graph, explanation)
+        assert "tree score" in text
+        assert "binding" in text
+        assert "dampening=" in text
+        assert "apple" in text and "berry" in text
+        assert "weakest link" in text

@@ -1,0 +1,114 @@
+"""Tests for repro.rwmp.messages — hand-computed message passing."""
+
+import pytest
+
+from repro import DataGraph, InvalidTreeError, JoinedTupleTree, pass_messages
+from repro.rwmp.messages import message_matrix
+
+HALF = lambda node: 0.5  # constant dampening for hand calculations
+
+
+class TestChainPassing:
+    @pytest.fixture()
+    def setup(self, chain_graph):
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        return chain_graph, tree
+
+    def test_forward_chain_values(self, setup):
+        """0 -> 1 -> 2 -> 3 with unit weights and d = 0.5 everywhere.
+
+        At the source the whole generation leaves along the only tree
+        edge; every interior node halves (dampening), then splits in two
+        (the share sent back along the path is discarded).
+        """
+        graph, tree = setup
+        f = pass_messages(graph, tree, 0, 16.0, HALF)
+        assert f[1] == pytest.approx(8.0)          # 16 * d
+        assert f[2] == pytest.approx(2.0)          # 8 * 1/2 * d
+        assert f[3] == pytest.approx(0.5)          # 2 * 1/2 * d
+        assert 0 not in f
+
+    def test_source_gets_no_entry(self, setup):
+        graph, tree = setup
+        f = pass_messages(graph, tree, 3, 4.0, HALF)
+        assert set(f) == {0, 1, 2}
+
+    def test_zero_initial(self, setup):
+        graph, tree = setup
+        f = pass_messages(graph, tree, 0, 0.0, HALF)
+        assert all(v == 0.0 for v in f.values())
+
+    def test_single_node_tree(self, chain_graph):
+        tree = JoinedTupleTree.single(0)
+        assert pass_messages(chain_graph, tree, 0, 5.0, HALF) == {}
+
+    def test_source_outside_tree_rejected(self, setup):
+        graph, tree = setup
+        with pytest.raises(InvalidTreeError):
+            pass_messages(graph, JoinedTupleTree.single(0), 3, 1.0, HALF)
+
+
+class TestStarPassing:
+    def test_split_uses_tree_neighbors_only(self, star_graph):
+        """The hub has 4 graph neighbors but only the in-tree ones enter
+        the split denominator (Section III-C: N(v_j) ∩ V(T))."""
+        tree = JoinedTupleTree([0, 1, 2], [(0, 1), (0, 2)])
+        f = pass_messages(star_graph, tree, 1, 8.0, HALF)
+        # hub: 8 * d = 4; forward to 2: share w/(w+w) = 1/2 -> 2 * d = 1
+        assert f[0] == pytest.approx(4.0)
+        assert f[2] == pytest.approx(1.0)
+
+    def test_three_leaf_split(self, star_graph):
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (0, 2), (0, 3)])
+        f = pass_messages(star_graph, tree, 1, 12.0, HALF)
+        # hub keeps 6; each other leaf gets 6 * (1/3) * 0.5 = 1
+        assert f[0] == pytest.approx(6.0)
+        assert f[2] == pytest.approx(1.0)
+        assert f[3] == pytest.approx(1.0)
+
+
+class TestWeightedSplit:
+    def test_asymmetric_weights(self):
+        """Split shares follow directed edge weights."""
+        g = DataGraph()
+        for i in range(4):
+            g.add_node("t", f"n{i}")
+        g.add_link(1, 0, 1.0, 1.0)   # source - center
+        g.add_link(0, 2, 3.0, 1.0)   # heavy branch
+        g.add_link(0, 3, 1.0, 1.0)   # light branch
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (0, 2), (0, 3)])
+        f = pass_messages(g, tree, 1, 10.0, HALF)
+        # center: denominator = w(0->1)+w(0->2)+w(0->3) = 1+3+1 = 5
+        assert f[0] == pytest.approx(5.0)
+        assert f[2] == pytest.approx(5.0 * (3 / 5) * 0.5)
+        assert f[3] == pytest.approx(5.0 * (1 / 5) * 0.5)
+
+    def test_zero_forward_weight_blocks(self):
+        """A one-way link (weight only backwards) delivers nothing."""
+        g = DataGraph()
+        g.add_node("t", "a")
+        g.add_node("t", "b")
+        g.add_edge(1, 0, 1.0)  # only 1 -> 0 exists
+        tree = JoinedTupleTree([0, 1], [(0, 1)])
+        f = pass_messages(g, tree, 0, 10.0, HALF)
+        assert f[1] == 0.0
+        back = pass_messages(g, tree, 1, 10.0, HALF)
+        assert back[0] == pytest.approx(5.0)
+
+    def test_per_node_dampening(self, star_graph):
+        rates = {0: 0.9, 1: 0.5, 2: 0.1, 3: 0.5, 4: 0.5}
+        tree = JoinedTupleTree([0, 1, 2], [(0, 1), (0, 2)])
+        f = pass_messages(star_graph, tree, 1, 10.0, rates.__getitem__)
+        assert f[0] == pytest.approx(9.0)
+        assert f[2] == pytest.approx(9.0 * 0.5 * 0.1)
+
+
+class TestMessageMatrix:
+    def test_matrix_covers_all_sources(self, star_graph):
+        tree = JoinedTupleTree([0, 1, 2], [(0, 1), (0, 2)])
+        matrix = message_matrix(
+            star_graph, tree, {1: 4.0, 2: 8.0}, HALF
+        )
+        assert set(matrix) == {1, 2}
+        assert matrix[1][2] == pytest.approx(4.0 * 0.5 * 0.5 * 0.5)
+        assert matrix[2][1] == pytest.approx(8.0 * 0.5 * 0.5 * 0.5)

@@ -1,0 +1,155 @@
+"""Tests for repro.rwmp.scoring (Equations 3-4 and the straw men)."""
+
+import pytest
+
+from repro import (
+    DampeningModel,
+    DataGraph,
+    InvalidTreeError,
+    InvertedIndex,
+    JoinedTupleTree,
+    KeywordMatcher,
+    RWMPParams,
+    RWMPScorer,
+    pagerank,
+)
+from repro.rwmp.scoring import (
+    all_node_average_score,
+    average_importance_score,
+    size_normalized_importance_score,
+)
+from .conftest import make_query_env
+
+
+class TestGeneration:
+    def test_formula(self, chain_graph):
+        """r_ii = t * p_i * |v_i ∩ Q| / |v_i|."""
+        index, match, scorer = make_query_env(chain_graph, "apple")
+        damp = scorer.dampening
+        expected = damp.t * damp.importance[0] * 1 / 1
+        assert scorer.generation(0) == pytest.approx(expected)
+
+    def test_partial_match_fraction(self):
+        g = DataGraph()
+        g.add_node("t", "apple pie crust baker")  # 1 of 4 words matches
+        g.add_node("t", "apple")
+        g.add_link(0, 1, 1.0, 1.0)
+        index, match, scorer = make_query_env(g, "apple")
+        damp = scorer.dampening
+        assert scorer.generation(0) == pytest.approx(
+            damp.t * damp.importance[0] * 1 / 4
+        )
+
+    def test_repeated_keyword_counts_words(self):
+        g = DataGraph()
+        g.add_node("t", "apple apple tart")
+        g.add_node("t", "other")
+        g.add_link(0, 1, 1.0, 1.0)
+        index, match, scorer = make_query_env(g, "apple")
+        damp = scorer.dampening
+        assert scorer.generation(0) == pytest.approx(
+            damp.t * damp.importance[0] * 2 / 3
+        )
+
+    def test_free_node_generates_nothing(self, chain_graph):
+        _, _, scorer = make_query_env(chain_graph, "apple")
+        assert scorer.generation(1) == 0.0
+
+    def test_cached(self, chain_graph):
+        _, _, scorer = make_query_env(chain_graph, "apple")
+        assert scorer.generation(0) == scorer.generation(0)
+
+
+class TestNodeAndTreeScores:
+    def test_two_source_chain(self, chain_graph):
+        """Equation (3)/(4) against a manual message pass."""
+        _, match, scorer = make_query_env(chain_graph, "apple berry")
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        d = scorer.dampening.rate
+        g0, g3 = scorer.generation(0), scorer.generation(3)
+        # forward: every interior split halves (degree-2 interior nodes)
+        f_03 = g0 * d(1) * 0.5 * d(2) * 0.5 * d(3)
+        f_30 = g3 * d(2) * 0.5 * d(1) * 0.5 * d(0)
+        scores = scorer.node_scores(tree)
+        assert scores[3] == pytest.approx(f_03)
+        assert scores[0] == pytest.approx(f_30)
+        assert scorer.score(tree) == pytest.approx((f_03 + f_30) / 2)
+
+    def test_min_over_message_types(self, star_graph):
+        """A destination's score is its least populous incoming type."""
+        _, match, scorer = make_query_env(star_graph, "apple berry cedar")
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (0, 2), (0, 3)])
+        scores = scorer.node_scores(tree)
+        d = scorer.dampening.rate
+        for dest in (1, 2, 3):
+            others = [s for s in (1, 2, 3) if s != dest]
+            expected = min(
+                scorer.generation(s) * d(0) * (1 / 3) * d(dest)
+                for s in others
+            )
+            assert scores[dest] == pytest.approx(expected)
+
+    def test_single_node_convention(self, chain_graph):
+        """A lone-source single-node answer scores its own generation."""
+        _, match, scorer = make_query_env(chain_graph, "apple")
+        tree = JoinedTupleTree.single(0)
+        assert scorer.score(tree) == pytest.approx(scorer.generation(0))
+
+    def test_tree_without_sources_rejected(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple")
+        free_tree = JoinedTupleTree([1, 2], [(1, 2)])
+        with pytest.raises(InvalidTreeError):
+            scorer.score(free_tree)
+
+    def test_score_cache_consistent(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple berry")
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        assert scorer.score(tree) == scorer.score(tree)
+
+    def test_disconnected_keyword_scores_zero(self):
+        """Unreachable sources deliver nothing: min = 0."""
+        g = DataGraph()
+        g.add_node("t", "apple")
+        g.add_node("t", "berry")
+        g.add_node("t", "berry2")
+        g.add_edge(0, 1, 1.0)  # one-way only: berry cannot send back
+        g.add_link(1, 2, 1.0, 1.0)
+        _, match, scorer = make_query_env(g, "apple berry")
+        tree = JoinedTupleTree([0, 1], [(0, 1)])
+        scores = scorer.node_scores(tree)
+        assert scores[0] == 0.0
+        assert scores[1] > 0.0
+
+
+class TestStrawMen:
+    @pytest.fixture()
+    def env(self, star_graph):
+        index, match, scorer = make_query_env(star_graph, "apple berry")
+        importance = scorer.dampening.importance
+        return match, importance
+
+    def test_average_importance(self, env):
+        match, importance = env
+        tree = JoinedTupleTree([0, 1, 2], [(0, 1), (0, 2)])
+        expected = (importance[1] + importance[2]) / 2
+        assert average_importance_score(tree, match, importance) == \
+            pytest.approx(expected)
+
+    def test_average_importance_needs_sources(self, env):
+        match, importance = env
+        free_only = JoinedTupleTree.single(0)
+        with pytest.raises(InvalidTreeError):
+            average_importance_score(free_only, match, importance)
+
+    def test_all_node_average(self, env):
+        match, importance = env
+        tree = JoinedTupleTree([0, 1, 2], [(0, 1), (0, 2)])
+        expected = (importance[0] + importance[1] + importance[2]) / 3
+        assert all_node_average_score(tree, importance) == \
+            pytest.approx(expected)
+
+    def test_size_normalized(self, env):
+        match, importance = env
+        tree = JoinedTupleTree([0, 1, 2], [(0, 1), (0, 2)])
+        assert size_normalized_importance_score(tree, importance) == \
+            pytest.approx(all_node_average_score(tree, importance) / 3)

@@ -1,0 +1,83 @@
+"""Tests for repro.rwmp.simulation — the stochastic model validates the
+analytic engine."""
+
+import pytest
+
+from repro import InvalidTreeError, JoinedTupleTree, pass_messages
+from repro.rwmp.simulation import simulate_message_pass
+
+HALF = lambda node: 0.5
+
+
+class TestConvergence:
+    def test_chain_matches_analytic(self, chain_graph):
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+        analytic = pass_messages(chain_graph, tree, 0, 16.0, HALF)
+        simulated = simulate_message_pass(
+            chain_graph, tree, 0, 16.0, HALF, surfers=60000, seed=1
+        )
+        for node in analytic:
+            assert simulated[node] == pytest.approx(
+                analytic[node], rel=0.08, abs=0.05
+            )
+
+    def test_star_matches_analytic(self, star_graph):
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (0, 2), (0, 3)])
+        rates = {0: 0.9, 1: 0.4, 2: 0.6, 3: 0.3, 4: 0.5}
+        analytic = pass_messages(
+            star_graph, tree, 1, 12.0, rates.__getitem__
+        )
+        simulated = simulate_message_pass(
+            star_graph, tree, 1, 12.0, rates.__getitem__,
+            surfers=60000, seed=2,
+        )
+        for node in analytic:
+            assert simulated[node] == pytest.approx(
+                analytic[node], rel=0.1, abs=0.05
+            )
+
+    def test_weighted_split_matches(self):
+        from repro import DataGraph
+        g = DataGraph()
+        for i in range(4):
+            g.add_node("t", f"n{i}")
+        g.add_link(1, 0, 1.0, 1.0)
+        g.add_link(0, 2, 3.0, 1.0)
+        g.add_link(0, 3, 1.0, 1.0)
+        tree = JoinedTupleTree([0, 1, 2, 3], [(0, 1), (0, 2), (0, 3)])
+        analytic = pass_messages(g, tree, 1, 10.0, HALF)
+        simulated = simulate_message_pass(
+            g, tree, 1, 10.0, HALF, surfers=80000, seed=3
+        )
+        for node in analytic:
+            assert simulated[node] == pytest.approx(
+                analytic[node], rel=0.1, abs=0.05
+            )
+
+
+class TestBehavior:
+    def test_deterministic_given_seed(self, chain_graph):
+        tree = JoinedTupleTree([0, 1], [(0, 1)])
+        a = simulate_message_pass(chain_graph, tree, 0, 4.0, HALF,
+                                  surfers=500, seed=9)
+        b = simulate_message_pass(chain_graph, tree, 0, 4.0, HALF,
+                                  surfers=500, seed=9)
+        assert a == b
+
+    def test_zero_initial(self, chain_graph):
+        tree = JoinedTupleTree([0, 1], [(0, 1)])
+        out = simulate_message_pass(chain_graph, tree, 0, 0.0, HALF)
+        assert out[1] == 0.0
+
+    def test_single_node_tree(self, chain_graph):
+        out = simulate_message_pass(
+            chain_graph, JoinedTupleTree.single(0), 0, 5.0, HALF
+        )
+        assert out == {}
+
+    def test_validation(self, chain_graph):
+        tree = JoinedTupleTree([0, 1], [(0, 1)])
+        with pytest.raises(InvalidTreeError):
+            simulate_message_pass(chain_graph, tree, 3, 1.0, HALF)
+        with pytest.raises(InvalidTreeError):
+            simulate_message_pass(chain_graph, tree, 0, 1.0, HALF, surfers=0)

@@ -1,0 +1,170 @@
+"""Tests for the branch-and-bound search (Algorithm 1, Theorem 1)."""
+
+import pytest
+
+from repro import (
+    BranchAndBoundSearch,
+    DampeningModel,
+    InvertedIndex,
+    KeywordMatcher,
+    PairsIndex,
+    RWMPParams,
+    RWMPScorer,
+    SearchError,
+    SearchParams,
+    enumerate_answers,
+    pagerank,
+)
+from .conftest import make_query_env, random_test_graph
+
+
+def build_search_env(seed, query, use_index=False):
+    g = random_test_graph(seed, n=10, extra_edges=6)
+    index = InvertedIndex.build(g)
+    matcher = KeywordMatcher(index)
+    match = matcher.match(query)
+    if not match.matchable:
+        return None
+    importance = pagerank(g)
+    dampening = DampeningModel(importance, RWMPParams())
+    scorer = RWMPScorer(g, index, match, dampening)
+    graph_index = PairsIndex(g, dampening) if use_index else None
+    return g, index, match, scorer, graph_index
+
+
+class TestOptimality:
+    """Theorem 1: B&B top-k equals exhaustive enumeration's top-k."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("use_index", [False, True])
+    def test_matches_exhaustive_topk(self, seed, use_index):
+        query = ["apple berry", "cedar", "apple delta", "berry"][seed % 4]
+        env = build_search_env(seed, query, use_index)
+        if env is None:
+            pytest.skip("unmatchable query on this random graph")
+        g, index, match, scorer, graph_index = env
+        k, diameter = 3, 4
+        truth = sorted(
+            (
+                scorer.score(t)
+                for t in enumerate_answers(g, match, diameter, max_nodes=7)
+            ),
+            reverse=True,
+        )[:k]
+        # permissive merges: the provably complete configuration the
+        # exhaustive oracle corresponds to
+        search = BranchAndBoundSearch(
+            g, scorer, match,
+            SearchParams(k=k, diameter=diameter, strict_merge=False),
+            index=graph_index,
+        )
+        got = [a.score for a in search.run()]
+        assert len(got) == min(k, len(truth))
+        for a, b in zip(got, truth):
+            assert a == pytest.approx(b, rel=1e-9, abs=1e-12)
+
+    def test_answers_are_valid(self, tiny_imdb_system):
+        from repro import WorkloadConfig, generate_workload
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.synthetic(queries=3),
+        )
+        for query in workload:
+            answers = system.search(query.text, k=5, diameter=4)
+            assert answers
+            match = system.matcher.match(query.text)
+            for answer in answers:
+                answer.tree.validate_answer(system.graph, match, 4)
+
+
+class TestBehavior:
+    def test_stats_populated(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple berry")
+        search = BranchAndBoundSearch(
+            chain_graph, scorer, match, SearchParams(k=2, diameter=4)
+        )
+        answers = search.run()
+        assert len(answers) == 1  # only one answer exists
+        assert search.stats.answers_found >= 1
+        assert search.stats.expanded > 0
+        assert search.stats.generated >= search.stats.enqueued
+
+    def test_diameter_zero_single_node_answers_only(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple")
+        search = BranchAndBoundSearch(
+            star_graph, scorer, match, SearchParams(k=3, diameter=0)
+        )
+        answers = search.run()
+        assert len(answers) == 1
+        assert answers[0].tree.size == 1
+
+    def test_unanswerable_query(self, chain_graph):
+        """Keywords on disconnected components yield no answers."""
+        lonely = chain_graph.add_node("t", "cedar")
+        _, match, scorer = make_query_env(chain_graph, "apple cedar")
+        search = BranchAndBoundSearch(
+            chain_graph, scorer, match, SearchParams(k=2, diameter=4)
+        )
+        assert search.run() == []
+
+    def test_max_candidates_valve(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple berry")
+        search = BranchAndBoundSearch(
+            star_graph, scorer, match,
+            SearchParams(k=2, diameter=4, max_candidates=1),
+        )
+        search.run()
+        assert search.stats.expanded <= 1
+
+    def test_mismatched_scorer_rejected(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple")
+        _, other_match, _ = make_query_env(chain_graph, "berry")
+        with pytest.raises(SearchError):
+            BranchAndBoundSearch(chain_graph, scorer, other_match)
+
+    def test_strict_merge_still_finds_simple_answers(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple berry")
+        strict = BranchAndBoundSearch(
+            star_graph, scorer, match,
+            SearchParams(k=3, diameter=4, strict_merge=True),
+        )
+        answers = strict.run()
+        assert answers
+        top = answers[0].tree
+        assert top.nodes == frozenset({0, 1, 2})
+
+    def test_early_stop_recorded(self, tiny_imdb_system):
+        from repro import WorkloadConfig, generate_workload
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index,
+            WorkloadConfig.synthetic(queries=4),
+        )
+        fired = False
+        for query in workload:
+            match = system.matcher.match(query.text)
+            scorer = system.scorer_for(match)
+            search = BranchAndBoundSearch(
+                system.graph, scorer, match, SearchParams(k=1, diameter=4)
+            )
+            search.run()
+            fired = fired or search.stats.stopped_early \
+                or search.stats.pruned_bound > 0
+        assert fired
+
+    def test_index_does_not_change_results(self, tiny_dblp_system):
+        from repro import WorkloadConfig, generate_workload
+        system = tiny_dblp_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.dblp(queries=2),
+        )
+        query = workload[0].text
+        no_index = system.search(query, k=4, diameter=4)
+        system.build_pairs_index(horizon=5)
+        with_index = system.search(query, k=4, diameter=4)
+        system.graph_index = None
+        assert no_index  # the workload guarantees an answer exists
+        assert [a.score for a in no_index] == pytest.approx(
+            [a.score for a in with_index]
+        )

@@ -1,0 +1,193 @@
+"""Tests for the search extensions: anytime snapshots and OR semantics."""
+
+import pytest
+
+from repro import (
+    BranchAndBoundSearch,
+    JoinedTupleTree,
+    ReproError,
+    SearchParams,
+    enumerate_answers,
+)
+from .conftest import make_query_env, random_test_graph
+
+
+class TestAnytimeSnapshots:
+    def test_final_snapshot_matches_run(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple berry")
+        params = SearchParams(k=3, diameter=4)
+        run_answers = BranchAndBoundSearch(
+            star_graph, scorer, match, params
+        ).run()
+        snapshots = list(BranchAndBoundSearch(
+            star_graph, scorer, match, params
+        ).snapshots())
+        assert snapshots
+        final = snapshots[-1]
+        assert final.proven_optimal
+        assert [a.score for a in final.answers] == \
+            [a.score for a in run_answers]
+
+    def test_answers_only_improve(self):
+        g = random_test_graph(51, n=12, extra_edges=8)
+        _, match, scorer = make_query_env(g, "apple berry")
+        if not match.matchable:
+            pytest.skip("unmatchable")
+        search = BranchAndBoundSearch(
+            g, scorer, match, SearchParams(k=3, diameter=4)
+        )
+        best_so_far = float("-inf")
+        for snapshot in search.snapshots():
+            if snapshot.answers:
+                assert snapshot.answers[0].score >= best_so_far - 1e-12
+                best_so_far = snapshot.answers[0].score
+
+    def test_frontier_bound_caps_later_discoveries(self):
+        """Every answer discovered after a snapshot scores at most the
+        snapshot's frontier bound."""
+        g = random_test_graph(52, n=12, extra_edges=8)
+        _, match, scorer = make_query_env(g, "apple berry")
+        if not match.matchable:
+            pytest.skip("unmatchable")
+        search = BranchAndBoundSearch(
+            g, scorer, match, SearchParams(k=4, diameter=4)
+        )
+        snapshots = list(search.snapshots())
+        for i, snapshot in enumerate(snapshots[:-1]):
+            seen = {a.tree for a in snapshot.answers}
+            for later in snapshots[i + 1:]:
+                for answer in later.answers:
+                    if answer.tree not in seen:
+                        assert answer.score <= snapshot.frontier_bound + 1e-9
+
+    def test_gap_zero_when_proven(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple berry")
+        final = list(BranchAndBoundSearch(
+            star_graph, scorer, match, SearchParams(k=2, diameter=4)
+        ).snapshots())[-1]
+        assert final.proven_optimal
+        assert final.gap == 0.0
+
+    def test_max_candidates_snapshot_unproven(self, tiny_imdb_system):
+        from repro import WorkloadConfig, generate_workload
+        system = tiny_imdb_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.synthetic(queries=2),
+        )
+        match = system.matcher.match(workload[0].text)
+        scorer = system.scorer_for(match)
+        search = BranchAndBoundSearch(
+            system.graph, scorer, match,
+            SearchParams(k=3, diameter=4, max_candidates=2),
+        )
+        final = list(search.snapshots())[-1]
+        assert not final.proven_optimal
+
+
+class TestOrSemantics:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SearchParams(semantics="xor")
+
+    def test_or_accepts_partial_coverage(self, chain_graph):
+        """Under OR, a single 'apple' node answers 'apple berry'."""
+        _, match, scorer = make_query_env(chain_graph, "apple berry")
+        search = BranchAndBoundSearch(
+            chain_graph, scorer, match,
+            SearchParams(k=5, diameter=4, semantics="or"),
+        )
+        answers = search.run()
+        nodesets = {frozenset(a.tree.nodes) for a in answers}
+        assert frozenset({0}) in nodesets
+        assert frozenset({3}) in nodesets
+        # the full AND answer is also found
+        assert frozenset({0, 1, 2, 3}) in nodesets
+
+    def test_or_superset_of_and(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple berry")
+        and_answers = BranchAndBoundSearch(
+            star_graph, scorer, match,
+            SearchParams(k=10, diameter=4, semantics="and"),
+        ).run()
+        or_answers = BranchAndBoundSearch(
+            star_graph, scorer, match,
+            SearchParams(k=20, diameter=4, semantics="or"),
+        ).run()
+        assert len(or_answers) >= len(and_answers)
+
+    def test_or_optimality_against_enumeration(self):
+        """OR-mode B&B still returns the true top-k over the wider
+        (partial-coverage) answer space."""
+        for seed in range(6):
+            g = random_test_graph(seed + 60, n=9, extra_edges=5)
+            _, match, scorer = make_query_env(g, "apple berry")
+            if not match.matchable:
+                continue
+            # the OR answer space: reduced trees covering >= 1 keyword,
+            # enumerated by exhaustive leaf-growth (dedup by signature)
+            from repro.model.jtt import JoinedTupleTree as JTT
+            frontier = [JTT.single(n) for n in sorted(match.all_nodes)]
+            stack = list(frontier)
+            seen_trees = set(frontier)
+            answers = []
+            while stack:
+                tree = stack.pop()
+                if tree.diameter <= 4 and tree.is_reduced(match):
+                    answers.append(tree)
+                if len(tree.nodes) >= 6:
+                    continue
+                for node in tree.nodes:
+                    for nbr in g.neighbors(node):
+                        if nbr in tree.nodes:
+                            continue
+                        extended = tree.with_edge(node, nbr)
+                        if extended.diameter <= 4 and extended not in seen_trees:
+                            seen_trees.add(extended)
+                            stack.append(extended)
+            truth = sorted(
+                (scorer.score(t) for t in set(answers)), reverse=True
+            )[:3]
+            got = [a.score for a in BranchAndBoundSearch(
+                g, scorer, match,
+                SearchParams(k=3, diameter=4, semantics="or",
+                             strict_merge=False),
+            ).run()]
+            assert len(got) == min(3, len(truth))
+            for a, b in zip(got, truth):
+                assert a == pytest.approx(b, rel=1e-9, abs=1e-12)
+
+    def test_or_without_one_keyword_matching(self, chain_graph):
+        """A keyword matching nothing kills AND but not OR."""
+        _, match, scorer = make_query_env(chain_graph, "apple")
+        match.per_keyword["ghost"] = set()
+        match.keywords.append("ghost")
+        and_search = BranchAndBoundSearch(
+            chain_graph, scorer, match,
+            SearchParams(k=3, diameter=4, semantics="and"),
+        )
+        assert and_search.run() == []
+        or_search = BranchAndBoundSearch(
+            chain_graph, scorer, match,
+            SearchParams(k=3, diameter=4, semantics="or"),
+        )
+        assert or_search.run()
+
+
+class TestOrWithIndex:
+    def test_or_mode_index_does_not_change_results(self):
+        """OR-mode bounds must stay admissible with index tightening."""
+        from repro import PairsIndex
+        for seed in range(4):
+            g = random_test_graph(seed + 80, n=10, extra_edges=6)
+            _, match, scorer = make_query_env(g, "apple berry")
+            if not match.matchable:
+                continue
+            params = SearchParams(k=4, diameter=4, semantics="or")
+            plain = BranchAndBoundSearch(g, scorer, match, params).run()
+            index = PairsIndex(g, scorer.dampening)
+            indexed = BranchAndBoundSearch(
+                g, scorer, match, params, index=index
+            ).run()
+            assert [a.score for a in plain] == pytest.approx(
+                [a.score for a in indexed]
+            )

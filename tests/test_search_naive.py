@@ -1,0 +1,141 @@
+"""Tests for the naive search (Section IV-A) and the enumerator."""
+
+import pytest
+
+from repro import (
+    JoinedTupleTree,
+    NaiveSearch,
+    SearchParams,
+    enumerate_answers,
+    SearchError,
+)
+from .conftest import make_query_env, random_test_graph
+
+
+class TestNaiveSearch:
+    def test_finds_chain_answer(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple berry")
+        search = NaiveSearch(
+            chain_graph, scorer, match, SearchParams(k=3, diameter=4)
+        )
+        answers = search.run()
+        assert len(answers) == 1
+        assert answers[0].tree.nodes == frozenset({0, 1, 2, 3})
+
+    def test_respects_diameter(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple berry")
+        search = NaiveSearch(
+            chain_graph, scorer, match, SearchParams(k=3, diameter=2)
+        )
+        assert search.run() == []
+
+    def test_single_keyword(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple")
+        search = NaiveSearch(
+            star_graph, scorer, match, SearchParams(k=3, diameter=4)
+        )
+        answers = search.run()
+        assert answers[0].tree == JoinedTupleTree.single(1)
+
+    def test_star_answer(self, star_graph):
+        _, match, scorer = make_query_env(star_graph, "apple berry cedar")
+        search = NaiveSearch(
+            star_graph, scorer, match, SearchParams(k=5, diameter=4)
+        )
+        answers = search.run()
+        assert any(
+            a.tree.nodes == frozenset({0, 1, 2, 3}) for a in answers
+        )
+
+    def test_all_answers_valid(self):
+        g = random_test_graph(31, n=12, extra_edges=8)
+        env = make_query_env(g, "apple berry")
+        _, match, scorer = env
+        if not match.matchable:
+            pytest.skip("unmatchable")
+        search = NaiveSearch(g, scorer, match, SearchParams(k=50, diameter=4))
+        for tree in search.iter_answers():
+            tree.validate_answer(g, match, 4)
+
+    def test_answers_unique(self):
+        g = random_test_graph(32, n=12, extra_edges=8)
+        _, match, scorer = make_query_env(g, "apple berry")
+        if not match.matchable:
+            pytest.skip("unmatchable")
+        search = NaiveSearch(g, scorer, match, SearchParams(k=50, diameter=4))
+        trees = list(search.iter_answers())
+        assert len(trees) == len(set(trees))
+
+    def test_caps_limit_output(self):
+        g = random_test_graph(33, n=14, extra_edges=10)
+        _, match, scorer = make_query_env(g, "apple berry")
+        if not match.matchable:
+            pytest.skip("unmatchable")
+        capped = NaiveSearch(
+            g, scorer, match, SearchParams(k=50, diameter=4),
+            max_answers_per_root=1,
+        )
+        uncapped = NaiveSearch(
+            g, scorer, match, SearchParams(k=50, diameter=4),
+        )
+        assert len(list(capped.iter_answers())) <= len(
+            list(uncapped.iter_answers())
+        )
+
+    def test_topk_subset_of_bnb(self):
+        """Naive explores shortest-path assemblies only, so its best
+        answer can never beat B&B's optimum."""
+        from repro import BranchAndBoundSearch
+        g = random_test_graph(34, n=10, extra_edges=6)
+        _, match, scorer = make_query_env(g, "apple berry")
+        if not match.matchable:
+            pytest.skip("unmatchable")
+        params = SearchParams(k=3, diameter=4)
+        naive = NaiveSearch(g, scorer, match, params).run()
+        bnb = BranchAndBoundSearch(g, scorer, match, params).run()
+        if naive and bnb:
+            assert bnb[0].score >= naive[0].score - 1e-12
+
+    def test_mismatched_scorer_rejected(self, chain_graph):
+        _, match, scorer = make_query_env(chain_graph, "apple")
+        _, other, _ = make_query_env(chain_graph, "berry")
+        with pytest.raises(SearchError):
+            NaiveSearch(chain_graph, scorer, other)
+
+
+class TestEnumerateAnswers:
+    def test_chain(self, chain_graph):
+        _, match, _ = make_query_env(chain_graph, "apple berry")
+        answers = list(enumerate_answers(chain_graph, match, 4))
+        assert len(answers) == 1
+
+    def test_star_all_shapes(self, star_graph):
+        _, match, _ = make_query_env(star_graph, "apple berry")
+        answers = list(enumerate_answers(star_graph, match, 4, max_nodes=5))
+        shapes = {frozenset(t.nodes) for t in answers}
+        # minimal connector tree plus supersets with extra keyword leaves
+        assert frozenset({0, 1, 2}) in shapes
+        for tree in answers:
+            tree.validate_answer(star_graph, match, 4)
+
+    def test_unique_and_deterministic(self):
+        g = random_test_graph(35, n=9, extra_edges=5)
+        _, match, _ = make_query_env(g, "apple")
+        if not match.matchable:
+            pytest.skip("unmatchable")
+        a = list(enumerate_answers(g, match, 3, max_nodes=5))
+        b = list(enumerate_answers(g, match, 3, max_nodes=5))
+        assert a == b
+        assert len(a) == len(set(a))
+
+    def test_max_nodes_cap(self, star_graph):
+        _, match, _ = make_query_env(star_graph, "apple berry")
+        small = list(enumerate_answers(star_graph, match, 4, max_nodes=3))
+        large = list(enumerate_answers(star_graph, match, 4, max_nodes=5))
+        assert len(small) <= len(large)
+        assert all(len(t.nodes) <= 3 for t in small)
+
+    def test_bad_max_nodes(self, star_graph):
+        _, match, _ = make_query_env(star_graph, "apple")
+        with pytest.raises(SearchError):
+            list(enumerate_answers(star_graph, match, 4, max_nodes=0))

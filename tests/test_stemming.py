@@ -1,0 +1,82 @@
+"""Tests for the Porter stemmer and the stemming analyzer stage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Analyzer, DataGraph, InvertedIndex, KeywordMatcher
+from repro.text.stemming import porter_stem
+
+
+class TestPublishedExamples:
+    """Examples from Porter's 1980 paper and its reference vocabulary."""
+
+    @pytest.mark.parametrize("word,stem", [
+        # step 1a
+        ("caresses", "caress"), ("ponies", "poni"), ("caress", "caress"),
+        ("cats", "cat"),
+        # step 1b
+        ("feed", "feed"), ("agreed", "agre"), ("plastered", "plaster"),
+        ("bled", "bled"), ("motoring", "motor"), ("sing", "sing"),
+        ("conflated", "conflat"), ("troubled", "troubl"),
+        ("sized", "size"), ("hopping", "hop"), ("tanned", "tan"),
+        ("falling", "fall"), ("hissing", "hiss"), ("fizzed", "fizz"),
+        ("failing", "fail"), ("filing", "file"),
+        # step 1c
+        ("happy", "happi"), ("sky", "sky"),
+        # step 2
+        ("relational", "relat"), ("conditional", "condit"),
+        ("rational", "ration"), ("valenci", "valenc"),
+        ("digitizer", "digit"), ("operator", "oper"),
+        ("sensitiviti", "sensit"),
+        # step 3
+        ("triplicate", "triplic"), ("formative", "form"),
+        ("formalize", "formal"), ("electriciti", "electr"),
+        ("electrical", "electr"), ("hopeful", "hope"),
+        ("goodness", "good"),
+        # step 4
+        ("revival", "reviv"), ("allowance", "allow"),
+        ("inference", "infer"), ("airliner", "airlin"),
+        ("adjustment", "adjust"), ("adoption", "adopt"),
+        ("irritant", "irrit"), ("communism", "commun"),
+        ("activate", "activ"), ("homologous", "homolog"),
+        ("effective", "effect"), ("bowdlerize", "bowdler"),
+        # step 5
+        ("probate", "probat"), ("rate", "rate"), ("cease", "ceas"),
+        ("controll", "control"), ("roll", "roll"),
+    ])
+    def test_word(self, word, stem):
+        assert porter_stem(word) == stem
+
+    def test_short_words_untouched(self):
+        assert porter_stem("at") == "at"
+        assert porter_stem("by") == "by"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz",
+                   min_size=1, max_size=15))
+    def test_idempotent_and_never_longer(self, word):
+        stemmed = porter_stem(word)
+        assert len(stemmed) <= len(word) + 1  # "+e" restorations
+        # stemming is not strictly idempotent in theory but must not blow up
+        assert porter_stem(stemmed) == porter_stem(porter_stem(stemmed))
+
+
+class TestStemmingAnalyzer:
+    def test_variants_collapse(self):
+        analyzer = Analyzer(stemming=True)
+        assert analyzer.analyze("integration integrating integrated") == [
+            "integr", "integr", "integr"
+        ]
+
+    def test_query_matches_variant(self):
+        g = DataGraph()
+        g.add_node("paper", "integrating heterogeneous sources")
+        g.add_node("paper", "other topic")
+        g.add_link(0, 1, 1.0, 1.0)
+        analyzer = Analyzer(stemming=True)
+        index = InvertedIndex.build(g, analyzer)
+        match = KeywordMatcher(index).match("integration")
+        assert match.all_nodes == {0}
+
+    def test_off_by_default(self):
+        assert Analyzer().analyze("integration") == ["integration"]

@@ -1,0 +1,129 @@
+"""Tests for repro.storage — save/load roundtrips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ReproError
+from repro.storage import (
+    graph_from_dict,
+    graph_to_dict,
+    load_system,
+    save_system,
+)
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip_preserves_structure(self, tiny_dblp_system):
+        graph = tiny_dblp_system.graph
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert clone.node_count == graph.node_count
+        assert clone.edge_count == graph.edge_count
+        for node in list(graph.nodes())[:50]:
+            assert clone.info(node).relation == graph.info(node).relation
+            assert clone.info(node).text == graph.info(node).text
+            assert clone.info(node).attrs == graph.info(node).attrs
+            assert clone.out_edges(node) == graph.out_edges(node)
+
+    def test_roundtrip_json_stable(self, chain_graph):
+        payload = graph_to_dict(chain_graph)
+        text = json.dumps(payload)
+        clone = graph_from_dict(json.loads(text))
+        assert graph_to_dict(clone) == payload
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ReproError):
+            graph_from_dict({"nodes": [{"bogus": 1}], "edges": []})
+        with pytest.raises(ReproError):
+            graph_from_dict({"nodes": [], "edges": [[0, 1]]})
+
+
+class TestSystemRoundtrip:
+    def test_save_load_same_answers(self, tiny_dblp_system, tmp_path):
+        from repro import WorkloadConfig, generate_workload
+        system = tiny_dblp_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.dblp(queries=2),
+        )
+        query = workload[0].text
+        expected = [a.score for a in system.search(query, k=3)]
+
+        save_system(system, tmp_path / "deployment")
+        reopened = load_system(tmp_path / "deployment")
+        got = [a.score for a in reopened.search(query, k=3)]
+        assert got == pytest.approx(expected)
+
+    def test_importance_preserved_exactly(self, tiny_dblp_system, tmp_path):
+        system = tiny_dblp_system
+        save_system(system, tmp_path / "d")
+        reopened = load_system(tmp_path / "d")
+        assert np.allclose(
+            reopened.importance.values, system.importance.values
+        )
+        assert reopened.importance.teleport == system.importance.teleport
+
+    def test_star_index_preserved(self, tiny_dblp_system, tmp_path):
+        from repro import CIRankSystem
+        base = tiny_dblp_system
+        system = CIRankSystem(
+            base.graph, base.index, base.importance,
+            base.params, base.search_params,
+        )
+        star = system.build_star_index(horizon=5)
+        save_system(system, tmp_path / "d")
+        reopened = load_system(tmp_path / "d")
+        assert reopened.graph_index is not None
+        for u in list(system.graph.nodes())[:20]:
+            for v in (0, 5, 17):
+                assert reopened.graph_index.distance_lower(u, v) == \
+                    star.distance_lower(u, v)
+                assert reopened.graph_index.retention_upper(u, v) == \
+                    pytest.approx(star.retention_upper(u, v))
+
+    def test_params_roundtrip(self, tiny_dblp_system, tmp_path):
+        from repro import CIRankSystem, RWMPParams, SearchParams
+        base = tiny_dblp_system
+        system = CIRankSystem(
+            base.graph, base.index, base.importance,
+            RWMPParams(alpha=0.2, g=10.0),
+            SearchParams(k=7, diameter=5, semantics="or"),
+        )
+        save_system(system, tmp_path / "d")
+        reopened = load_system(tmp_path / "d")
+        assert reopened.params.alpha == 0.2
+        assert reopened.params.g == 10.0
+        assert reopened.search_params.k == 7
+        assert reopened.search_params.semantics == "or"
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_system(tmp_path)
+
+    def test_bad_format_version(self, tiny_dblp_system, tmp_path):
+        save_system(tiny_dblp_system, tmp_path / "d")
+        manifest = json.loads((tmp_path / "d" / "manifest.json").read_text())
+        manifest["format"] = 999
+        (tmp_path / "d" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ReproError):
+            load_system(tmp_path / "d")
+
+
+class TestPropertyRoundtrip:
+    """Randomized graph serialization roundtrips."""
+
+    def test_random_graphs_roundtrip(self):
+        from hypothesis import given, settings, strategies as st
+        from .conftest import random_test_graph
+
+        @settings(max_examples=20, deadline=None)
+        @given(st.integers(min_value=0, max_value=1000))
+        def check(seed):
+            graph = random_test_graph(seed, n=8, extra_edges=5)
+            clone = graph_from_dict(graph_to_dict(graph))
+            assert clone.node_count == graph.node_count
+            for node in graph.nodes():
+                assert clone.out_edges(node) == graph.out_edges(node)
+                assert clone.info(node).text == graph.info(node).text
+
+        check()

@@ -1,0 +1,140 @@
+"""The four Table I model-benefit claims, verified on hand graphs.
+
+Table I of the paper summarizes what the RWMP scoring buys:
+
+1. important non-free nodes are favored;
+2. messages dampen per hop, so smaller trees are preferred;
+3. dampening grows with importance, so important *free* connectors are
+   preferred;
+4. the free-node domination problem (Fig. 4) is avoided.
+"""
+
+import pytest
+
+from repro import (
+    DataGraph,
+    InvertedIndex,
+    JoinedTupleTree,
+    KeywordMatcher,
+)
+from repro.rwmp.scoring import all_node_average_score
+from .conftest import make_query_env
+
+
+def test_claim1_important_sources_favored():
+    """Two structurally identical answers; the one whose keyword nodes
+    are more important scores higher."""
+    g = DataGraph()
+    g.add_node("t", "apple")     # 0: popular apple
+    g.add_node("t", "berry")     # 1: popular berry
+    g.add_node("t", "hub one")   # 2
+    g.add_node("t", "apple")     # 3: obscure apple
+    g.add_node("t", "berry")     # 4: obscure berry
+    g.add_node("t", "hub two")   # 5
+    g.add_link(0, 2, 1.0, 1.0)
+    g.add_link(1, 2, 1.0, 1.0)
+    g.add_link(3, 5, 1.0, 1.0)
+    g.add_link(4, 5, 1.0, 1.0)
+    # fans boost the importance of nodes 0 and 1
+    for target in (0, 1):
+        for _ in range(6):
+            fan = g.add_node("t", "fan")
+            g.add_edge(fan, target, 1.0)
+    _, match, scorer = make_query_env(g, "apple berry")
+    popular = JoinedTupleTree([0, 1, 2], [(0, 2), (1, 2)])
+    obscure = JoinedTupleTree([3, 4, 5], [(3, 5), (4, 5)])
+    assert scorer.score(popular) > scorer.score(obscure)
+
+
+def test_claim2_smaller_trees_preferred(chain_graph):
+    """More intermediate hops -> more dampening -> lower score."""
+    g = DataGraph()
+    g.add_node("t", "apple")   # 0
+    g.add_node("t", "berry")   # 1
+    g.add_node("t", "mid")     # 2
+    g.add_node("t", "berry")   # 3
+    g.add_link(0, 1, 1.0, 1.0)          # direct apple-berry
+    g.add_link(0, 2, 1.0, 1.0)          # apple-mid-berry
+    g.add_link(2, 3, 1.0, 1.0)
+    _, match, scorer = make_query_env(g, "apple berry")
+    short = JoinedTupleTree([0, 1], [(0, 1)])
+    long = JoinedTupleTree([0, 2, 3], [(0, 2), (2, 3)])
+    assert scorer.score(short) > scorer.score(long)
+
+
+def test_claim3_important_free_connectors_preferred():
+    """The Fig. 3 fix: same keyword nodes, different free connector; the
+    more important connector wins (BANKS ties here)."""
+    g = DataGraph()
+    g.add_node("actor", "bloom")       # 0
+    g.add_node("actor", "wood")        # 1
+    g.add_node("movie", "popular")     # 2
+    g.add_node("movie", "obscure")     # 3
+    for actor in (0, 1):
+        g.add_link(actor, 2, 1.0, 1.0)
+        g.add_link(actor, 3, 1.0, 1.0)
+    for i in range(10):
+        fan = g.add_node("actor", f"fan {i}")
+        g.add_link(fan, 2, 1.0, 0.1)
+    _, match, scorer = make_query_env(g, "bloom wood")
+    via_popular = JoinedTupleTree([0, 1, 2], [(0, 2), (1, 2)])
+    via_obscure = JoinedTupleTree([0, 1, 3], [(0, 3), (1, 3)])
+    assert scorer.score(via_popular) > scorer.score(via_obscure)
+    # and the dampening rates are why:
+    assert scorer.dampening.rate(2) > scorer.dampening.rate(3)
+
+
+def test_claim4_no_free_node_domination():
+    """The Fig. 4 scenario: a single node matching both keywords must
+    outrank a sprawling tree whose *free* nodes are very important —
+    while the all-node-average straw man gets it backwards."""
+    g = DataGraph()
+    g.add_node("actor", "wilson cruz")                  # 0: T1
+    g.add_node("movie", "charlie wilson war")           # 1
+    g.add_node("actor", "tom hanks")                    # 2: famous free node
+    g.add_node("tv", "america tribute heroes")          # 3
+    g.add_node("actress", "penelope cruz")              # 4
+    g.add_link(1, 2, 1.0, 1.0)
+    g.add_link(2, 3, 1.0, 1.0)
+    g.add_link(3, 4, 1.0, 1.0)
+    # make tom hanks massively important
+    for i in range(40):
+        fan = g.add_node("movie", f"movie {i}")
+        g.add_link(fan, 2, 1.0, 1.0)
+    # give the wilson cruz actor a little connectivity so it exists in
+    # the walk (single node with no edges would still work)
+    g.add_link(0, 3, 0.5, 0.5)
+    _, match, scorer = make_query_env(g, "wilson cruz")
+    t1 = JoinedTupleTree.single(0)
+    t2 = JoinedTupleTree([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4)])
+    importance = scorer.dampening.importance
+    # the straw man is dominated by the famous free node...
+    assert all_node_average_score(t2, importance) > \
+        all_node_average_score(t1, importance)
+    # ...CI-Rank is not:
+    assert scorer.score(t1) > scorer.score(t2)
+
+
+def test_structural_difference_star_vs_chain():
+    """Section III-B's last straw man: average-importance/size cannot
+    tell a star from a chain of the same size; RWMP scores them apart
+    (the star's shorter paths dampen less)."""
+    g = DataGraph()
+    center_star = g.add_node("t", "hub")       # 0
+    leaves = [g.add_node("t", w) for w in ("apple", "berry", "cedar", "delta")]
+    for leaf in leaves:
+        g.add_link(center_star, leaf, 1.0, 1.0)
+    # a chain elsewhere with identical texts
+    chain_nodes = [g.add_node("t", w) for w in ("apple", "berry")]
+    mid = g.add_node("t", "hub2")
+    chain_nodes2 = [g.add_node("t", w) for w in ("cedar", "delta")]
+    seq = [chain_nodes[0], chain_nodes[1], mid, chain_nodes2[0], chain_nodes2[1]]
+    for a, b in zip(seq, seq[1:]):
+        g.add_link(a, b, 1.0, 1.0)
+    _, match, scorer = make_query_env(g, "apple berry cedar delta")
+    star = JoinedTupleTree(
+        [0, *leaves], [(0, leaf) for leaf in leaves]
+    )
+    chain = JoinedTupleTree(seq, list(zip(seq, seq[1:])))
+    assert scorer.score(star) != pytest.approx(scorer.score(chain))
+    assert scorer.score(star) > scorer.score(chain)

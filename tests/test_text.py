@@ -1,0 +1,147 @@
+"""Tests for repro.text: analyzer, inverted index, matcher."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Analyzer, DataGraph, EvaluationError, InvertedIndex, KeywordMatcher
+from repro.text.analyzer import tokenize
+
+
+class TestTokenize:
+    def test_lowercase_alnum(self):
+        assert tokenize("Hello, World-42!") == ["hello", "world", "42"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert tokenize("...!!!") == []
+
+
+class TestAnalyzer:
+    def test_stopwords_removed(self):
+        a = Analyzer()
+        assert a.analyze("the shattered kingdom") == ["shattered", "kingdom"]
+
+    def test_no_stopwords(self):
+        a = Analyzer(stopwords=())
+        assert a.analyze("the cat") == ["the", "cat"]
+
+    def test_min_length(self):
+        a = Analyzer(stopwords=(), min_length=3)
+        assert a.analyze("we do see cats") == ["see", "cats"]
+
+    def test_duplicates_preserved_in_analyze(self):
+        a = Analyzer()
+        assert a.analyze("data data data") == ["data"] * 3
+
+    def test_analyze_query_dedups_preserving_order(self):
+        a = Analyzer()
+        assert a.analyze_query("wood bloom wood") == ["wood", "bloom"]
+
+
+@pytest.fixture()
+def graph():
+    g = DataGraph()
+    g.add_node("paper", "tsimmis project integration")       # 0
+    g.add_node("paper", "capability based mediation tsimmis")  # 1
+    g.add_node("author", "yannis papakonstantinou")           # 2
+    g.add_node("author", "jeffrey ullman")                    # 3
+    g.add_node("paper", "")                                   # 4 empty text
+    return g
+
+
+@pytest.fixture()
+def index(graph):
+    return InvertedIndex.build(graph)
+
+
+class TestInvertedIndex:
+    def test_matching_nodes(self, index):
+        assert index.matching_nodes("tsimmis") == {0, 1}
+        assert index.matching_nodes("ullman") == {3}
+        assert index.matching_nodes("nothing") == set()
+
+    def test_tf(self, index):
+        assert index.tf("tsimmis", 0) == 1
+        assert index.tf("tsimmis", 3) == 0
+
+    def test_doc_length(self, index):
+        assert index.doc_length(0) == 3
+        assert index.doc_length(4) == 0
+
+    def test_relation_stats(self, index):
+        stats = index.relation_stats("paper")
+        assert stats.tuples == 3
+        assert stats.df["tsimmis"] == 2
+        assert stats.avdl == pytest.approx((3 + 4 + 0) / 3)
+
+    def test_relation_of(self, index):
+        assert index.relation_of(2) == "author"
+        from repro import ReproError
+        with pytest.raises(ReproError):
+            index.relation_of(99)
+
+    def test_len_and_vocabulary(self, index):
+        assert len(index) == 5
+        assert "mediation" in set(index.vocabulary())
+
+    def test_empty_relation_stats(self, index):
+        stats = index.relation_stats("ghost")
+        assert stats.tuples == 0
+        assert stats.avdl == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.text(alphabet="abc ", min_size=0, max_size=12),
+        min_size=1, max_size=8,
+    ))
+    def test_postings_match_brute_force(self, texts):
+        """Index lookups agree with direct text scanning."""
+        g = DataGraph()
+        analyzer = Analyzer(stopwords=())
+        for t in texts:
+            g.add_node("r", t)
+        idx = InvertedIndex.build(g, analyzer)
+        for term in {tok for t in texts for tok in analyzer.analyze(t)}:
+            expected = {
+                i for i, t in enumerate(texts)
+                if term in analyzer.analyze(t)
+            }
+            assert idx.matching_nodes(term) == expected
+            for node in expected:
+                assert idx.tf(term, node) == analyzer.analyze(
+                    texts[node]
+                ).count(term)
+
+
+class TestKeywordMatcher:
+    def test_match_sets(self, index):
+        match = KeywordMatcher(index).match("papakonstantinou ullman")
+        assert match.keywords == ["papakonstantinou", "ullman"]
+        assert match.per_keyword["ullman"] == {3}
+        assert match.all_nodes == {2, 3}
+        assert match.matchable
+
+    def test_free_nodes(self, index):
+        match = KeywordMatcher(index).match("tsimmis")
+        assert not match.is_free(0)
+        assert match.is_free(3)
+
+    def test_keywords_of(self, index):
+        match = KeywordMatcher(index).match("tsimmis mediation")
+        assert match.keywords_of[1] == frozenset({"tsimmis", "mediation"})
+        assert match.keywords_of[0] == frozenset({"tsimmis"})
+
+    def test_covered_by(self, index):
+        match = KeywordMatcher(index).match("tsimmis ullman")
+        assert match.covered_by([0, 3]) == frozenset({"tsimmis", "ullman"})
+        assert match.covered_by([2]) == frozenset()
+
+    def test_unmatchable_keyword(self, index):
+        match = KeywordMatcher(index).match("tsimmis zzz")
+        assert not match.matchable
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(EvaluationError):
+            KeywordMatcher(index).match("the of and")

@@ -1,0 +1,124 @@
+"""Tests for repro.importance.weight_learning (§VIII future work)."""
+
+import pytest
+
+from repro import EdgeWeights, EvaluationError, JoinedTupleTree
+from repro.importance.weight_learning import (
+    EdgeWeightLearner,
+    PreferencePair,
+    edge_type_counts,
+)
+from .conftest import make_query_env
+
+
+@pytest.fixture()
+def movie_graph():
+    from repro import DataGraph
+    g = DataGraph()
+    g.add_node("actor", "ann")        # 0
+    g.add_node("movie", "m one")      # 1
+    g.add_node("director", "dan")     # 2
+    g.add_node("movie", "m two")      # 3
+    g.add_node("actor", "bob")        # 4
+    g.add_link(0, 1, 1.0, 1.0)
+    g.add_link(2, 1, 1.0, 1.0)
+    g.add_link(2, 3, 1.0, 1.0)
+    g.add_link(4, 3, 1.0, 1.0)
+    g.add_link(4, 1, 1.0, 1.0)
+    return g
+
+
+class TestEdgeTypeCounts:
+    def test_counts_canonical(self, movie_graph):
+        tree = JoinedTupleTree([0, 1, 2], [(0, 1), (1, 2)])
+        counts = edge_type_counts(movie_graph, tree)
+        assert counts == {("actor", "movie"): 1, ("director", "movie"): 1}
+
+    def test_multiple_same_type(self, movie_graph):
+        tree = JoinedTupleTree([0, 1, 4], [(0, 1), (1, 4)])
+        counts = edge_type_counts(movie_graph, tree)
+        assert counts == {("actor", "movie"): 2}
+
+
+class TestLearner:
+    def test_preferred_type_gains_weight(self, movie_graph):
+        learner = EdgeWeightLearner(movie_graph, learning_rate=0.2)
+        chosen = JoinedTupleTree([1, 2], [(1, 2)])     # director-movie
+        skipped = JoinedTupleTree([0, 1], [(0, 1)])    # actor-movie
+        for _ in range(5):
+            learner.observe(PreferencePair(chosen, skipped))
+        assert learner.factor("director", "movie") > 1.0
+        assert learner.factor("actor", "movie") < 1.0
+        assert learner.updates == 5
+
+    def test_learned_weights_applied_both_directions(self, movie_graph):
+        learner = EdgeWeightLearner(movie_graph, learning_rate=0.5)
+        chosen = JoinedTupleTree([1, 2], [(1, 2)])
+        skipped = JoinedTupleTree([0, 1], [(0, 1)])
+        learner.observe(PreferencePair(chosen, skipped))
+        weights = learner.learned_weights()
+        base = EdgeWeights()
+        factor = learner.factor("director", "movie")
+        assert weights.weight_for("director", "movie") == pytest.approx(
+            base.weight_for("director", "movie") * factor
+        )
+        assert weights.weight_for("movie", "director") == pytest.approx(
+            base.weight_for("movie", "director") * factor
+        )
+
+    def test_factor_clamped(self, movie_graph):
+        learner = EdgeWeightLearner(
+            movie_graph, learning_rate=1.0, max_factor=2.0
+        )
+        chosen = JoinedTupleTree([1, 2], [(1, 2)])
+        skipped = JoinedTupleTree([0, 1], [(0, 1)])
+        for _ in range(50):
+            learner.observe(PreferencePair(chosen, skipped))
+        assert learner.factor("director", "movie") == pytest.approx(2.0)
+        assert learner.factor("actor", "movie") == pytest.approx(0.5)
+
+    def test_balanced_types_cancel(self, movie_graph):
+        learner = EdgeWeightLearner(movie_graph)
+        tree = JoinedTupleTree([0, 1, 2], [(0, 1), (1, 2)])
+        learner.observe(PreferencePair(tree, tree))
+        assert learner.factor("actor", "movie") == 1.0
+
+    def test_observe_ranking_click_skip(self, movie_graph):
+        learner = EdgeWeightLearner(movie_graph, learning_rate=0.3)
+        first = JoinedTupleTree([0, 1], [(0, 1)])          # actor-movie
+        second = JoinedTupleTree([1, 2], [(1, 2)])         # director-movie
+        learner.observe_ranking([first, second], clicked_index=1)
+        assert learner.factor("director", "movie") > 1.0
+        assert learner.updates == 1
+
+    def test_observe_ranking_validates_index(self, movie_graph):
+        learner = EdgeWeightLearner(movie_graph)
+        with pytest.raises(EvaluationError):
+            learner.observe_ranking([], clicked_index=0)
+
+    def test_parameter_validation(self, movie_graph):
+        with pytest.raises(EvaluationError):
+            EdgeWeightLearner(movie_graph, learning_rate=0.0)
+        with pytest.raises(EvaluationError):
+            EdgeWeightLearner(movie_graph, max_factor=0.5)
+
+
+class TestEndToEnd:
+    def test_feedback_changes_ranking(self, movie_graph):
+        """Learned weights rebuilt into a graph change RWMP scores in the
+        preferred direction."""
+        from repro import DampeningModel, InvertedIndex, KeywordMatcher, \
+            RWMPParams, RWMPScorer, pagerank
+        # two answers for "ann bob": via movie 1 or via chain 1-2-3
+        _, match, scorer = make_query_env(movie_graph, "ann bob")
+        direct = JoinedTupleTree([0, 1, 4], [(0, 1), (1, 4)])
+        base_score = scorer.score(direct)
+
+        learner = EdgeWeightLearner(movie_graph, learning_rate=0.8)
+        chosen = JoinedTupleTree([0, 1], [(0, 1)])
+        skipped = JoinedTupleTree([1, 2], [(1, 2)])
+        for _ in range(3):
+            learner.observe(PreferencePair(chosen, skipped))
+        weights = learner.learned_weights()
+        assert weights.weight_for("actor", "movie") > \
+            weights.weight_for("director", "movie")

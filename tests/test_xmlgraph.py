@@ -1,0 +1,138 @@
+"""Tests for repro.xmlgraph — the XML generality claim."""
+
+import pytest
+
+from repro import DatasetError
+from repro.xmlgraph import XmlGraphConfig, XmlSearchSystem, xml_to_graph
+
+BIBLIO = """
+<bibliography>
+  <paper id="p1" year="1997" citations="38">
+    <title>the tsimmis project integration</title>
+    <author>yannis papakonstantinou</author>
+    <author>jeffrey ullman</author>
+  </paper>
+  <paper id="p2" year="1998" citations="7" cite="p1">
+    <title>capability based mediation</title>
+    <author>yannis papakonstantinou</author>
+    <author>jeffrey ullman</author>
+  </paper>
+  <paper id="p3" year="2000" citations="0" cite="p1 p2">
+    <title>unrelated survey</title>
+    <author>someone else</author>
+  </paper>
+</bibliography>
+"""
+
+
+class TestMapping:
+    def test_nodes_per_element(self):
+        graph = xml_to_graph([BIBLIO])
+        # 1 bibliography + 3 papers + 3 titles + 5 authors
+        assert graph.node_count == 12
+        assert set(graph.relations()) == {
+            "bibliography", "paper", "title", "author"
+        }
+
+    def test_containment_edges_bidirectional(self):
+        graph = xml_to_graph([BIBLIO])
+        papers = graph.nodes_of_relation("paper")
+        root = graph.nodes_of_relation("bibliography")[0]
+        for paper in papers:
+            assert graph.weight(root, paper) == 1.0
+            assert graph.weight(paper, root) == 1.0
+
+    def test_idref_edges_asymmetric(self):
+        config = XmlGraphConfig()
+        graph = xml_to_graph([BIBLIO], config)
+        papers = graph.nodes_of_relation("paper")
+        # p2 cites p1: ref 0.5 forward, 0.1 back
+        p1, p2 = papers[0], papers[1]
+        assert graph.weight(p2, p1) == config.ref_weight
+        assert graph.weight(p1, p2) == config.backref_weight
+
+    def test_text_is_direct_content_only(self):
+        graph = xml_to_graph([BIBLIO])
+        titles = graph.nodes_of_relation("title")
+        texts = {graph.info(t).text for t in titles}
+        assert "the tsimmis project integration" in texts
+        papers = graph.nodes_of_relation("paper")
+        assert all("tsimmis" not in graph.info(p).text for p in papers)
+
+    def test_numeric_attrs(self):
+        config = XmlGraphConfig(numeric_attrs=("citations", "year"))
+        graph = xml_to_graph([BIBLIO], config)
+        papers = graph.nodes_of_relation("paper")
+        assert graph.info(papers[0]).attrs["citations"] == 38
+        assert graph.info(papers[0]).attrs["year"] == 1997
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(DatasetError):
+            xml_to_graph(["<a><b></a>"])
+
+    def test_dangling_idref_rejected(self):
+        with pytest.raises(DatasetError):
+            xml_to_graph(['<a><b cite="nope"/></a>'])
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(DatasetError):
+            xml_to_graph(['<a><b id="x"/><c id="x"/></a>'])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DatasetError):
+            xml_to_graph([])
+
+    def test_multiple_documents(self):
+        graph = xml_to_graph(["<a><b id='x'/></a>", "<a><b id='x'/></a>"])
+        assert graph.node_count == 4  # ids are per-document
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(DatasetError):
+            XmlGraphConfig(down_weight=0.0)
+
+
+class TestXmlSearch:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return XmlSearchSystem.from_documents(
+            [BIBLIO], XmlGraphConfig(numeric_attrs=("citations",))
+        )
+
+    def test_single_keyword(self, system):
+        answers = system.search("mediation", k=3)
+        assert answers
+        top_relations = system.elements_of(answers[0])
+        assert "title" in top_relations
+
+    def test_coauthor_query_connects_through_paper(self, system):
+        answers = system.search("papakonstantinou ullman", k=5)
+        assert answers
+        top = answers[0]
+        relations = system.elements_of(top)
+        assert relations.count("author") == 2
+        assert "paper" in relations
+
+    def test_importance_prefers_cited_paper(self, system):
+        """The tree through the cited paper (p1) outranks the tree
+        through the uncited one — the motivating example, on XML."""
+        answers = system.search("papakonstantinou ullman", k=5)
+        graph = system.graph
+        papers_in_answers = []
+        for answer in answers:
+            for node in answer.tree.nodes:
+                if graph.info(node).relation == "paper":
+                    papers_in_answers.append(
+                        graph.info(node).attrs.get("citations")
+                    )
+                    break
+        assert papers_in_answers[0] == 38
+
+    def test_unmatchable(self, system):
+        assert system.search("zzznada") == []
+
+
+class TestFromFiles:
+    def test_from_files(self, tmp_path):
+        (tmp_path / "a.xml").write_text(BIBLIO)
+        system = XmlSearchSystem.from_files([tmp_path / "a.xml"])
+        assert system.search("mediation", k=1)
