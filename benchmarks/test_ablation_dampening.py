@@ -10,7 +10,6 @@ gap, plus the rate spread that explains it.
 import numpy as np
 
 from repro import DampeningModel, RWMPParams, RWMPScorer
-from repro.eval.harness import CI_RANK
 from repro.eval.metrics import mean_reciprocal_rank, reciprocal_rank
 from repro.eval.report import format_table
 from repro.rwmp.dampening import linear_dampening

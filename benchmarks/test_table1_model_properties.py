@@ -8,8 +8,7 @@ size and asserts its direction.
 
 import statistics
 
-from repro import JoinedTupleTree, RWMPParams
-from repro.eval.harness import tree_from_nodeset
+from repro import JoinedTupleTree
 from repro.rwmp.scoring import all_node_average_score
 from repro.eval.report import format_table
 

@@ -20,7 +20,6 @@ test asserts that tie).
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from ..exceptions import EvaluationError
 from ..model.jtt import JoinedTupleTree

@@ -16,7 +16,7 @@ says nothing about how (or whether) the matched tuples connect.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -35,7 +35,7 @@ Three factors multiply (Section II-B of the CI-Rank paper):
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Set
 
 from ..exceptions import EvaluationError
 from ..model.jtt import JoinedTupleTree

@@ -19,9 +19,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from .config import RWMPParams, SearchParams
 from .datasets.dblp import DblpConfig, generate_dblp
 from .datasets.imdb import ImdbConfig, generate_imdb
 from .datasets.workloads import WorkloadConfig, generate_workload
@@ -42,6 +41,29 @@ def _build_system(dataset: str, seed: int) -> CIRankSystem:
     raise SystemExit(f"unknown dataset {dataset!r} (use imdb or dblp)")
 
 
+def _print_search_stats(system: CIRankSystem) -> None:
+    """Render the last search's counters (the ``--stats`` flag)."""
+    stats = system.last_search_stats
+    if stats is not None:
+        print("search stats:")
+        print(f"  expanded:        {stats.expanded}")
+        print(f"  generated:       {stats.generated}")
+        print(f"  enqueued:        {stats.enqueued}")
+        print(f"  pruned (bound):  {stats.pruned_bound}")
+        print(f"  pruned (diam):   {stats.pruned_diameter}")
+        print(f"  pruned (dist):   {stats.pruned_distance}")
+        print(f"  answers found:   {stats.answers_found}")
+        print(f"  stopped early:   {stats.stopped_early}")
+    caches = system.last_cache_stats
+    if caches:
+        print("scorer caches (hits/misses/evictions, hit rate):")
+        for name, snap in caches.items():
+            print(
+                f"  {name:12s} {snap.hits}/{snap.misses}/{snap.evictions}"
+                f"  {snap.hit_rate:.1%}"
+            )
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     if args.load:
         from .storage import load_system
@@ -53,9 +75,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
     answers = system.search(args.query, k=args.k, diameter=args.diameter)
     if not answers:
         print("no answers")
+        if args.stats:
+            _print_search_stats(system)
         return 1
     for rank, answer in enumerate(answers, start=1):
         print(f"{rank:2d}. {system.describe(answer)}")
+    if args.stats:
+        _print_search_stats(system)
     if args.json:
         from .export import ranking_to_json
         print(ranking_to_json(system.graph, answers, query=args.query))
@@ -162,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_search.add_argument(
         "--json", action="store_true", help="also print the ranking as JSON"
+    )
+    p_search.add_argument(
+        "--stats", action="store_true",
+        help="print search counters and scorer cache hit rates",
     )
     p_search.set_defaults(func=_cmd_search)
 

@@ -16,11 +16,11 @@ Reproduces the structural properties the experiments rely on:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..db.database import Database
-from ..db.schema import Schema, imdb_schema
+from ..db.schema import imdb_schema
 from ..exceptions import DatasetError
 from . import pools
 

@@ -17,8 +17,8 @@ data, independent of any ranking model under test.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import DatasetError
 from ..graph.datagraph import DataGraph

@@ -20,7 +20,7 @@ Record format::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Iterable, List, Mapping
 
 from ..exceptions import DatasetError
 from .database import Database

@@ -9,8 +9,8 @@ citations) are allowed and distinguished by the foreign-key *name*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
 
 from ..exceptions import SchemaError
 

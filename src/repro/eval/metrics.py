@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Iterable, List, Sequence
+from typing import FrozenSet, Iterable, Sequence
 
 from ..exceptions import EvaluationError
 

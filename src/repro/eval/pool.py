@@ -12,7 +12,7 @@ keep pools tractable.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional
+from typing import List
 
 from ..config import SearchParams
 from ..graph.datagraph import DataGraph

@@ -16,7 +16,7 @@ target tuples, so the oracle can grade answers mechanically:
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence
+from typing import List, Sequence
 
 from ..datasets.workloads import EvalQuery
 from ..model.jtt import JoinedTupleTree

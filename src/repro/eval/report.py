@@ -7,7 +7,7 @@ EXPERIMENTS.md can quote it verbatim.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 
 def format_table(

@@ -17,7 +17,7 @@ rows the paper's figure plots, plus provenance notes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .config import RWMPParams, SearchParams
 from .datasets.dblp import DblpConfig, generate_dblp

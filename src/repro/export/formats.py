@@ -9,12 +9,11 @@ yEd), and shipping rankings over an API boundary (JSON).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Sequence
-from xml.sax.saxutils import escape, quoteattr
+from typing import Any, Dict, Sequence
+from xml.sax.saxutils import escape
 
 from ..graph.datagraph import DataGraph
 from ..model.answer import RankedAnswer
-from ..model.jtt import JoinedTupleTree
 
 
 def _dot_label(graph: DataGraph, node: int, max_text: int = 30) -> str:

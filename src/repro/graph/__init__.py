@@ -1,6 +1,7 @@
 """The weighted directed data graph and its construction utilities."""
 
 from .datagraph import DataGraph, NodeInfo
+from .csr import CompiledGraph, compile_graph
 from .builder import GraphBuilder, build_graph
 from .traversal import (
     bfs_distances,
@@ -15,6 +16,8 @@ from .metrics import GraphStats, community_mixing, graph_stats
 __all__ = [
     "DataGraph",
     "NodeInfo",
+    "CompiledGraph",
+    "compile_graph",
     "GraphBuilder",
     "build_graph",
     "bfs_distances",

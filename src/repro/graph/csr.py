@@ -1,0 +1,281 @@
+"""Compiled CSR view of a :class:`DataGraph` (the kernel layer).
+
+Every query-time hot path — the Equation (1) power iteration, RWMP
+message passing over candidate trees, and neighbor enumeration inside
+the branch-and-bound expansion loop — ultimately reads the data graph's
+adjacency.  The mutable :class:`~repro.graph.datagraph.DataGraph` stores
+it as dict-of-dict, which is the right shape for construction and
+maintenance but a terrible one for tight loops: every edge visit is a
+hash probe, and :func:`repro.importance.pagerank.pagerank` used to
+rebuild its flat edge arrays from scratch on every call.
+
+:class:`CompiledGraph` freezes the adjacency into immutable CSR arrays
+built once per graph *version*:
+
+* ``out_offsets / out_targets / out_weights`` — the out-adjacency in
+  CSR form, targets sorted ascending within each row (enables
+  binary-search edge lookup);
+* ``out_probs`` — the same entries normalized per row to sum to 1 (the
+  random-walk transition probabilities of Eq. 1);
+* ``out_weight_sum`` — per-node raw out-weight totals (the RWMP split
+  denominators restricted later to tree neighborhoods);
+* ``edge_sources`` — the COO row index per entry, so batched gathers
+  like ``p[edge_sources] * out_probs`` need no offset arithmetic;
+* ``dangling`` — mask of nodes without out-edges (their random-walk
+  mass teleports);
+* ``in_offsets / in_sources / in_weights`` — the in-adjacency, sources
+  sorted ascending;
+* ``nbr_offsets / nbr_targets`` — the *undirected* neighborhood (union
+  of in- and out-neighbors), sorted ascending per row: exactly what the
+  expansion loop previously recomputed as ``sorted(graph.neighbors(v))``
+  per candidate.
+
+Cache protocol: ``DataGraph`` carries a monotonically increasing
+``version`` counter bumped by every mutation (``add_node``,
+``add_edge``, ``merge_nodes``).  :meth:`DataGraph.compiled` returns the
+cached :class:`CompiledGraph` while the versions agree and transparently
+recompiles after mutation, so callers never hold a stale view.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..utils.lru import LRUCache
+from .datagraph import DataGraph
+
+
+class CompiledGraph:
+    """Immutable CSR snapshot of one :class:`DataGraph` version.
+
+    Build through :func:`compile_graph` (or, preferably, the caching
+    :meth:`DataGraph.compiled`); the constructor takes pre-built arrays.
+    """
+
+    __slots__ = (
+        "version",
+        "node_count",
+        "out_offsets",
+        "out_targets",
+        "out_weights",
+        "out_probs",
+        "out_weight_sum",
+        "edge_sources",
+        "dangling",
+        "in_offsets",
+        "in_sources",
+        "in_weights",
+        "nbr_offsets",
+        "nbr_targets",
+        "_nbr_tuples",
+        "importance_cache",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        node_count: int,
+        out_offsets: np.ndarray,
+        out_targets: np.ndarray,
+        out_weights: np.ndarray,
+        out_probs: np.ndarray,
+        out_weight_sum: np.ndarray,
+        edge_sources: np.ndarray,
+        dangling: np.ndarray,
+        in_offsets: np.ndarray,
+        in_sources: np.ndarray,
+        in_weights: np.ndarray,
+        nbr_offsets: np.ndarray,
+        nbr_targets: np.ndarray,
+    ) -> None:
+        self.version = version
+        self.node_count = node_count
+        self.out_offsets = out_offsets
+        self.out_targets = out_targets
+        self.out_weights = out_weights
+        self.out_probs = out_probs
+        self.out_weight_sum = out_weight_sum
+        self.edge_sources = edge_sources
+        self.dangling = dangling
+        self.in_offsets = in_offsets
+        self.in_sources = in_sources
+        self.in_weights = in_weights
+        self.nbr_offsets = nbr_offsets
+        self.nbr_targets = nbr_targets
+        # Lazily materialized per-node neighbor tuples of Python ints;
+        # the expansion loop iterates these millions of times and numpy
+        # scalar boxing would dominate otherwise.
+        self._nbr_tuples: List[Optional[Tuple[int, ...]]] = [None] * node_count
+        # Memoized Eq. (1) solutions, keyed by the normalized pagerank
+        # inputs.  Living on the compiled view ties its lifetime to one
+        # graph version: any mutation yields a fresh view and therefore
+        # an empty cache, so stale importance can never be served.
+        self.importance_cache = LRUCache(8)
+        for arr in (
+            out_offsets, out_targets, out_weights, out_probs,
+            out_weight_sum, edge_sources, dangling,
+            in_offsets, in_sources, in_weights, nbr_offsets, nbr_targets,
+        ):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return self.node_count
+
+    @property
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        return int(self.out_targets.size)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.node_count:
+            raise GraphError(f"unknown node {node}")
+
+    def out_slice(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(targets, raw_weights)`` views of one out-row (sorted)."""
+        self._check(node)
+        lo = self.out_offsets[node]
+        hi = self.out_offsets[node + 1]
+        return self.out_targets[lo:hi], self.out_weights[lo:hi]
+
+    def in_slice(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(sources, raw_weights)`` views of one in-row (sorted)."""
+        self._check(node)
+        lo = self.in_offsets[node]
+        hi = self.in_offsets[node + 1]
+        return self.in_sources[lo:hi], self.in_weights[lo:hi]
+
+    def weight(self, source: int, target: int) -> float:
+        """Raw ``source -> target`` weight (0.0 if absent); O(log deg)."""
+        targets, weights = self.out_slice(source)
+        idx = int(np.searchsorted(targets, target))
+        if idx < targets.size and targets[idx] == target:
+            return float(weights[idx])
+        return 0.0
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the directed edge exists."""
+        targets, _ = self.out_slice(source)
+        idx = int(np.searchsorted(targets, target))
+        return idx < targets.size and int(targets[idx]) == target
+
+    def adjacent(self, a: int, b: int) -> bool:
+        """Whether an edge exists in either direction (undirected link)."""
+        self._check(a)
+        lo = self.nbr_offsets[a]
+        hi = self.nbr_offsets[a + 1]
+        row = self.nbr_targets[lo:hi]
+        idx = int(np.searchsorted(row, b))
+        return idx < row.size and int(row[idx]) == b
+
+    def neighbors_array(self, node: int) -> np.ndarray:
+        """Sorted undirected neighbor ids as a numpy view."""
+        self._check(node)
+        lo = self.nbr_offsets[node]
+        hi = self.nbr_offsets[node + 1]
+        return self.nbr_targets[lo:hi]
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Sorted undirected neighbors as a cached tuple of Python ints.
+
+        This is the pre-sorted replacement for the expansion loop's
+        ``sorted(graph.neighbors(node))`` — computed once per node per
+        graph version instead of once per candidate expansion.
+        """
+        self._check(node)
+        cached = self._nbr_tuples[node]
+        if cached is None:
+            cached = tuple(int(v) for v in self.neighbors_array(node))
+            self._nbr_tuples[node] = cached
+        return cached
+
+    def total_out_weight(self, node: int) -> float:
+        """Sum of raw out-weights (the RWMP split denominator base)."""
+        self._check(node)
+        return float(self.out_weight_sum[node])
+
+
+def compile_graph(graph: DataGraph) -> CompiledGraph:
+    """Freeze ``graph`` into a :class:`CompiledGraph` (one full pass).
+
+    Prefer :meth:`DataGraph.compiled`, which caches the result per graph
+    version; call this directly only to force a rebuild.
+    """
+    n = graph.node_count
+    version = graph.version
+
+    out_deg = np.empty(n, dtype=np.int64)
+    in_deg = np.empty(n, dtype=np.int64)
+    for node in range(n):
+        out_deg[node] = len(graph.out_edges(node))
+        in_deg[node] = len(graph.in_edges(node))
+
+    out_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(out_deg, out=out_offsets[1:])
+    in_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(in_deg, out=in_offsets[1:])
+
+    nnz = int(out_offsets[-1])
+    out_targets = np.empty(nnz, dtype=np.int64)
+    out_weights = np.empty(nnz, dtype=np.float64)
+    in_sources = np.empty(nnz, dtype=np.int64)
+    in_weights = np.empty(nnz, dtype=np.float64)
+
+    nbr_rows: List[List[int]] = []
+    pos_out = 0
+    pos_in = 0
+    for node in range(n):
+        out = graph.out_edges(node)
+        for target in sorted(out):
+            out_targets[pos_out] = target
+            out_weights[pos_out] = out[target]
+            pos_out += 1
+        inc = graph.in_edges(node)
+        for source in sorted(inc):
+            in_sources[pos_in] = source
+            in_weights[pos_in] = inc[source]
+            pos_in += 1
+        nbr_rows.append(sorted(set(out) | set(inc)))
+
+    edge_sources = np.repeat(np.arange(n, dtype=np.int64), out_deg)
+    out_weight_sum = np.bincount(
+        edge_sources, weights=out_weights, minlength=n
+    ) if nnz else np.zeros(n, dtype=np.float64)
+    dangling = out_deg == 0
+    out_probs = np.zeros(nnz, dtype=np.float64)
+    if nnz:
+        np.divide(
+            out_weights,
+            out_weight_sum[edge_sources],
+            out=out_probs,
+            where=out_weight_sum[edge_sources] > 0.0,
+        )
+
+    nbr_deg = np.fromiter(
+        (len(row) for row in nbr_rows), dtype=np.int64, count=n
+    ) if n else np.zeros(0, dtype=np.int64)
+    nbr_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(nbr_deg, out=nbr_offsets[1:])
+    flat = [v for row in nbr_rows for v in row]
+    nbr_targets = np.asarray(flat, dtype=np.int64)
+
+    return CompiledGraph(
+        version=version,
+        node_count=n,
+        out_offsets=out_offsets,
+        out_targets=out_targets,
+        out_weights=out_weights,
+        out_probs=out_probs,
+        out_weight_sum=out_weight_sum,
+        edge_sources=edge_sources,
+        dangling=dangling,
+        in_offsets=in_offsets,
+        in_sources=in_sources,
+        in_weights=in_weights,
+        nbr_offsets=nbr_offsets,
+        nbr_targets=nbr_targets,
+    )

@@ -17,9 +17,12 @@ normalization cancels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..exceptions import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .csr import CompiledGraph
 
 
 @dataclass
@@ -62,6 +65,10 @@ class DataGraph:
         self._out: List[Dict[int, float]] = []
         self._in: List[Dict[int, float]] = []
         self._info: List[NodeInfo] = []
+        # Monotonic mutation counter; the compiled CSR view caches
+        # against it (see repro.graph.csr).
+        self._version: int = 0
+        self._compiled: Optional[object] = None
 
     # ----------------------------------------------------------- mutation
 
@@ -80,6 +87,7 @@ class DataGraph:
         )
         self._out.append({})
         self._in.append({})
+        self._version += 1
         return node
 
     def add_edge(self, source: int, target: int, weight: float) -> None:
@@ -92,6 +100,7 @@ class DataGraph:
         self._check(target)
         self._out[source][target] = self._out[source].get(target, 0.0) + weight
         self._in[target][source] = self._in[target].get(source, 0.0) + weight
+        self._version += 1
 
     def add_link(self, a: int, b: int, weight_ab: float, weight_ba: float) -> None:
         """Add the paper's edge pair for one tuple link."""
@@ -103,6 +112,25 @@ class DataGraph:
             raise GraphError(f"unknown node {node}")
 
     # ------------------------------------------------------------ queries
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; increases on every structural change."""
+        return self._version
+
+    def compiled(self) -> "CompiledGraph":
+        """The cached CSR view of this graph (see :mod:`repro.graph.csr`).
+
+        Rebuilt transparently whenever the graph has mutated since the
+        last call, so the returned view is never stale; while the graph
+        is unchanged, repeated calls return the same object.
+        """
+        from .csr import compile_graph
+        cached = self._compiled
+        if cached is None or cached.version != self._version:
+            cached = compile_graph(self)
+            self._compiled = cached
+        return cached
 
     def __len__(self) -> int:
         return len(self._info)
@@ -214,6 +242,7 @@ class DataGraph:
                 self._in[keep][source] = self._in[keep].get(source, 0.0) + weight
                 self._out[source][keep] = self._in[keep][source]
         self._in[drop] = {}
+        self._version += 1
         kept = self._info[keep]
         dropped = self._info[drop]
         kept.sources.extend(dropped.sources)

@@ -12,7 +12,7 @@ import math
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..exceptions import GraphError
 from .datagraph import DataGraph

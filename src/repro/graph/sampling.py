@@ -10,7 +10,7 @@ densely.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..exceptions import GraphError
 from .datagraph import DataGraph

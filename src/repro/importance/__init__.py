@@ -1,6 +1,6 @@
 """Node importance: the random walk of Equation (1) and its variants."""
 
-from .pagerank import ImportanceVector, pagerank
+from .pagerank import ImportanceVector, pagerank, pagerank_reference
 from .montecarlo import monte_carlo_pagerank
 from .feedback import FeedbackModel, biased_teleport_vector
 from .weight_learning import EdgeWeightLearner, PreferencePair, edge_type_counts
@@ -9,6 +9,7 @@ from .incremental import ImportanceMaintainer, refresh_importance
 __all__ = [
     "ImportanceVector",
     "pagerank",
+    "pagerank_reference",
     "monte_carlo_pagerank",
     "FeedbackModel",
     "biased_teleport_vector",

@@ -15,7 +15,7 @@ click-mass vector is controlled by ``bias_strength``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable
 
 import numpy as np
 

@@ -14,7 +14,6 @@ cross-check in tests.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 import numpy as np
 

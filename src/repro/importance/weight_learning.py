@@ -19,8 +19,8 @@ edge-type usage counts of the two trees.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..config import EdgeWeights
 from ..exceptions import EvaluationError

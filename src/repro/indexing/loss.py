@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import heapq
 import math
-from collections import deque
 from typing import Callable, Dict, Set, Tuple
 
 from ..graph.datagraph import DataGraph

@@ -10,7 +10,7 @@ the gap.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..exceptions import IndexingError
 from ..graph.datagraph import DataGraph

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
 
 from ..graph.datagraph import DataGraph
 from .jtt import JoinedTupleTree

@@ -12,7 +12,12 @@ The model stacks three pieces:
 """
 
 from .dampening import DampeningModel, log_dampening, linear_dampening
-from .messages import pass_messages
+from .messages import (
+    TreeMessageKernel,
+    message_matrix,
+    pass_messages,
+    pass_messages_batch,
+)
 from .explain import (
     DeliveryTrace,
     HopTrace,
@@ -33,6 +38,9 @@ __all__ = [
     "log_dampening",
     "linear_dampening",
     "pass_messages",
+    "pass_messages_batch",
+    "message_matrix",
+    "TreeMessageKernel",
     "RWMPScorer",
     "average_importance_score",
     "all_node_average_score",

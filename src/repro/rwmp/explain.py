@@ -9,13 +9,12 @@ mechanical answer (per-node deliveries and where the messages died).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..exceptions import InvalidTreeError
 from ..graph.datagraph import DataGraph
 from ..model.jtt import JoinedTupleTree
-from .messages import pass_messages
 from .scoring import RWMPScorer
 
 

@@ -16,11 +16,41 @@ The procedure, exactly as specified by the paper:
 :func:`pass_messages` implements one source's propagation over a tree and
 returns the post-dampening count ``f`` at every other tree node — the
 quantity Equation (3) consumes at destinations.
+
+Vectorized fast path
+--------------------
+
+The delivery from a source ``s`` to a node ``v`` factors into a product
+of *per-directed-edge transfer factors* along the unique tree path:
+
+    tau(a -> b) = (w(a, b) / den(a)) * d_b,
+    den(a) = sum of w(a, x) over a's tree neighbors x,
+
+which is **source-independent** — the split at ``a`` always divides by
+the same denominator regardless of where the message started, and the
+back-share toward the source is discarded but still paid for.  A tree's
+transfer factors therefore compile once into a
+:class:`TreeMessageKernel` (a tree-local CSR slice: BFS order, parent
+pointers, up/down tau arrays), and *all* sources propagate together in
+two vectorized passes:
+
+* an **up pass** (reverse BFS) carries each source's product from its
+  subtree position to every ancestor, and
+* a **down pass** (forward BFS) fills the remaining entries from the
+  parent values.
+
+Both passes are ``O(m)`` numpy row operations over all sources at once,
+replacing one Python BFS *per source*.  :func:`pass_messages_batch`
+exposes the batched result in the same shape as :func:`message_matrix`,
+which remains the dict-based reference oracle (the equivalence tests in
+``tests/test_csr_kernels.py`` pin the two together).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
 
 from ..exceptions import InvalidTreeError
 from ..graph.datagraph import DataGraph
@@ -84,6 +114,10 @@ def message_matrix(
 ) -> Dict[int, Dict[int, float]]:
     """All-pairs message delivery for a set of sources.
 
+    This is the dict-based reference implementation (one
+    :func:`pass_messages` BFS per source); production scoring uses the
+    batched :class:`TreeMessageKernel` instead.
+
     Args:
         generations: source node -> generation count ``r_ss``.
 
@@ -95,3 +129,159 @@ def message_matrix(
         source: pass_messages(graph, tree, source, r, dampening)
         for source, r in generations.items()
     }
+
+
+class TreeMessageKernel:
+    """The compiled (tree-local CSR) message-passing slice of one tree.
+
+    Compilation pays everything once — tree BFS order, per-node split
+    denominators, the up/down transfer factors ``tau``, and finally the
+    all-pairs **path-product matrix** ``P`` with ``P[i, j]`` the product
+    of ``tau`` along the unique tree path from node ``i`` to node ``j``
+    (``P[i, i] = 1``).  ``P`` is source-independent, so delivering any
+    set of sources afterwards is a single vectorized multiply:
+    ``f = gens[:, None] * P[source_rows]``.
+
+    ``P`` itself is built by two vectorized tree passes (an up pass
+    carrying each row's product to its ancestors, then a down pass
+    filling the rest from parent values) — no per-source BFS anywhere.
+    Instances are immutable and safe to cache per
+    ``(graph version, tree)``; :class:`repro.rwmp.scoring.RWMPScorer`
+    keeps them in a bounded LRU.
+
+    Attributes:
+        nodes: tree nodes in BFS order from the smallest node id.
+        index: node id -> position in ``nodes``.
+    """
+
+    __slots__ = ("nodes", "index", "_path")
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        tree: JoinedTupleTree,
+        dampening: Callable[[int], float],
+    ) -> None:
+        cg = graph.compiled()
+        root = min(tree.nodes)
+        order = tree.traversal_from(root)  # BFS (node, parent) pairs
+        self.nodes: Tuple[int, ...] = tuple(node for node, _ in order)
+        self.index: Dict[int, int] = {
+            node: i for i, node in enumerate(self.nodes)
+        }
+        m = len(self.nodes)
+        parent_pos = np.zeros(m, dtype=np.int64)
+        up_tau = np.zeros(m, dtype=np.float64)
+        down_tau = np.zeros(m, dtype=np.float64)
+        # Split denominators over *tree* neighborhoods (raw weights).
+        den = {
+            node: sum(cg.weight(node, nbr) for nbr in tree.neighbors(node))
+            for node in tree.nodes
+        }
+        rate = {node: dampening(node) for node in tree.nodes}
+        for i, (node, parent) in enumerate(order):
+            if parent is None:
+                parent_pos[i] = -1
+                continue
+            parent_pos[i] = self.index[parent]
+            d_p = den[parent]
+            if d_p > 0.0:
+                down_tau[i] = cg.weight(parent, node) / d_p * rate[node]
+            d_n = den[node]
+            if d_n > 0.0:
+                up_tau[i] = cg.weight(node, parent) / d_n * rate[parent]
+        self._path = self._all_pairs(parent_pos, up_tau, down_tau)
+
+    @staticmethod
+    def _all_pairs(
+        parent_pos: np.ndarray,
+        up_tau: np.ndarray,
+        down_tau: np.ndarray,
+    ) -> np.ndarray:
+        """``P[i, j]``: path product of tau from node ``i`` to node ``j``.
+
+        Two vectorized passes over BFS positions.  Up pass (reverse
+        BFS): when position ``i`` is visited, every row whose origin
+        lies in ``i``'s subtree has its final value at ``i``; extend it
+        one hop to the parent.  Down pass (forward BFS): every entry
+        still unresolved at ``i`` reaches it through the parent, whose
+        value is final by then.  Rows whose origins sit in disjoint
+        subtrees never collide, so each entry is written exactly once.
+        """
+        m = parent_pos.size
+        path = np.zeros((m, m), dtype=np.float64)
+        if m == 0:
+            return path
+        resolved = np.zeros((m, m), dtype=bool)
+        diag = np.arange(m)
+        path[diag, diag] = 1.0
+        resolved[diag, diag] = True
+        for i in range(m - 1, 0, -1):
+            p = parent_pos[i]
+            mask = resolved[:, i]
+            path[mask, p] = path[mask, i] * up_tau[i]
+            resolved[mask, p] = True
+        for i in range(1, m):
+            p = parent_pos[i]
+            mask = ~resolved[:, i]
+            path[mask, i] = path[mask, p] * down_tau[i]
+        return path
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def deliver(
+        self, sources: Sequence[int], generations: Sequence[float]
+    ) -> np.ndarray:
+        """Deliveries of every source at every tree node, batched.
+
+        Args:
+            sources: emitting nodes (each must be in the tree).
+            generations: the generation count per source.
+
+        Returns:
+            Array of shape ``(len(sources), len(self))``:
+            ``[i, j]`` is the post-dampening count of source ``i``
+            messages at ``self.nodes[j]`` (``generations[i]`` on the
+            diagonal position of the source itself).
+        """
+        try:
+            rows = [self.index[s] for s in sources]
+        except KeyError as exc:
+            raise InvalidTreeError(f"source {exc.args[0]} not in tree")
+        # Non-positive generations deliver nothing (pass_messages parity).
+        gens = np.maximum(np.asarray(generations, dtype=np.float64), 0.0)
+        return gens[:, None] * self._path[rows]
+
+
+def pass_messages_batch(
+    graph: DataGraph,
+    tree: JoinedTupleTree,
+    generations: Dict[int, float],
+    dampening: Callable[[int], float],
+    kernel: "TreeMessageKernel | None" = None,
+) -> Dict[int, Dict[int, float]]:
+    """Batched drop-in equivalent of :func:`message_matrix`.
+
+    All sources propagate in one vectorized pass over the tree-local
+    CSR slice; pass a pre-compiled ``kernel`` to skip compilation.
+
+    Returns:
+        ``matrix[source][node] = f`` for every source in
+        ``generations`` (the source's own entry is omitted, matching
+        :func:`pass_messages`).
+    """
+    if kernel is None:
+        kernel = TreeMessageKernel(graph, tree, dampening)
+    sources = list(generations)
+    gens = [generations[s] for s in sources]
+    delivered = kernel.deliver(sources, gens)
+    matrix: Dict[int, Dict[int, float]] = {}
+    for i, source in enumerate(sources):
+        row = delivered[i]
+        matrix[source] = {
+            node: float(row[j])
+            for j, node in enumerate(kernel.nodes)
+            if node != source
+        }
+    return matrix

@@ -24,7 +24,9 @@ Section III-B, used by the ablation benchmarks:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
+
+import numpy as np
 
 from ..exceptions import InvalidTreeError
 from ..graph.datagraph import DataGraph
@@ -32,19 +34,32 @@ from ..importance.pagerank import ImportanceVector
 from ..model.jtt import JoinedTupleTree
 from ..text.inverted_index import InvertedIndex
 from ..text.matcher import MatchSets
+from ..utils.lru import CacheStats, LRUCache
 from .dampening import DampeningModel
-from .messages import pass_messages
+from .messages import TreeMessageKernel
 
 
 class RWMPScorer:
     """Scores trees for one query under the RWMP model.
+
+    Scoring runs on the vectorized fast path: each tree's message
+    kernel (tree-local CSR slice, see
+    :class:`~repro.rwmp.messages.TreeMessageKernel`) is compiled once,
+    cached in a bounded LRU, and delivers all sources in one batched
+    pass — the dict-based :func:`~repro.rwmp.messages.pass_messages`
+    remains available as the reference oracle.
+
+    Three bounded LRU caches back the scorer (all sized by
+    ``cache_size``): generation counts, tree scores, and compiled tree
+    kernels.  :meth:`cache_stats` exposes their hit/miss/eviction
+    counters (surfaced by the CLI's ``--stats`` flag).
 
     Args:
         graph: the data graph.
         index: inverted index (provides ``|v_i ∩ Q|`` and ``|v_i|``).
         match: the query's match sets.
         dampening: the dampening model (importance + parameters).
-        cache_size: number of tree scores memoized (0 disables).
+        cache_size: LRU capacity per cache (0 disables caching).
     """
 
     def __init__(
@@ -59,9 +74,10 @@ class RWMPScorer:
         self.index = index
         self.match = match
         self.dampening = dampening
-        self._generation_cache: Dict[int, float] = {}
-        self._tree_cache: Dict[JoinedTupleTree, float] = {}
         self._cache_size = cache_size
+        self._generation_cache: LRUCache = LRUCache(cache_size)
+        self._tree_cache: LRUCache = LRUCache(cache_size)
+        self._kernel_cache: LRUCache = LRUCache(cache_size)
 
     # ------------------------------------------------------------ pieces
 
@@ -83,12 +99,20 @@ class RWMPScorer:
             else:
                 surfers = self.dampening.surfers(node)
                 value = surfers * matched_words / total_words
-        self._generation_cache[node] = value
+        self._generation_cache.put(node, value)
         return value
 
     def sources_in(self, tree: JoinedTupleTree) -> List[int]:
         """The message sources: non-free nodes of the tree."""
         return tree.non_free_nodes(self.match)
+
+    def kernel_for(self, tree: JoinedTupleTree) -> TreeMessageKernel:
+        """The tree's compiled message kernel (LRU-cached)."""
+        kernel = self._kernel_cache.get(tree)
+        if kernel is None:
+            kernel = TreeMessageKernel(self.graph, tree, self.dampening.rate)
+            self._kernel_cache.put(tree, kernel)
+        return kernel
 
     def node_scores(self, tree: JoinedTupleTree) -> Dict[int, float]:
         """Equation (3) for every non-free node of ``tree``."""
@@ -98,21 +122,20 @@ class RWMPScorer:
         if len(sources) == 1:
             # Single-source convention: self-knowledge.
             return {sources[0]: self.generation(sources[0])}
-        delivered = {
-            source: pass_messages(
-                self.graph, tree, source,
-                self.generation(source), self.dampening.rate,
-            )
-            for source in sources
+        kernel = self.kernel_for(tree)
+        gens = [self.generation(source) for source in sources]
+        delivered = kernel.deliver(sources, gens)
+        # Equation (3): at each destination, the least populous incoming
+        # message type.  Restrict to the source columns and mask each
+        # source's own entry out of its column's minimum.
+        cols = [kernel.index[source] for source in sources]
+        cross = delivered[:, cols]
+        np.fill_diagonal(cross, np.inf)
+        minima = cross.min(axis=0)
+        return {
+            destination: float(minima[j])
+            for j, destination in enumerate(sources)
         }
-        scores: Dict[int, float] = {}
-        for destination in sources:
-            scores[destination] = min(
-                delivered[other][destination]
-                for other in sources
-                if other != destination
-            )
-        return scores
 
     # ------------------------------------------------------------- score
 
@@ -123,11 +146,18 @@ class RWMPScorer:
             return cached
         scores = self.node_scores(tree)
         value = sum(scores.values()) / len(scores)
-        if self._cache_size:
-            if len(self._tree_cache) >= self._cache_size:
-                self._tree_cache.clear()
-            self._tree_cache[tree] = value
+        self._tree_cache.put(tree, value)
         return value
+
+    # ----------------------------------------------------------- metrics
+
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        """Hit/miss/eviction snapshots of the scorer's caches."""
+        return {
+            "generation": self._generation_cache.stats(),
+            "tree_score": self._tree_cache.stats(),
+            "tree_kernel": self._kernel_cache.stats(),
+        }
 
 
 # ----------------------------------------------------------- straw men

@@ -18,7 +18,7 @@ model you can run.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from ..exceptions import InvalidTreeError
 from ..graph.datagraph import DataGraph

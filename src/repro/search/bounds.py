@@ -72,6 +72,9 @@ class UpperBoundEstimator:
         self.scorer = scorer
         self.match: MatchSets = scorer.match
         self.index = index
+        # Compiled CSR view: binary-search adjacency tests and
+        # pre-sorted neighbor arrays for the bound terms.
+        self._compiled = graph.compiled()
         #: Under OR semantics a completion need not supply the missing
         #: keywords, so every missing-keyword bound term is dropped (the
         #: remaining terms stay admissible for the wider answer space).
@@ -136,13 +139,13 @@ class UpperBoundEstimator:
         cached = self._nbr_rate_cache.get(node)
         if cached is None:
             rate = self.scorer.dampening.rate
-            neighbors = self.graph.neighbors(node)
+            neighbors = self._compiled.neighbors(node)
             cached = max((rate(n) for n in neighbors), default=1.0)
             self._nbr_rate_cache[node] = cached
         return cached
 
     def _adjacent(self, a: int, b: int) -> bool:
-        return self.graph.has_edge(a, b) or self.graph.has_edge(b, a)
+        return self._compiled.adjacent(a, b)
 
     def _retention_into(self, node: int, root: int, d_root: float) -> float:
         """Upper bound on message retention of any path ``node -> root``."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..config import SearchParams
@@ -119,6 +119,10 @@ class BranchAndBoundSearch:
             graph, scorer, index, semantics=self.params.semantics
         )
         self.stats = SearchStats()
+        # Compiled CSR view: pre-sorted neighbor tuples for the
+        # expansion loop (replaces sorted(graph.neighbors(...)) per
+        # expansion).
+        self._compiled = graph.compiled()
 
     # --------------------------------------------------------------- public
 
@@ -236,7 +240,7 @@ class BranchAndBoundSearch:
         """
         work: List[CandidateTree] = []
         if cand.depth + 1 <= self.params.diameter:
-            for neighbor in sorted(self.graph.neighbors(cand.root)):
+            for neighbor in self._compiled.neighbors(cand.root):
                 if neighbor not in cand.tree.nodes:
                     work.append(cand.grow(neighbor, self.match))
         while work:

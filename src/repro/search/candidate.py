@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import FrozenSet, Optional, Tuple
 
 from ..exceptions import SearchError
-from ..model.jtt import JoinedTupleTree, canonical_edge
+from ..model.jtt import JoinedTupleTree
 from ..text.matcher import MatchSets
 
 #: Hashable identity of a candidate: (root, tree).

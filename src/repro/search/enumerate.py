@@ -7,7 +7,7 @@ nature — use only on small graphs (the optimality property tests do).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Set
+from typing import Iterator, List, Set
 
 from ..exceptions import SearchError
 from ..graph.datagraph import DataGraph

@@ -17,7 +17,7 @@ samples; the paper's uncapped behavior is the default.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from ..config import SearchParams
 from ..exceptions import InvalidTreeError, SearchError

@@ -15,7 +15,8 @@ search.  It is the one-stop entry point the examples and the CLI use::
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import dataclasses
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -31,8 +32,9 @@ from .indexing.star import StarIndex
 from .model.answer import RankedAnswer
 from .rwmp.dampening import DampeningModel
 from .rwmp.scoring import RWMPScorer
-from .search.branch_and_bound import BranchAndBoundSearch
+from .search.branch_and_bound import BranchAndBoundSearch, SearchStats
 from .search.naive import NaiveSearch
+from .utils.lru import CacheStats
 from .text.inverted_index import InvertedIndex
 from .text.matcher import KeywordMatcher, MatchSets
 
@@ -56,6 +58,10 @@ class CIRankSystem:
         self.dampening = DampeningModel(self.importance, self.params)
         self.matcher = KeywordMatcher(index)
         self.graph_index: Optional[object] = None
+        #: Observability of the most recent :meth:`search` call (the
+        #: CLI's ``--stats`` flag reads these).
+        self.last_search_stats: Optional[SearchStats] = None
+        self.last_cache_stats: Optional[Dict[str, CacheStats]] = None
 
     # ------------------------------------------------------------ assembly
 
@@ -160,6 +166,8 @@ class CIRankSystem:
         """
         if algorithm not in ("branch-and-bound", "naive"):
             raise ReproError(f"unknown algorithm {algorithm!r}")
+        self.last_search_stats = None
+        self.last_cache_stats = None
         match = self.matcher.match(query_text)
         if self.search_params.semantics == "or":
             # OR needs only one matchable keyword
@@ -167,16 +175,14 @@ class CIRankSystem:
                 return []
         elif not match.matchable:
             return []
-        params = SearchParams(
-            k=k if k is not None else self.search_params.k,
-            diameter=(
-                diameter if diameter is not None
-                else self.search_params.diameter
-            ),
-            strict_merge=self.search_params.strict_merge,
-            max_candidates=self.search_params.max_candidates,
-            semantics=self.search_params.semantics,
-        )
+        # dataclasses.replace keeps every configured field (including any
+        # added later) instead of re-listing them by hand.
+        overrides = {}
+        if k is not None:
+            overrides["k"] = k
+        if diameter is not None:
+            overrides["diameter"] = diameter
+        params = dataclasses.replace(self.search_params, **overrides)
         scorer = self.scorer_for(match)
         if algorithm == "branch-and-bound":
             search = BranchAndBoundSearch(
@@ -184,7 +190,10 @@ class CIRankSystem:
             )
         else:
             search = NaiveSearch(self.graph, scorer, match, params)
-        return search.run()
+        answers = search.run()
+        self.last_search_stats = getattr(search, "stats", None)
+        self.last_cache_stats = scorer.cache_stats()
+        return answers
 
     # ------------------------------------------------------------- display
 

@@ -1,0 +1,5 @@
+"""Small cross-cutting utilities (caching, counters)."""
+
+from .lru import CacheStats, LRUCache
+
+__all__ = ["CacheStats", "LRUCache"]

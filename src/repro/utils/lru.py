@@ -1,0 +1,128 @@
+"""A bounded LRU cache with observable hit/miss/eviction counters.
+
+``functools.lru_cache`` memoizes *functions*; the scorer and kernel
+caches need an explicit mapping they can probe, share, and report on
+(the CLI's ``--stats`` flag surfaces the counters), so this module
+provides a small ``OrderedDict``-based cache instead.
+
+Semantics:
+
+* ``get`` refreshes recency on a hit (the entry moves to the MRU end);
+* ``put`` inserts or overwrites, evicting the LRU entry when full;
+* ``maxsize <= 0`` disables the cache entirely — ``put`` is a no-op and
+  every ``get`` is a (counted) miss, which lets callers keep one code
+  path for the cached and uncached configurations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters.
+
+    Attributes:
+        hits: successful lookups.
+        misses: failed lookups.
+        evictions: entries dropped to respect ``maxsize``.
+        size: current entry count.
+        maxsize: configured capacity (0 = disabled).
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (used by ``--stats`` output)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A least-recently-used mapping with bounded capacity.
+
+    Args:
+        maxsize: capacity; ``0`` (or negative) disables caching.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = max(0, int(maxsize))
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    # ------------------------------------------------------------- access
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing recency) or ``default``."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry when full."""
+        if self.maxsize <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Lookup without touching recency or counters (for tests)."""
+        return self._data.get(key, default)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._data.clear()
+
+    # ------------------------------------------------------------ metrics
+
+    def stats(self, name: Optional[str] = None) -> CacheStats:
+        """Snapshot the counters (``name`` is accepted for symmetry)."""
+        del name  # reserved for future labelled snapshots
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )

@@ -16,7 +16,7 @@ Conventions (standard for keyword search over XML, e.g. XKeyword/EASE):
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..exceptions import DatasetError

@@ -9,7 +9,6 @@ from repro import (
     DblpConfig,
     ImdbConfig,
     WorkloadConfig,
-    build_graph,
     generate_dblp,
     generate_imdb,
     generate_workload,

@@ -13,7 +13,6 @@ from repro import (
     mean_reciprocal_rank,
     reciprocal_rank,
 )
-from repro.datasets.workloads import EvalQuery, SINGLE
 from repro.eval.harness import (
     BANKS,
     CI_RANK,

@@ -4,11 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import EvaluationError
-from repro.eval.stats import (
-    BootstrapResult,
-    bootstrap_ci,
-    paired_permutation_test,
-)
+from repro.eval.stats import bootstrap_ci, paired_permutation_test
 
 
 class TestBootstrap:

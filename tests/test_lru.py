@@ -1,0 +1,91 @@
+"""Tests for repro.utils.lru — bounded LRU semantics and counters."""
+
+from repro.utils.lru import LRUCache
+
+
+class TestLRUBasics:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 7) == 7
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refresh "a"
+        cache.put("c", 3)               # evicts "b", not "a"
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_overwrite_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)              # overwrite refreshes "a"
+        cache.put("c", 3)               # evicts "b"
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_eviction_keeps_working_set(self):
+        """Unlike clear-on-overflow, only one entry leaves per overflow."""
+        cache = LRUCache(8)
+        for i in range(8):
+            cache.put(i, i)
+        cache.put(99, 99)
+        assert len(cache) == 8
+        # The seven most recent of the original entries all survive.
+        assert all(i in cache for i in range(1, 8))
+
+    def test_maxsize_zero_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.misses == 1  # the disabled cache still counts misses
+
+    def test_clear_preserves_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestLRUStats:
+    def test_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.size == 1
+        assert stats.maxsize == 2
+        assert stats.hit_rate == 0.5
+
+    def test_hit_rate_unused(self):
+        assert LRUCache(2).stats().hit_rate == 0.0
+
+    def test_as_dict(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.get("a")
+        payload = cache.stats().as_dict()
+        assert payload["hits"] == 1
+        assert payload["maxsize"] == 3
+        assert 0.0 <= payload["hit_rate"] <= 1.0
+
+    def test_peek_does_not_touch(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("b") is None
+        assert cache.hits == 0
+        assert cache.misses == 0

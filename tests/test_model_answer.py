@@ -1,6 +1,5 @@
 """Tests for repro.model.answer."""
 
-import pytest
 
 from repro import JoinedTupleTree, RankedAnswer, RankedList
 

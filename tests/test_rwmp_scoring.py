@@ -2,17 +2,7 @@
 
 import pytest
 
-from repro import (
-    DampeningModel,
-    DataGraph,
-    InvalidTreeError,
-    InvertedIndex,
-    JoinedTupleTree,
-    KeywordMatcher,
-    RWMPParams,
-    RWMPScorer,
-    pagerank,
-)
+from repro import DataGraph, InvalidTreeError, JoinedTupleTree
 from repro.rwmp.scoring import (
     all_node_average_score,
     average_importance_score,

@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro import (
-    BranchAndBoundSearch,
-    JoinedTupleTree,
-    ReproError,
-    SearchParams,
-    enumerate_answers,
-)
+from repro import BranchAndBoundSearch, ReproError, SearchParams
 from .conftest import make_query_env, random_test_graph
 
 

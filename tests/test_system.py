@@ -51,7 +51,6 @@ class TestFacade:
         assert answers
 
     def test_apply_feedback_changes_importance(self, tiny_dblp_system):
-        import copy
         system = tiny_dblp_system
         fresh = CIRankSystem(
             system.graph, system.index,

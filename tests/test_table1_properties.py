@@ -11,12 +11,7 @@ Table I of the paper summarizes what the RWMP scoring buys:
 
 import pytest
 
-from repro import (
-    DataGraph,
-    InvertedIndex,
-    JoinedTupleTree,
-    KeywordMatcher,
-)
+from repro import DataGraph, JoinedTupleTree
 from repro.rwmp.scoring import all_node_average_score
 from .conftest import make_query_env
 

@@ -107,8 +107,6 @@ class TestEndToEnd:
     def test_feedback_changes_ranking(self, movie_graph):
         """Learned weights rebuilt into a graph change RWMP scores in the
         preferred direction."""
-        from repro import DampeningModel, InvertedIndex, KeywordMatcher, \
-            RWMPParams, RWMPScorer, pagerank
         # two answers for "ann bob": via movie 1 or via chain 1-2-3
         _, match, scorer = make_query_env(movie_graph, "ann bob")
         direct = JoinedTupleTree([0, 1, 4], [(0, 1), (1, 4)])
