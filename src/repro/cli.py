@@ -99,8 +99,8 @@ def _cmd_save(args: argparse.Namespace) -> int:
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
-    from .experiments import ExperimentSuite
-    suite = ExperimentSuite()
+    from .experiments import ExperimentSuite, SuiteConfig
+    suite = ExperimentSuite(SuiteConfig(seed=args.seed))
     ids = (
         ExperimentSuite.available()
         if args.experiment == "all"
@@ -221,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.add_argument(
         "--experiment", default="fig8",
         help="fig6/fig7/fig8/fig9/fig11/fig12/table2 or 'all'",
+    )
+    p_repro.add_argument(
+        "--seed", type=int, default=None,
+        help="override every dataset/workload RNG seed (exact replay)",
     )
     p_repro.set_defaults(func=_cmd_reproduce)
     return parser

@@ -16,6 +16,7 @@ rows the paper's figure plots, plus provenance notes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -69,7 +70,13 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class SuiteConfig:
-    """Dataset/workload sizes the suite runs at (CLI-friendly defaults)."""
+    """Dataset/workload sizes the suite runs at (CLI-friendly defaults).
+
+    ``seed`` (when set) overrides the RNG seed of *every* generated
+    artifact — both datasets and all three workloads — so a figure or a
+    failure can be regenerated exactly from one number
+    (``cirank reproduce --seed N``).
+    """
 
     imdb: ImdbConfig = ImdbConfig(
         movies=100, actors=120, actresses=70, directors=35,
@@ -79,6 +86,7 @@ class SuiteConfig:
     queries: int = 12
     diameter: int = 4
     k: int = 5
+    seed: Optional[int] = None
 
 
 class ExperimentSuite:
@@ -92,17 +100,24 @@ class ExperimentSuite:
 
     # ------------------------------------------------------------- systems
 
+    def _seeded(self, config):
+        """Apply the suite-wide seed override to a dataset/workload config."""
+        if self.config.seed is None:
+            return config
+        return dataclasses.replace(config, seed=self.config.seed)
+
     def imdb_system(self) -> CIRankSystem:
         if self._imdb is None:
             self._imdb = CIRankSystem.from_database(
-                generate_imdb(self.config.imdb), merge_tables=IMDB_MERGE
+                generate_imdb(self._seeded(self.config.imdb)),
+                merge_tables=IMDB_MERGE,
             )
         return self._imdb
 
     def dblp_system(self) -> CIRankSystem:
         if self._dblp is None:
             self._dblp = CIRankSystem.from_database(
-                generate_dblp(self.config.dblp)
+                generate_dblp(self._seeded(self.config.dblp))
             )
         return self._dblp
 
@@ -119,6 +134,7 @@ class ExperimentSuite:
                 config = WorkloadConfig.dblp(queries=self.config.queries)
             else:
                 raise EvaluationError(f"unknown workload {name!r}")
+            config = self._seeded(config)
             self._workloads[name] = generate_workload(
                 system.graph, system.index, config
             )

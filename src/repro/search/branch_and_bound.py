@@ -22,7 +22,6 @@ Implementation notes:
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -34,6 +33,25 @@ from ..rwmp.scoring import RWMPScorer
 from ..text.matcher import MatchSets
 from .bounds import UpperBoundEstimator
 from .candidate import CandidateTree, Signature
+
+
+def _heap_key(ub: float, cand: CandidateTree):
+    """Deterministic priority: bound first, then a structural total order.
+
+    Ties on the upper bound are broken by (node count, node-id tuple,
+    root, edge tuple) — a total order over admitted candidates (the
+    signature dedup guarantees no two share root *and* tree), so the
+    expansion order is a pure function of the input and never depends on
+    insertion order.  Smaller trees expand first within a tie, matching
+    the enumeration order of the exhaustive oracle.
+    """
+    return (
+        -ub,
+        len(cand.tree.nodes),
+        tuple(sorted(cand.tree.nodes)),
+        cand.root,
+        tuple(sorted(cand.tree.edges)),
+    )
 
 
 @dataclass
@@ -151,7 +169,6 @@ class BranchAndBoundSearch:
         params = self.params
         top_k = RankedList(params.k)
         heap: List = []
-        counter = itertools.count()
         seen: Set[Signature] = set()
         by_root: Dict[int, List[CandidateTree]] = {}
 
@@ -187,7 +204,7 @@ class BranchAndBoundSearch:
                 self.stats.pruned_bound += 1
                 return False
             by_root.setdefault(cand.root, []).append(cand)
-            heapq.heappush(heap, (-ub, next(counter), cand))
+            heapq.heappush(heap, (_heap_key(ub, cand), cand))
             self.stats.enqueued += 1
             return True
 
@@ -198,8 +215,8 @@ class BranchAndBoundSearch:
         proven = True
         frontier = float("-inf")
         while heap:
-            neg_ub, _, cand = heapq.heappop(heap)
-            ub = -neg_ub
+            key, cand = heapq.heappop(heap)
+            ub = -key[0]
             if top_k.full and ub <= top_k.min_score():
                 # everything unexplored (this candidate included) is
                 # bounded by its ub — the stop rule's certificate

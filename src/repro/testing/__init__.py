@@ -1,0 +1,75 @@
+"""Differential-testing harness: generators, oracles, failure corpus.
+
+This subpackage is the standing safety net for the optimized stack: it
+generates small random (database, query, params) cases, scores the
+complete answer space with brute-force re-implementations of every
+formula, and asserts the production engines agree.  See docs/TESTING.md
+for the overview and ``tests/test_properties_*.py`` for the property
+suites built on top of it.
+"""
+
+from .corpus import (
+    case_from_dict,
+    case_to_dict,
+    load_case,
+    load_corpus,
+    save_case,
+    save_counterexample,
+)
+from .generators import (
+    DEFAULT_VOCAB,
+    GeneratedCase,
+    GeneratorConfig,
+    random_case,
+    random_database,
+    random_multi_star_graph,
+    random_params,
+    random_query,
+    random_schema,
+    random_subtree,
+    random_weights,
+)
+from .oracles import (
+    DifferentialFailure,
+    DifferentialReport,
+    check_case,
+    differential_check,
+    exhaustive_answers,
+    exhaustive_topk,
+    oracle_delivery,
+    oracle_generation,
+    oracle_node_scores,
+    oracle_pagerank,
+    oracle_tree_score,
+)
+
+__all__ = [
+    "DEFAULT_VOCAB",
+    "DifferentialFailure",
+    "DifferentialReport",
+    "GeneratedCase",
+    "GeneratorConfig",
+    "case_from_dict",
+    "case_to_dict",
+    "check_case",
+    "differential_check",
+    "exhaustive_answers",
+    "exhaustive_topk",
+    "load_case",
+    "load_corpus",
+    "oracle_delivery",
+    "oracle_generation",
+    "oracle_node_scores",
+    "oracle_pagerank",
+    "oracle_tree_score",
+    "random_case",
+    "random_database",
+    "random_multi_star_graph",
+    "random_params",
+    "random_query",
+    "random_schema",
+    "random_subtree",
+    "random_weights",
+    "save_case",
+    "save_counterexample",
+]

@@ -1,0 +1,320 @@
+"""Seeded random generators for schemas, databases, graphs, and queries.
+
+The differential oracle (:mod:`repro.testing.oracles`) needs an endless
+supply of *small but structurally diverse* inputs: random schemas (tables,
+foreign keys, m:n links including self-links), random databases over
+them, random edge-weight tables, and random keyword queries whose
+keyword-overlap structure is tunable.  Everything here is driven by an
+explicit integer seed, so any failing case is reproducible from a single
+number — :func:`random_case` is the one-stop entry point.
+
+Size/fanout/overlap knobs live on :class:`GeneratorConfig`; the defaults
+produce graphs of ~6-12 nodes, small enough for exhaustive answer
+enumeration yet large enough to exercise merges, redundant keyword
+coverage, diameter boundaries, and index decompositions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import EdgeWeights, SearchParams
+from ..db.database import Database
+from ..db.schema import Column, ForeignKey, ManyToMany, Schema, Table
+from ..graph.datagraph import DataGraph
+from ..model.jtt import JoinedTupleTree
+
+#: Words the generated rows draw from.  All survive the default analyzer
+#: (no stopwords, length >= 1) and stay distinct under Porter stemming.
+DEFAULT_VOCAB: Tuple[str, ...] = (
+    "apple", "berry", "cedar", "delta", "ember", "frost",
+    "gale", "holly", "iris", "jade",
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random case generator.
+
+    Attributes:
+        min_tables / max_tables: schema size range.
+        min_rows / max_rows: per-table cardinality range.
+        fk_prob: probability a table declares a foreign key to an
+            earlier table (insertion stays a DAG, so FK targets always
+            exist).
+        self_link_prob: probability the schema gains a citation-style
+            self m:n link on one table.
+        extra_links: m:n link instances added beyond the spanning set
+            that keeps the row graph mostly connected.
+        vocab_size: how many distinct words the rows draw from.
+        hot_words: size of the "hot" vocabulary prefix shared across
+            many rows — the keyword-overlap knob (more hot draws means
+            more nodes matching the same keyword, hence more merges and
+            redundant-coverage answers during search).
+        hot_prob: probability one drawn word comes from the hot prefix.
+        min_words / max_words: words per row.
+        max_query_keywords: upper bound on query length.
+        unmatched_query_prob: probability the query includes a word
+            absent from the database (exercises the empty-result path).
+        diameter_choices: diameter caps the generated params draw from.
+        k_choices: top-k sizes the generated params draw from.
+        weight_choices: the random per-edge-type weight pool.
+    """
+
+    min_tables: int = 1
+    max_tables: int = 3
+    min_rows: int = 2
+    max_rows: int = 5
+    fk_prob: float = 0.4
+    self_link_prob: float = 0.3
+    extra_links: int = 3
+    vocab_size: int = 6
+    hot_words: int = 2
+    hot_prob: float = 0.55
+    min_words: int = 1
+    max_words: int = 3
+    max_query_keywords: int = 2
+    unmatched_query_prob: float = 0.06
+    diameter_choices: Tuple[int, ...] = (2, 3, 4)
+    k_choices: Tuple[int, ...] = (1, 3, 5)
+    weight_choices: Tuple[float, ...] = (0.1, 0.5, 1.0)
+
+
+@dataclass
+class GeneratedCase:
+    """One reproducible (database, query, params) differential case.
+
+    Attributes:
+        seed: the generating seed (sufficient to regenerate everything).
+        db: the generated database.
+        weights: the generated edge-weight table.
+        query: the keyword query text.
+        params: the generated search parameters.
+    """
+
+    seed: int
+    db: Database
+    weights: EdgeWeights
+    query: str
+    params: SearchParams
+    config: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+    def describe(self) -> str:
+        """One-line summary for failure messages."""
+        sizes = {t.name: self.db.count(t.name) for t in self.db.schema}
+        return (
+            f"seed={self.seed} query={self.query!r} k={self.params.k} "
+            f"D={self.params.diameter} semantics={self.params.semantics} "
+            f"tables={sizes} links={self.db.link_count()}"
+        )
+
+
+# ---------------------------------------------------------------- schema
+
+
+def random_schema(rng: random.Random, config: Optional[GeneratorConfig] = None) -> Schema:
+    """A random schema: 1-3 tables, optional FKs, m:n links, self-links.
+
+    Tables are named ``t0, t1, ...`` with one searchable ``body`` column
+    (and occasionally a second, non-searchable numeric column, so the
+    text() concatenation path with absent values is exercised).  Foreign
+    keys always reference an earlier table, keeping insertion order
+    valid.
+    """
+    config = config or GeneratorConfig()
+    count = rng.randint(config.min_tables, config.max_tables)
+    tables: List[Table] = []
+    for i in range(count):
+        columns = [Column("body")]
+        if rng.random() < 0.3:
+            columns.append(Column("rank", "integer", searchable=False))
+        fks = []
+        if i > 0 and rng.random() < config.fk_prob:
+            target = f"t{rng.randrange(i)}"
+            fks.append(ForeignKey(f"fk{i}", f"{target}_id", target))
+        tables.append(Table(f"t{i}", columns, foreign_keys=fks))
+    links: List[ManyToMany] = []
+    for i in range(count):
+        for j in range(i + 1, count):
+            if rng.random() < 0.7:
+                links.append(ManyToMany(f"l{i}_{j}", f"t{i}", f"t{j}"))
+    if rng.random() < config.self_link_prob:
+        owner = rng.randrange(count)
+        links.append(ManyToMany(f"self{owner}", f"t{owner}", f"t{owner}"))
+    if count > 1 and not links and not any(t.foreign_keys for t in tables):
+        # guarantee at least one relationship type so rows can connect
+        links.append(ManyToMany("l0_1", "t0", "t1"))
+    return Schema(tables, many_to_many=links)
+
+
+def _random_text(rng: random.Random, vocab: List[str], config: GeneratorConfig) -> str:
+    hot = vocab[: config.hot_words]
+    words = []
+    for _ in range(rng.randint(config.min_words, config.max_words)):
+        pool = hot if (hot and rng.random() < config.hot_prob) else vocab
+        words.append(rng.choice(pool))
+    return " ".join(words)
+
+
+def random_database(
+    rng: random.Random,
+    schema: Schema,
+    config: Optional[GeneratorConfig] = None,
+) -> Database:
+    """Populate ``schema`` with random rows and link instances."""
+    config = config or GeneratorConfig()
+    vocab = list(DEFAULT_VOCAB[: max(1, config.vocab_size)])
+    db = Database(schema)
+    pks: Dict[str, List[int]] = {}
+    for table in schema:
+        pks[table.name] = []
+        for pk in range(1, rng.randint(config.min_rows, config.max_rows) + 1):
+            values: Dict[str, object] = {"body": _random_text(rng, vocab, config)}
+            if "rank" in table.columns:
+                values["rank"] = rng.randint(0, 9)
+            for fk in table.foreign_keys.values():
+                targets = pks[fk.references.lower()]
+                if targets and rng.random() < 0.8:
+                    values[fk.column] = rng.choice(targets)
+            db.insert(table.name, pk, **values)
+            pks[table.name].append(pk)
+
+    for m2m in schema.many_to_many.values():
+        side_a = pks[m2m.table_a.lower()]
+        side_b = pks[m2m.table_b.lower()]
+        if not side_a or not side_b:
+            continue
+        # a spanning pass keeps the graph mostly connected, then extras
+        wanted = min(len(side_a), len(side_b)) + rng.randint(0, config.extra_links)
+        for _ in range(wanted):
+            pk_a, pk_b = rng.choice(side_a), rng.choice(side_b)
+            if m2m.table_a.lower() == m2m.table_b.lower() and pk_a == pk_b:
+                continue
+            db.link(m2m.name, pk_a, pk_b)
+    return db
+
+
+def random_weights(
+    rng: random.Random,
+    schema: Schema,
+    config: Optional[GeneratorConfig] = None,
+) -> EdgeWeights:
+    """A random Table-II-style weight table for the schema's edge types."""
+    config = config or GeneratorConfig()
+    weights = EdgeWeights(weights={}, default=1.0)
+    for source, link, target in schema.relationship_types():
+        if source == target:
+            # self-relationship: asymmetric weights keyed by link name
+            weights.set_weight(f"{source}#{link}", target,
+                               rng.choice(config.weight_choices))
+            weights.set_weight(source, f"{target}#{link}",
+                               rng.choice(config.weight_choices))
+        else:
+            weights.set_weight(source, target, rng.choice(config.weight_choices))
+            weights.set_weight(target, source, rng.choice(config.weight_choices))
+    return weights
+
+
+def random_query(
+    rng: random.Random,
+    db: Database,
+    config: Optional[GeneratorConfig] = None,
+) -> str:
+    """A 1..max_query_keywords keyword query biased toward present words."""
+    config = config or GeneratorConfig()
+    present: List[str] = []
+    for table in db.schema:
+        for row in db.rows(table.name):
+            present.extend(str(row.values.get("body", "")).split())
+    if not present:
+        return DEFAULT_VOCAB[0]
+    count = rng.randint(1, max(1, config.max_query_keywords))
+    words = [rng.choice(present) for _ in range(count)]
+    if rng.random() < config.unmatched_query_prob:
+        words.append("zzzmissing")
+    # de-duplicate preserving order (the analyzer does the same)
+    seen = set()
+    out = [w for w in words if not (w in seen or seen.add(w))]
+    return " ".join(out)
+
+
+def random_params(
+    rng: random.Random,
+    config: Optional[GeneratorConfig] = None,
+) -> SearchParams:
+    """Random search parameters within the generator's envelope."""
+    config = config or GeneratorConfig()
+    return SearchParams(
+        k=rng.choice(config.k_choices),
+        diameter=rng.choice(config.diameter_choices),
+        semantics="or" if rng.random() < 0.2 else "and",
+    )
+
+
+def random_case(
+    seed: int, config: Optional[GeneratorConfig] = None
+) -> GeneratedCase:
+    """The one-stop generator: seed -> (db, weights, query, params)."""
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+    schema = random_schema(rng, config)
+    db = random_database(rng, schema, config)
+    weights = random_weights(rng, schema, config)
+    query = random_query(rng, db, config)
+    params = random_params(rng, config)
+    return GeneratedCase(seed, db, weights, query, params, config)
+
+
+# ----------------------------------------------------- graph-level helpers
+
+
+def random_multi_star_graph(
+    rng: random.Random,
+    hubs: int = 3,
+    leaves_per_hub: int = 3,
+    hub_relations: int = 2,
+) -> DataGraph:
+    """A connected graph whose edge cover needs several star relations.
+
+    Hubs alternate between ``hub0..hub{hub_relations-1}`` relations and
+    form a chain; every leaf (relation ``leaf``) hangs off one hub.  All
+    edges touch a hub, so ``{hub*}`` is a valid star cover, and with
+    more than one hub relation the star index must run its case-2/3
+    decompositions between leaves of different hubs.
+    """
+    g = DataGraph()
+    vocab = DEFAULT_VOCAB
+    hub_ids = []
+    for h in range(hubs):
+        relation = f"hub{h % max(1, hub_relations)}"
+        hub_ids.append(g.add_node(relation, rng.choice(vocab)))
+    for a, b in zip(hub_ids, hub_ids[1:]):
+        g.add_link(a, b, rng.choice([0.5, 1.0]), rng.choice([0.1, 0.5, 1.0]))
+    for hub in hub_ids:
+        for _ in range(rng.randint(1, leaves_per_hub)):
+            leaf = g.add_node("leaf", rng.choice(vocab))
+            g.add_link(hub, leaf, rng.choice([0.5, 1.0]),
+                       rng.choice([0.1, 0.5, 1.0]))
+    return g
+
+
+def random_subtree(
+    rng: random.Random, graph: DataGraph, max_nodes: int = 5
+) -> JoinedTupleTree:
+    """A random connected subtree of ``graph`` (for message-pass tests)."""
+    start = rng.randrange(graph.node_count)
+    tree = JoinedTupleTree.single(start)
+    while len(tree.nodes) < max_nodes:
+        frontier = [
+            (node, nbr)
+            for node in tree.nodes
+            for nbr in sorted(graph.neighbors(node))
+            if nbr not in tree.nodes
+        ]
+        if not frontier:
+            break
+        node, nbr = rng.choice(frontier)
+        tree = tree.with_edge(node, nbr)
+    return tree

@@ -15,6 +15,24 @@ if str(_SRC) not in sys.path:
 
 import pytest
 
+try:
+    from hypothesis import settings as _hyp_settings
+
+    # Profiles for the property suites (tests/test_properties_*.py):
+    #   dev     — local default, modest example counts;
+    #   ci      — derandomized, deadline off (CI machines jitter), the
+    #             profile the hypothesis CI job pins;
+    #   nightly — the high-example-count sweep.
+    # Select with `--hypothesis-profile=<name>`.
+    _hyp_settings.register_profile("dev", max_examples=25, deadline=None)
+    _hyp_settings.register_profile(
+        "ci", max_examples=50, deadline=None, derandomize=True
+    )
+    _hyp_settings.register_profile("nightly", max_examples=400, deadline=None)
+    _hyp_settings.load_profile("dev")
+except ImportError:  # pragma: no cover - property suites skip themselves
+    pass
+
 from repro import (
     CIRankSystem,
     DampeningModel,

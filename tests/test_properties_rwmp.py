@@ -1,0 +1,206 @@
+"""Metamorphic properties of the RWMP scoring model (Eqs. 2-4).
+
+Four families:
+
+* Equation 2: the dampening rate is monotone in importance and lives in
+  ``[alpha, 1)`` — checked over random (alpha, g, ratio) triples;
+* Equation 3: a node's score is the minimum incoming message type —
+  the vectorized scorer must match the independent path-product oracle
+  on every enumerated answer;
+* Equation 4: scores are invariant under node relabeling — rebuilding
+  the same graph under a permuted node numbering must score the
+  permuted tree identically (free nodes included);
+* kernel equivalence: the batched :class:`TreeMessageKernel` path, the
+  dict-BFS reference, and the path-product oracle agree to 1e-12, and
+  keep agreeing across graph mutation / recompile cycles; the analytic
+  values also match the Monte-Carlo surfer simulation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro import (
+    DampeningModel,
+    DataGraph,
+    InvertedIndex,
+    KeywordMatcher,
+    RWMPParams,
+    RWMPScorer,
+    pagerank,
+)
+from repro.exceptions import EvaluationError
+from repro.rwmp.dampening import log_dampening
+from repro.rwmp.messages import pass_messages, pass_messages_batch
+from repro.rwmp.simulation import simulate_message_pass
+from repro.testing import (
+    exhaustive_answers,
+    oracle_delivery,
+    oracle_node_scores,
+    oracle_pagerank,
+)
+from repro.testing.generators import random_subtree
+
+from .conftest import make_query_env, random_test_graph
+
+
+# ------------------------------------------------------------ Equation 2
+
+
+@given(
+    alpha=st.floats(0.01, 0.9),
+    g=st.floats(1.5, 200.0),
+    r1=st.floats(1.0, 1e6),
+    r2=st.floats(1.0, 1e6),
+)
+def test_log_dampening_monotone_and_bounded(alpha, g, r1, r2):
+    fn = log_dampening(alpha, g)
+    lo, hi = sorted((r1, r2))
+    assert fn(lo) <= fn(hi) + 1e-15, "Eq. 2 must be monotone in importance"
+    assert alpha - 1e-12 <= fn(lo) <= 1.0
+    assert fn(1.0) == pytest.approx(alpha), "least important node keeps alpha"
+
+
+# ------------------------------------------------------------ Equation 3
+
+
+@given(seed=st.integers(0, 10**6))
+def test_node_score_is_min_incoming_message(seed):
+    """Scorer node scores == the path-product oracle's, per answer."""
+    g = random_test_graph(seed, n=8, extra_edges=4)
+    index = InvertedIndex.build(g)
+    try:
+        match = KeywordMatcher(index).match("apple berry")
+    except EvaluationError:
+        assume(False)
+    assume(match.matchable)
+    importance = pagerank(g)
+    dampening = DampeningModel(importance, RWMPParams())
+    scorer = RWMPScorer(g, index, match, dampening)
+    answers = list(exhaustive_answers(g, match, max_diameter=3, max_nodes=5))
+    assume(answers)
+    for tree in answers[:25]:
+        fast = scorer.node_scores(tree)
+        truth = oracle_node_scores(g, tree, match, index, dampening)
+        assert set(fast) == set(truth)
+        for node, value in truth.items():
+            assert fast[node] == pytest.approx(value, rel=1e-9, abs=1e-12)
+
+
+# ------------------------------------------------------------ Equation 4
+
+
+def _permuted_copy(g: DataGraph, perm):
+    """Rebuild ``g`` with node ``n`` renumbered to ``perm[n]``."""
+    inverse = {new: old for old, new in perm.items()}
+    copy = DataGraph()
+    for new_id in range(g.node_count):
+        info = g.info(inverse[new_id])
+        copy.add_node(info.relation, info.text)
+    for node in g.nodes():
+        for target, weight in g.out_edges(node).items():
+            copy.add_edge(perm[node], perm[target], weight)
+    return copy
+
+
+@given(seed=st.integers(0, 10**6))
+def test_scores_invariant_under_relabeling(seed):
+    """Eq. 4: renumbering nodes (free ones included) changes nothing."""
+    rng = random.Random(seed)
+    g = random_test_graph(seed % 1000, n=8, extra_edges=4)
+    ids = list(range(g.node_count))
+    shuffled = ids[:]
+    rng.shuffle(shuffled)
+    perm = dict(zip(ids, shuffled))
+    g2 = _permuted_copy(g, perm)
+
+    index = InvertedIndex.build(g)
+    try:
+        match = KeywordMatcher(index).match("apple berry")
+    except EvaluationError:
+        assume(False)
+    assume(match.matchable)
+    scorer = RWMPScorer(
+        g, index, match, DampeningModel(pagerank(g), RWMPParams())
+    )
+    index2 = InvertedIndex.build(g2)
+    match2 = KeywordMatcher(index2).match("apple berry")
+    scorer2 = RWMPScorer(
+        g2, index2, match2, DampeningModel(pagerank(g2), RWMPParams())
+    )
+    answers = list(exhaustive_answers(g, match, max_diameter=3, max_nodes=5))
+    assume(answers)
+    for tree in answers[:15]:
+        mapped = tree.__class__(
+            {perm[n] for n in tree.nodes},
+            [(perm[a], perm[b]) for a, b in tree.edges],
+        )
+        assert scorer2.score(mapped) == pytest.approx(
+            scorer.score(tree), rel=1e-9, abs=1e-12
+        )
+
+
+# ------------------------------------------------- kernel / references
+
+
+def test_kernel_matches_references_across_mutation_cycles():
+    """Kernel == dict BFS == path-product oracle to 1e-12, and the
+    equivalence survives graph mutation + recompile cycles."""
+    g = random_test_graph(5, n=10, extra_edges=6)
+    rng = random.Random(0)
+    for cycle in range(4):
+        importance = pagerank(g)
+        dampening = DampeningModel(importance, RWMPParams())
+        tree = random_subtree(rng, g, max_nodes=5)
+        generations = {node: 1.0 + 0.5 * i
+                       for i, node in enumerate(sorted(tree.nodes))}
+        batch = pass_messages_batch(g, tree, generations, dampening.rate)
+        for source, initial in generations.items():
+            reference = pass_messages(g, tree, source, initial, dampening.rate)
+            oracle = oracle_delivery(g, tree, source, initial, dampening.rate)
+            for target in tree.nodes:
+                if target == source:
+                    continue
+                assert batch[source][target] == pytest.approx(
+                    reference[target], rel=1e-12, abs=1e-15
+                )
+                assert reference[target] == pytest.approx(
+                    oracle[target], rel=1e-12, abs=1e-15
+                )
+        # mutate the graph; the compiled CSR view must recompile lazily
+        fresh = g.add_node("t0", "mutant")
+        g.add_link(fresh, rng.randrange(fresh), 1.0, 0.5)
+
+
+def test_dict_pagerank_matches_numpy():
+    for seed in (1, 4, 9):
+        g = random_test_graph(seed, n=12, extra_edges=7)
+        fast = pagerank(g)
+        slow = oracle_pagerank(g)
+        for node in g.nodes():
+            assert fast[node] == pytest.approx(slow[node], rel=1e-6, abs=1e-9)
+
+
+def test_simulation_approximates_analytic_delivery(star_graph):
+    """Monte-Carlo surfers land within ~5% of the analytic path product."""
+    _, match, scorer = make_query_env(star_graph, "apple berry")
+    from repro import JoinedTupleTree
+    tree = JoinedTupleTree(
+        {0, 1, 2, 3, 4}, [(0, 1), (0, 2), (0, 3), (0, 4)]
+    )
+    dampening = scorer.dampening
+    analytic = oracle_delivery(star_graph, tree, 1, 10000.0, dampening.rate)
+    simulated = simulate_message_pass(
+        star_graph, tree, 1, 10000.0, dampening.rate,
+        surfers=60000, seed=3,
+    )
+    for target, expected in analytic.items():
+        if expected < 1.0:
+            continue  # too few surfers arrive for a stable estimate
+        assert simulated[target] == pytest.approx(expected, rel=0.08)
