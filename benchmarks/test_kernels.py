@@ -17,19 +17,29 @@ the performance trajectory is recorded across PRs; the assertions pin
 the floors (3x batched passing, 2x repeated pagerank) so a kernel
 regression fails the build.  Set ``CIRANK_BENCH_SCALE`` for heavier
 runs.
+
+``test_index_build_speedup`` covers the third kernel surface — star
+index construction — and records to ``BENCH_index.json``: the batched
+ball-BFS/retention build must be ≥ 3x the per-source reference in one
+process, and the multiprocess build must at least beat the reference
+too (on multi-core machines it also amortizes past the single-process
+kernel; CI runners with one core only pay the pool tax, so that is not
+asserted).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
 from pathlib import Path
 from typing import Callable, Dict, List
 
-from common import imdb_bench
+from common import imdb_bench, imdb_efficiency_bench
 
 from repro.importance.pagerank import pagerank, pagerank_reference
+from repro.indexing.star import StarIndex
 from repro.model.jtt import JoinedTupleTree
 from repro.rwmp.messages import (
     TreeMessageKernel,
@@ -38,10 +48,15 @@ from repro.rwmp.messages import (
 )
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+INDEX_RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_index.json"
+)
 
 #: Required speedup floors (the ISSUE's acceptance criteria).
 MIN_MESSAGE_SPEEDUP = 3.0
 MIN_PAGERANK_SPEEDUP = 2.0
+MIN_INDEX_KERNEL_SPEEDUP = 3.0
+MIN_INDEX_PARALLEL_SPEEDUP = 1.0
 
 
 def _best_of(fn: Callable[[], None], repeats: int = 3) -> float:
@@ -162,17 +177,17 @@ def _bench_pagerank(system) -> Dict[str, float]:
     }
 
 
-def _record(payload: Dict[str, object]) -> None:
+def _record(payload: Dict[str, object], path: Path = RESULTS_PATH) -> None:
     history: List[Dict[str, object]] = []
-    if RESULTS_PATH.exists():
+    if path.exists():
         try:
-            history = json.loads(RESULTS_PATH.read_text())
+            history = json.loads(path.read_text())
         except json.JSONDecodeError:
             history = []
     if not isinstance(history, list):
         history = [history]
     history.append(payload)
-    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    path.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def test_kernel_speedups():
@@ -202,4 +217,74 @@ def test_kernel_speedups():
     assert importance["speedup"] >= MIN_PAGERANK_SPEEDUP, (
         f"CSR pagerank regressed: {importance['speedup']:.2f}x "
         f"< {MIN_PAGERANK_SPEEDUP}x"
+    )
+
+
+def test_index_build_speedup():
+    """Star index construction: kernel ≥ 3x reference, parallel beats
+    reference, and all three builders emit identical tables.
+
+    Runs on the efficiency stack (400+ star sources) so the worker
+    fan-out genuinely engages instead of hitting the driver's serial
+    fallback for single-block builds.
+    """
+    bench = imdb_efficiency_bench()
+    graph, model = bench.system.graph, bench.system.dampening
+    horizon = 8
+
+    # exactness gate first: the speed is worthless if the tables drift
+    reference = StarIndex(graph, model, horizon=horizon, method="reference")
+    kernel = StarIndex(graph, model, horizon=horizon, method="kernel")
+    parallel = StarIndex(graph, model, horizon=horizon, workers=2)
+    assert parallel.build_stats.method == "kernel-parallel", (
+        "fan-out fell back to serial — grow the workload"
+    )
+    assert kernel._entries == reference._entries, "kernel tables drifted"
+    assert kernel._radius == reference._radius
+    assert parallel._entries == reference._entries, "parallel tables drifted"
+    assert parallel._radius == reference._radius
+
+    ref_time = _best_of(
+        lambda: StarIndex(graph, model, horizon=horizon,
+                          method="reference"), repeats=2,
+    )
+    kernel_time = _best_of(
+        lambda: StarIndex(graph, model, horizon=horizon), repeats=2,
+    )
+    parallel_time = _best_of(
+        lambda: StarIndex(graph, model, horizon=horizon, workers=2),
+        repeats=2,
+    )
+    kernel_speedup = ref_time / kernel_time
+    parallel_speedup = ref_time / parallel_time
+    _record({
+        "workload": "synthetic-imdb",
+        "nodes": graph.node_count,
+        "edges": graph.edge_count,
+        "star_sources": kernel.star_node_count,
+        "entries": kernel.entry_count,
+        "horizon": horizon,
+        "cpu_count": os.cpu_count(),
+        "workers": 2,
+        "reference_seconds": ref_time,
+        "kernel_seconds": kernel_time,
+        "parallel_seconds": parallel_time,
+        "kernel_speedup": kernel_speedup,
+        "parallel_speedup_vs_reference": parallel_speedup,
+    }, path=INDEX_RESULTS_PATH)
+    print(
+        f"\nindex build (serial kernel): {kernel_speedup:.1f}x "
+        f"({ref_time:.3f}s -> {kernel_time:.3f}s)"
+    )
+    print(
+        f"index build (2 workers):     {parallel_speedup:.1f}x vs "
+        f"reference ({parallel_time:.3f}s, {os.cpu_count()} cpu)"
+    )
+    assert kernel_speedup >= MIN_INDEX_KERNEL_SPEEDUP, (
+        f"kernel index build regressed: {kernel_speedup:.2f}x "
+        f"< {MIN_INDEX_KERNEL_SPEEDUP}x"
+    )
+    assert parallel_speedup > MIN_INDEX_PARALLEL_SPEEDUP, (
+        f"parallel index build slower than the reference: "
+        f"{parallel_speedup:.2f}x"
     )

@@ -8,11 +8,17 @@ Subcommands::
     cirank save     --dataset imdb --out /tmp/deployment
     cirank search   --load /tmp/deployment --query "..."
     cirank export   --dataset dblp --out graph.graphml
+    cirank index build --dataset imdb --out /tmp/star_index --workers 4
+    cirank index info  --path /tmp/star_index
+    cirank search   --index-path /tmp/star_index --query "..."
 
 ``search`` runs a top-k query (over a freshly generated dataset or a
 saved deployment); ``evaluate`` runs the Fig. 8/9 comparison on a small
 workload; ``inspect`` prints dataset/graph statistics; ``save`` builds
-and persists a deployment; ``export`` writes the data graph as GraphML.
+and persists a deployment; ``export`` writes the data graph as GraphML;
+``index build`` materializes and persists a star/pairs index (optionally
+across worker processes) and ``index info`` inspects one without
+loading it — ``search --index-path`` then warm-starts from it.
 """
 
 from __future__ import annotations
@@ -62,6 +68,23 @@ def _print_search_stats(system: CIRankSystem) -> None:
                 f"  {name:12s} {snap.hits}/{snap.misses}/{snap.evictions}"
                 f"  {snap.hit_rate:.1%}"
             )
+    _print_index_build(system)
+
+
+def _print_index_build(system: CIRankSystem) -> None:
+    """Render how the attached graph index came to be (``--stats``)."""
+    build = system.last_index_build
+    if build is not None:
+        print("index build:")
+        print(f"  method:          {build.method}")
+        print(f"  workers:         {build.workers}")
+        print(f"  sources:         {build.sources}")
+        print(f"  entries:         {build.entries}")
+        print(f"  blocks:          {build.blocks}")
+        print(f"  seconds:         {build.seconds:.3f}")
+    elif system.index_warm_started:
+        print("index build:")
+        print("  warm-started from disk (no rebuild)")
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -70,8 +93,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
         system = load_system(args.load)
     else:
         system = _build_system(args.dataset, args.seed)
-    if args.star_index and system.graph_index is None:
-        system.build_star_index()
+    if args.index_path:
+        system.attach_index(
+            args.index_kind, path=args.index_path, workers=args.workers
+        )
+    elif args.star_index and system.graph_index is None:
+        system.build_star_index(workers=args.workers)
     answers = system.search(args.query, k=args.k, diameter=args.diameter)
     if not answers:
         print("no answers")
@@ -95,6 +122,47 @@ def _cmd_save(args: argparse.Namespace) -> int:
         system.build_star_index()
     path = save_system(system, args.out)
     print(f"saved deployment to {path}")
+    return 0
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from .storage import save_index
+    system = _build_system(args.dataset, args.seed)
+    kwargs = {"horizon": args.horizon, "workers": args.workers}
+    if args.kind == "star":
+        kwargs["max_ball"] = args.max_ball
+        index = system.build_star_index(**kwargs)
+    else:
+        index = system.build_pairs_index(**kwargs)
+    path = save_index(index, args.out)
+    print(f"saved {args.kind} index to {path} "
+          f"({index.entry_count} entries)")
+    if args.stats:
+        _print_index_build(system)
+    return 0
+
+
+def _cmd_index_info(args: argparse.Namespace) -> int:
+    from .storage import index_is_stale, read_manifest
+    manifest = read_manifest(args.path)
+    print(f"kind:        {manifest['kind']}")
+    print(f"horizon:     {manifest['horizon']}")
+    if manifest["kind"] == "star":
+        print(f"star tables: {', '.join(manifest['star_relations'])}")
+        print(f"max ball:    {manifest['max_ball'] or 'unlimited'}")
+    print(f"node count:  {manifest['node_count']}")
+    print(f"entries:     {manifest['entry_count']}")
+    print(f"shards:      {len(manifest['shards'])}")
+    print(f"graph sha:   {manifest['graph_sha'][:16]}…")
+    print(f"rates sha:   {manifest['rates_sha'][:16]}…")
+    if args.check:
+        system = _build_system(args.dataset, args.seed)
+        reason = index_is_stale(args.path, system.graph, system.dampening)
+        if reason is None:
+            print(f"freshness:   OK for {args.dataset} seed {args.seed}")
+        else:
+            print(f"freshness:   STALE — {reason}")
+            return 1
     return 0
 
 
@@ -184,6 +252,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--k", type=int, default=5)
     p_search.add_argument("--star-index", action="store_true")
     p_search.add_argument(
+        "--index-path", default="",
+        help="persisted index directory (warm-starts when fresh, "
+             "rebuilds and saves back when stale or absent)",
+    )
+    p_search.add_argument(
+        "--index-kind", choices=("star", "pairs"), default="star",
+        help="index kind expected/built at --index-path",
+    )
+    p_search.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for index construction",
+    )
+    p_search.add_argument(
         "--load", default="", help="saved deployment directory"
     )
     p_search.add_argument(
@@ -214,6 +295,42 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_export)
     p_export.add_argument("--out", required=True)
     p_export.set_defaults(func=_cmd_export)
+
+    p_index = sub.add_parser(
+        "index", help="build or inspect a persisted graph index"
+    )
+    index_sub = p_index.add_subparsers(dest="index_command", required=True)
+
+    p_ibuild = index_sub.add_parser(
+        "build", help="materialize a star/pairs index and persist it"
+    )
+    common(p_ibuild)
+    p_ibuild.add_argument("--out", required=True, help="index directory")
+    p_ibuild.add_argument("--kind", choices=("star", "pairs"), default="star")
+    p_ibuild.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the kernel builder (1 = in-process)",
+    )
+    p_ibuild.add_argument("--horizon", type=int, default=8)
+    p_ibuild.add_argument(
+        "--max-ball", type=int, default=0,
+        help="per-node ball size valve, star index only (0 = unlimited)",
+    )
+    p_ibuild.add_argument(
+        "--stats", action="store_true", help="print build counters"
+    )
+    p_ibuild.set_defaults(func=_cmd_index_build)
+
+    p_iinfo = index_sub.add_parser(
+        "info", help="print a persisted index's manifest"
+    )
+    common(p_iinfo)
+    p_iinfo.add_argument("--path", required=True, help="index directory")
+    p_iinfo.add_argument(
+        "--check", action="store_true",
+        help="also verify freshness against --dataset/--seed",
+    )
+    p_iinfo.set_defaults(func=_cmd_index_info)
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate one of the paper's experiments"

@@ -47,6 +47,15 @@ class IndexError_(ReproError):
 IndexingError = IndexError_
 
 
+class StaleIndexError(IndexError_):
+    """A persisted index no longer matches the live graph or parameters.
+
+    Raised by :mod:`repro.storage.index_store` when a manifest's graph
+    fingerprint or dampening fingerprint disagrees with the deployment
+    asking to load it; callers typically catch this and rebuild.
+    """
+
+
 class DatasetError(ReproError):
     """A synthetic dataset generator received inconsistent parameters."""
 

@@ -87,6 +87,9 @@ class SuiteConfig:
     diameter: int = 4
     k: int = 5
     seed: Optional[int] = None
+    #: Processes for star-index construction in the index sweeps
+    #: (fig11/fig12); 1 builds in-process.
+    index_workers: int = 1
 
 
 class ExperimentSuite:
@@ -238,7 +241,10 @@ class ExperimentSuite:
         harness = EfficiencyHarness(
             system.graph, system.index, system.importance, texts
         )
-        star = StarIndex(system.graph, system.dampening, horizon=8)
+        star = StarIndex(
+            system.graph, system.dampening, horizon=8,
+            workers=self.config.index_workers,
+        )
         result = ExperimentResult(
             experiment, title,
             ("D", "upbound (s)", "upbound+index (s)"),

@@ -11,8 +11,17 @@ Both indexes expose the same two lookups the search consumes:
 The naive index materializes all pairs (O(|V|^2), Section V-A); the star
 index materializes only star-table nodes and approximates the rest
 through their star neighbors (Section V-B).
+
+Construction runs through the vectorized multi-source CSR kernels
+(:mod:`repro.indexing.kernels`) driven by the sharded, optionally
+multiprocess builder (:mod:`repro.indexing.build`); the per-source
+Python routines in :mod:`repro.indexing.loss` remain as the audited
+reference both builders are pinned against.  Built indexes persist via
+:mod:`repro.storage.index_store`.
 """
 
+from .build import BuildStats, build_ball_tables, tables_to_dicts
+from .kernels import BallTables, ball_tables, batched_ball_bfs, batched_retention
 from .loss import ball_bfs, retention_within
 from .pairs import PairsIndex
 from .star import StarIndex, find_star_relations
@@ -20,6 +29,13 @@ from .star import StarIndex, find_star_relations
 __all__ = [
     "ball_bfs",
     "retention_within",
+    "BallTables",
+    "BuildStats",
+    "ball_tables",
+    "batched_ball_bfs",
+    "batched_retention",
+    "build_ball_tables",
+    "tables_to_dicts",
     "PairsIndex",
     "StarIndex",
     "find_star_relations",

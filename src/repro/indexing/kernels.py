@@ -1,0 +1,277 @@
+"""Vectorized multi-source ball-BFS / best-retention kernels.
+
+The Section V indexes need, per source node, the BFS ball up to a
+horizon plus the best-path retention to every ball member.  The
+reference builder (:mod:`repro.indexing.loss`) runs one pure-Python
+BFS + Dijkstra per source; this module expands *blocks* of sources at
+once over the compiled CSR arrays (:mod:`repro.graph.csr`):
+
+* :func:`batched_ball_bfs` — level-synchronous frontier expansion for a
+  whole block: one gather over ``nbr_offsets / nbr_targets`` per level
+  discovers every (source, node) pair of that level, with the reference
+  semantics for the ``max_ball`` valve and the "exhausted ball reports
+  the full horizon" rule reproduced per row;
+* :func:`batched_retention` — max-product Bellman–Ford relaxation
+  restricted to each row's ball.  Every candidate value is a literal
+  left-to-right product of dampening rates, exactly like the product-
+  space Dijkstra in :func:`repro.indexing.loss.retention_within`, and
+  because multiplying by a rate in (0, 1] can never increase a float,
+  both computations converge to the *same* maximum over paths — the
+  kernel agrees with the reference bit for bit, not just approximately;
+* :func:`ball_tables` — composes the two and emits the compact
+  :class:`BallTables` layout shared by the parallel build driver
+  (:mod:`repro.indexing.build`) and the on-disk shard format
+  (:mod:`repro.storage.index_store`).
+
+``tests/test_index_kernels.py`` pins the exact agreement on randomized
+graphs, including horizon 0/1, disconnected sources, dangling nodes,
+and truncating ``max_ball`` valves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import IndexingError
+
+
+@dataclass(frozen=True)
+class BallTables:
+    """Ball tables for one block of sources, in a CSR-like layout.
+
+    Row ``i`` describes ``sources[i]``: its ball members (the source
+    itself excluded, optionally filtered by a keep mask) sit in
+    ``targets[offsets[i]:offsets[i+1]]``, with exact hop distances and
+    capped retention upper bounds in the parallel arrays.  This is both
+    the worker-to-driver wire format of the parallel builder and the
+    per-shard on-disk layout of :mod:`repro.storage.index_store`.
+    """
+
+    sources: np.ndarray     # (B,)   int64 source node ids
+    radii: np.ndarray       # (B,)   int64 per-source ball radii
+    offsets: np.ndarray     # (B+1,) int64 row offsets into the entry arrays
+    targets: np.ndarray     # (E,)   int64 ball-member node ids
+    distances: np.ndarray   # (E,)   int64 exact hop distances
+    retentions: np.ndarray  # (E,)   float64 capped retention upper bounds
+
+    @property
+    def entry_count(self) -> int:
+        """Number of (source, target) entries in this block."""
+        return int(self.targets.size)
+
+    def rows(self) -> Iterator[Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]]:
+        """Iterate ``(source, radius, targets, distances, retentions)``."""
+        for i in range(self.sources.size):
+            lo = int(self.offsets[i])
+            hi = int(self.offsets[i + 1])
+            yield (
+                int(self.sources[i]),
+                int(self.radii[i]),
+                self.targets[lo:hi],
+                self.distances[lo:hi],
+                self.retentions[lo:hi],
+            )
+
+
+def _validate(horizon: int, max_ball: int) -> None:
+    if horizon < 0:
+        raise IndexingError(f"horizon must be >= 0, got {horizon}")
+    if max_ball < 0:
+        raise IndexingError(f"max_ball must be >= 0, got {max_ball}")
+
+
+def batched_ball_bfs(
+    nbr_offsets: np.ndarray,
+    nbr_targets: np.ndarray,
+    sources: np.ndarray,
+    horizon: int,
+    max_ball: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """BFS balls for a block of sources in one level-synchronous sweep.
+
+    Args:
+        nbr_offsets / nbr_targets: the undirected CSR neighborhood
+            (``CompiledGraph.nbr_offsets`` / ``nbr_targets``).
+        sources: block of source node ids.
+        horizon: maximum hop count.
+        max_ball: per-source ball size valve (0 = unlimited), with the
+            reference semantics: a level that would push a row's ball
+            past ``max_ball`` is discarded and that row stops at the
+            previous level.
+
+    Returns:
+        ``(dist, radii)`` where ``dist`` is a ``(B, n)`` int32 matrix of
+        exact hop distances (-1 outside the ball) and ``radii`` the
+        per-source radius with the reference's exhaustion rule (a ball
+        that runs out of frontier before the horizon reports the full
+        horizon: absence truly means "farther").
+    """
+    _validate(horizon, max_ball)
+    sources = np.asarray(sources, dtype=np.int64)
+    n = int(nbr_offsets.size) - 1
+    b = int(sources.size)
+    dist = np.full((b, n), -1, dtype=np.int32)
+    radii = np.zeros(b, dtype=np.int64)
+    if b == 0 or n == 0:
+        return dist, radii
+    rows = np.arange(b, dtype=np.int64)
+    dist[rows, sources] = 0
+    frontier_rows = rows
+    frontier_nodes = sources
+    active = np.ones(b, dtype=bool)
+    ball_size = np.ones(b, dtype=np.int64)
+    for level in range(1, horizon + 1):
+        if frontier_rows.size == 0:
+            break
+        starts = nbr_offsets[frontier_nodes]
+        counts = nbr_offsets[frontier_nodes + 1] - starts
+        total = int(counts.sum())
+        if total:
+            rep_rows = np.repeat(frontier_rows, counts)
+            cum = np.cumsum(counts)
+            flat = np.arange(total, dtype=np.int64) + np.repeat(
+                starts - (cum - counts), counts
+            )
+            cand = nbr_targets[flat]
+            novel = dist[rep_rows, cand] < 0
+            rep_rows = rep_rows[novel]
+            cand = cand[novel]
+            if rep_rows.size:
+                # de-duplicate same-level discoveries via a combined key
+                key = np.unique(rep_rows * n + cand)
+                rep_rows = key // n
+                cand = key % n
+        else:
+            rep_rows = np.empty(0, dtype=np.int64)
+            cand = np.empty(0, dtype=np.int64)
+        staged = np.bincount(rep_rows, minlength=b)
+        exhausted = active & (staged == 0)
+        radii[exhausted] = horizon  # nothing beyond: absence means farther
+        active &= ~exhausted
+        if max_ball:
+            # a level that would overflow is dropped whole; the radius
+            # stays at the last fully committed level
+            active &= ~(ball_size + staged > max_ball)
+        committed = active[rep_rows]
+        rep_rows = rep_rows[committed]
+        cand = cand[committed]
+        dist[rep_rows, cand] = level
+        radii[active] = level
+        ball_size[active] += staged[active]
+        frontier_rows, frontier_nodes = rep_rows, cand
+    return dist, radii
+
+
+def batched_retention(
+    nbr_offsets: np.ndarray,
+    nbr_targets: np.ndarray,
+    sources: np.ndarray,
+    dist: np.ndarray,
+    rates: np.ndarray,
+) -> np.ndarray:
+    """Best-path retention within each row's ball, for a block of sources.
+
+    Max-product relaxation: one round updates every node from all its
+    neighbors at once via a segmented ``maximum.reduceat`` over the CSR
+    rows; rounds repeat to a fixpoint (at most ``n`` rounds — round ``k``
+    holds the maximum over all walks of ``<= k`` edges, and since every
+    rate lies in (0, 1] a longer walk never beats its cycle-free
+    shortcut, in float arithmetic too).  Candidate values are built as
+    left-to-right products ``ret[u] * rate(v)`` — the same association
+    order as the reference Dijkstra, hence bitwise-equal results.
+
+    Args:
+        sources: block of source ids, aligned with ``dist`` rows.
+        dist: the ``(B, n)`` distance matrix from
+            :func:`batched_ball_bfs` (-1 marks "outside the ball").
+        rates: per-node dampening rates (values <= 0 exclude the node,
+            matching the reference; values > 1 are clamped to 1).
+
+    Returns:
+        ``(B, n)`` float64 matrix of best retentions (0.0 = unreachable
+        within the ball; each source's own column holds 1.0).
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    n = int(nbr_offsets.size) - 1
+    b = int(sources.size)
+    ret = np.zeros((b, n), dtype=np.float64)
+    if b == 0 or n == 0:
+        return ret
+    ret[np.arange(b), sources] = 1.0
+    deg = np.diff(nbr_offsets)
+    nz = np.flatnonzero(deg > 0)
+    if nz.size == 0:
+        return ret
+    # nbr_targets is the concatenation of the non-empty rows in node
+    # order, so the segment of node nz[i] is exactly
+    # [nbr_offsets[nz[i]], nbr_offsets[nz[i] + 1]) — reduceat boundaries.
+    seg_starts = nbr_offsets[nz]
+    safe_rates = np.where(rates > 0.0, np.minimum(rates, 1.0), 0.0)
+    entry_rate = np.repeat(safe_rates, deg)  # rate(v) per incoming entry
+    ball_cols = dist[:, nz] >= 0
+    while True:
+        cand = ret[:, nbr_targets] * entry_rate
+        best_in = np.maximum.reduceat(cand, seg_starts, axis=1)
+        best_in[~ball_cols] = 0.0
+        new_vals = np.maximum(ret[:, nz], best_in)
+        if np.array_equal(new_vals, ret[:, nz]):
+            break
+        ret[:, nz] = new_vals
+    return ret
+
+
+def ball_tables(
+    nbr_offsets: np.ndarray,
+    nbr_targets: np.ndarray,
+    sources: np.ndarray,
+    rates: np.ndarray,
+    horizon: int,
+    max_ball: int = 0,
+    d_max: float = 1.0,
+    keep: Optional[np.ndarray] = None,
+) -> BallTables:
+    """Full index tables for one block of sources.
+
+    Composes :func:`batched_ball_bfs` and :func:`batched_retention`,
+    then emits each row's ball members (source excluded, optionally
+    filtered to ``keep`` nodes — the star index keeps star nodes only)
+    with their exact distances and retention upper bounds capped from
+    below by the per-source beyond-the-ball bound
+    ``d_max ** (radius + 1)``, exactly as the reference builders do.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    dist, radii = batched_ball_bfs(
+        nbr_offsets, nbr_targets, sources, horizon, max_ball
+    )
+    ret = batched_retention(nbr_offsets, nbr_targets, sources, dist, rates)
+    b = int(sources.size)
+    member = dist >= 0
+    if b:
+        member[np.arange(b), sources] = False
+    if keep is not None:
+        member &= np.asarray(keep, dtype=bool)[None, :]
+    rows, cols = np.nonzero(member)
+    # Python float pow, like the reference's `self._d_max ** (radius + 1)`
+    beyond = np.array(
+        [float(d_max) ** (int(r) + 1) for r in radii], dtype=np.float64
+    )
+    if rows.size:
+        distances = dist[rows, cols].astype(np.int64)
+        retentions = np.maximum(ret[rows, cols], beyond[rows])
+    else:
+        distances = np.empty(0, dtype=np.int64)
+        retentions = np.empty(0, dtype=np.float64)
+    counts = np.bincount(rows, minlength=b).astype(np.int64)
+    offsets = np.zeros(b + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return BallTables(
+        sources=sources,
+        radii=radii,
+        offsets=offsets,
+        targets=cols.astype(np.int64),
+        distances=distances,
+        retentions=retentions,
+    )

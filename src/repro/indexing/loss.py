@@ -7,14 +7,19 @@ of the product of dampening rates applied along the path (at every node
 except the source).  Splitting losses are ignored, so the value is an
 upper bound on what any tree can deliver, which is the direction the
 branch-and-bound estimates need.
+
+These per-source routines are the *reference* implementation: exact,
+dict-based, and easy to audit.  Production builds run the vectorized
+multi-source kernel in :mod:`repro.indexing.kernels`, which is pinned to
+agree with these functions entry-for-entry (``tests/test_index_kernels``).
 """
 
 from __future__ import annotations
 
 import heapq
-import math
 from typing import Callable, Dict, Set, Tuple
 
+from ..exceptions import IndexingError
 from ..graph.datagraph import DataGraph
 
 
@@ -29,12 +34,23 @@ def ball_bfs(
     Expands level by level up to ``horizon`` hops; if a completed level
     would push the ball past ``max_ball`` nodes, expansion stops at the
     previous level so the guarantee "absent => farther than the returned
-    radius" holds.
+    radius" holds.  A ``horizon`` of 0 returns the bare source with
+    radius 0; when the ball exhausts the component before the horizon,
+    the full horizon is reported as the radius (absence truly means
+    "farther"), including for isolated and dangling sources whose
+    undirected neighborhood is empty.
 
     Returns:
         ``(distances, radius)`` where ``distances`` maps every node within
         ``radius`` hops to its exact distance.
+
+    Raises:
+        IndexingError: on a negative ``horizon`` or ``max_ball``.
     """
+    if horizon < 0:
+        raise IndexingError(f"horizon must be >= 0, got {horizon}")
+    if max_ball < 0:
+        raise IndexingError(f"max_ball must be >= 0, got {max_ball}")
     dist: Dict[int, int] = {source: 0}
     frontier = [source]
     radius = 0
@@ -66,26 +82,35 @@ def retention_within(
     """Best-path retention from ``source`` restricted to ``ball`` nodes.
 
     A path's retention is the product of ``rate(v)`` over its nodes except
-    the source.  Computed by Dijkstra over ``-log rate`` costs (all rates
-    lie in (0, 1], so costs are non-negative and the greedy finalization
-    is exact).
+    the source.  Computed by Dijkstra directly in product space (a
+    max-heap on the running product): every ``rate`` lies in (0, 1], so
+    extending a path never increases its product and the greedy
+    finalization is exact — including over *floating-point* products,
+    because rounding ``x * r`` with ``r <= 1`` can never exceed ``x``.
+
+    An earlier revision ran Dijkstra over ``-log rate`` costs and
+    returned ``exp(-cost)``; the log/exp round trip perturbed results by
+    an ulp or two, so stored retentions were not exact path products and
+    could not be matched bitwise by an independent builder.  The product
+    form keeps every value a literal left-to-right product of rates,
+    which :mod:`repro.indexing.kernels` reproduces exactly.
 
     Returns:
         node -> retention for every reachable ball node (source -> 1.0).
     """
     best: Dict[int, float] = {}
-    heap = [(0.0, source)]
+    # max-heap via negated products (heapq is a min-heap)
+    heap = [(-1.0, source)]
     while heap:
-        cost, node = heapq.heappop(heap)
+        neg_product, node = heapq.heappop(heap)
         if node in best:
             continue
-        best[node] = math.exp(-cost)
+        best[node] = -neg_product
         for nbr in graph.neighbors(node):
             if nbr in best or nbr not in ball:
                 continue
             r = rate(nbr)
             if r <= 0.0:
                 continue
-            step = 0.0 if r >= 1.0 else -math.log(r)
-            heapq.heappush(heap, (cost + step, nbr))
+            heapq.heappush(heap, (neg_product * min(r, 1.0), nbr))
     return best

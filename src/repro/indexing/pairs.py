@@ -6,16 +6,26 @@ every other node within a configurable horizon.  Space is O(|V|^2) in the
 worst case — the paper's stated reason for introducing the star index;
 the ablation bench ``benchmarks/test_ablation_index_size.py`` measures
 the gap.
+
+Construction runs through the batched CSR kernels by default
+(:mod:`repro.indexing.kernels` via :mod:`repro.indexing.build`, with
+``workers > 1`` fanning source blocks over a process pool); pass
+``method="reference"`` for the audited per-source Python builder — the
+two produce identical tables, entry for entry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..exceptions import IndexingError
 from ..graph.datagraph import DataGraph
 from ..rwmp.dampening import DampeningModel
+from .build import BuildStats, build_ball_tables, tables_to_dicts
 from .loss import ball_bfs, retention_within
+
+#: Build strategies accepted by the index constructors.
+BUILD_METHODS = ("kernel", "reference")
 
 
 class PairsIndex:
@@ -29,6 +39,14 @@ class PairsIndex:
             ``retention_upper = d_max ** (horizon + 1)``).  Using a
             horizon at least the search diameter cap keeps every lookup
             the search performs exact.
+        method: ``"kernel"`` (default, vectorized batch builder) or
+            ``"reference"`` (per-source Python loops).
+        workers: process count for the kernel builder; ``<= 1`` builds
+            in-process (tiny graphs always do).
+
+    The index records the graph version it was built against and every
+    lookup re-checks it, so a mutated graph can never silently serve
+    stale distances — rebuild (or reload) after mutating.
     """
 
     def __init__(
@@ -36,16 +54,29 @@ class PairsIndex:
         graph: DataGraph,
         dampening: DampeningModel,
         horizon: int = 8,
+        method: str = "kernel",
+        workers: int = 1,
     ) -> None:
         if horizon < 1:
             raise IndexingError(f"horizon must be >= 1, got {horizon}")
+        if method not in BUILD_METHODS:
+            raise IndexingError(
+                f"unknown build method {method!r}; use one of {BUILD_METHODS}"
+            )
         self.graph = graph
         self.dampening = dampening
         self.horizon = horizon
+        self.method = method
         self._d_max = dampening.max_rate()
         self._entries: Dict[int, Dict[int, Tuple[int, float]]] = {}
         self._radius: Dict[int, int] = {}
-        self._build()
+        self.graph_version = graph.version
+        #: Counters of the last build (None for restored indexes).
+        self.build_stats: Optional[BuildStats] = None
+        if method == "reference":
+            self._build()
+        else:
+            self._build_kernel(workers)
 
     def _build(self) -> None:
         rate = self.dampening.rate
@@ -63,10 +94,58 @@ class PairsIndex:
             self._entries[source] = table
             self._radius[source] = radius
 
+    def _build_kernel(self, workers: int) -> None:
+        shards, stats = build_ball_tables(
+            self.graph, self.dampening, list(self.graph.nodes()),
+            self.horizon, workers=workers,
+        )
+        self._entries, self._radius = tables_to_dicts(shards)
+        self.build_stats = stats
+
+    @classmethod
+    def restore(
+        cls,
+        graph: DataGraph,
+        dampening: DampeningModel,
+        horizon: int,
+        d_max: float,
+        entries: Dict[int, Dict[int, Tuple[int, float]]],
+        radius: Dict[int, int],
+    ) -> "PairsIndex":
+        """Rehydrate an index from persisted tables (no rebuild)."""
+        index = cls.__new__(cls)
+        index.graph = graph
+        index.dampening = dampening
+        index.horizon = int(horizon)
+        index.method = "restored"
+        index._d_max = float(d_max)
+        index._entries = entries
+        index._radius = radius
+        index.graph_version = graph.version
+        index.build_stats = None
+        return index
+
+    # ----------------------------------------------------------- freshness
+
+    def _check_fresh(self) -> None:
+        if self.graph.version != self.graph_version:
+            raise IndexingError(
+                f"stale PairsIndex: built at graph version "
+                f"{self.graph_version}, graph is now at "
+                f"{self.graph.version}; rebuild the index after mutating "
+                "the graph"
+            )
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the graph has mutated since this index was built."""
+        return self.graph.version != self.graph_version
+
     # -------------------------------------------------------------- lookups
 
     def distance_lower(self, u: int, v: int) -> float:
         """Exact distance within the horizon; ``radius + 1`` beyond."""
+        self._check_fresh()
         if u == v:
             return 0
         entry = self._entries.get(u, {}).get(v)
@@ -76,6 +155,7 @@ class PairsIndex:
 
     def retention_upper(self, u: int, v: int) -> float:
         """Exact best retention within the horizon; a sound cap beyond."""
+        self._check_fresh()
         if u == v:
             return 1.0
         entry = self._entries.get(u, {}).get(v)

@@ -26,10 +26,14 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..exceptions import IndexingError
 from ..graph.datagraph import DataGraph
 from ..rwmp.dampening import DampeningModel
+from .build import BuildStats, build_ball_tables, tables_to_dicts
 from .loss import ball_bfs, retention_within
+from .pairs import BUILD_METHODS
 
 
 def find_star_relations(graph: DataGraph) -> FrozenSet[str]:
@@ -77,6 +81,15 @@ class StarIndex:
             via :func:`find_star_relations` when omitted.
         horizon: BFS horizon per star node.
         max_ball: per-node ball size valve (0 = unlimited).
+        method: ``"kernel"`` (default, vectorized batch builder) or
+            ``"reference"`` (per-source Python loops); both produce
+            identical tables.
+        workers: process count for the kernel builder; ``<= 1`` builds
+            in-process (tiny graphs always do).
+
+    The index records the graph version it was built against and every
+    lookup re-checks it, so a mutated graph can never silently serve
+    stale distances — rebuild (or reload) after mutating.
 
     Raises:
         IndexingError: when the chosen star relations do not cover every
@@ -90,13 +103,20 @@ class StarIndex:
         star_relations: Optional[Iterable[str]] = None,
         horizon: int = 8,
         max_ball: int = 0,
+        method: str = "kernel",
+        workers: int = 1,
     ) -> None:
         if horizon < 1:
             raise IndexingError(f"horizon must be >= 1, got {horizon}")
+        if method not in BUILD_METHODS:
+            raise IndexingError(
+                f"unknown build method {method!r}; use one of {BUILD_METHODS}"
+            )
         self.graph = graph
         self.dampening = dampening
         self.horizon = horizon
         self.max_ball = max_ball
+        self.method = method
         if star_relations is None:
             self.star_relations = find_star_relations(graph)
         else:
@@ -109,7 +129,13 @@ class StarIndex:
         self._d_max = dampening.max_rate()
         self._entries: Dict[int, Dict[int, Tuple[int, float]]] = {}
         self._radius: Dict[int, int] = {}
-        self._build()
+        self.graph_version = graph.version
+        #: Counters of the last build (None for restored indexes).
+        self.build_stats: Optional[BuildStats] = None
+        if method == "reference":
+            self._build()
+        else:
+            self._build_kernel(workers)
 
     def _verify_cover(self) -> None:
         for node in self.graph.nodes():
@@ -143,6 +169,68 @@ class StarIndex:
             self._entries[source] = table
             self._radius[source] = radius
 
+    def _build_kernel(self, workers: int) -> None:
+        keep = np.asarray(self._is_star, dtype=bool)
+        sources = np.flatnonzero(keep)
+        shards, stats = build_ball_tables(
+            self.graph, self.dampening, sources, self.horizon,
+            max_ball=self.max_ball, keep=keep, workers=workers,
+        )
+        self._entries, self._radius = tables_to_dicts(shards)
+        self.build_stats = stats
+
+    @classmethod
+    def restore(
+        cls,
+        graph: DataGraph,
+        dampening: DampeningModel,
+        star_relations: Iterable[str],
+        horizon: int,
+        max_ball: int,
+        d_max: float,
+        entries: Dict[int, Dict[int, Tuple[int, float]]],
+        radius: Dict[int, int],
+    ) -> "StarIndex":
+        """Rehydrate an index from persisted tables (no rebuild).
+
+        The star cover is re-verified against the live graph, so a
+        restored index can never serve unsound case-2/3 decompositions.
+        """
+        index = cls.__new__(cls)
+        index.graph = graph
+        index.dampening = dampening
+        index.horizon = int(horizon)
+        index.max_ball = int(max_ball)
+        index.method = "restored"
+        index.star_relations = frozenset(r.lower() for r in star_relations)
+        index._is_star = [
+            graph.info(node).relation in index.star_relations
+            for node in graph.nodes()
+        ]
+        index._verify_cover()
+        index._d_max = float(d_max)
+        index._entries = entries
+        index._radius = radius
+        index.graph_version = graph.version
+        index.build_stats = None
+        return index
+
+    # ----------------------------------------------------------- freshness
+
+    def _check_fresh(self) -> None:
+        if self.graph.version != self.graph_version:
+            raise IndexingError(
+                f"stale StarIndex: built at graph version "
+                f"{self.graph_version}, graph is now at "
+                f"{self.graph.version}; rebuild the index after mutating "
+                "the graph"
+            )
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the graph has mutated since this index was built."""
+        return self.graph.version != self.graph_version
+
     # -------------------------------------------------------- star lookups
 
     def is_star(self, node: int) -> bool:
@@ -167,6 +255,7 @@ class StarIndex:
 
     def distance_lower(self, u: int, v: int) -> float:
         """Lower bound on ``dist(u, v)`` via the three star-index cases."""
+        self._check_fresh()
         if u == v:
             return 0.0
         u_star, v_star = self._is_star[u], self._is_star[v]
@@ -191,6 +280,7 @@ class StarIndex:
 
     def retention_upper(self, u: int, v: int) -> float:
         """Upper bound on best-path retention via the three cases."""
+        self._check_fresh()
         if u == v:
             return 1.0
         rate = self.dampening.rate

@@ -1,4 +1,4 @@
-"""Persistence: save and load built systems.
+"""Persistence: save and load built systems and indexes.
 
 Building a deployment (graph construction, power iteration, index
 materialization) is the expensive part of CI-Rank; query answering is
@@ -9,8 +9,22 @@ deployment is constructed once and reopened instantly:
 * the importance vector as JSON (values + metadata);
 * the star/pairs index tables as JSON;
 * a manifest tying the pieces together with the RWMP parameters.
+
+:mod:`repro.storage.index_store` additionally persists *just* the graph
+index in a compact sharded ``.npz`` format keyed by content
+fingerprints, so serving processes warm-start without rebuilding and
+can never load an index built against a different graph or dampening
+setup (:class:`~repro.exceptions.StaleIndexError`).
 """
 
+from .index_store import (
+    graph_fingerprint,
+    index_is_stale,
+    load_index,
+    rates_fingerprint,
+    read_manifest,
+    save_index,
+)
 from .serialize import (
     graph_from_dict,
     graph_to_dict,
@@ -23,4 +37,10 @@ __all__ = [
     "graph_from_dict",
     "save_system",
     "load_system",
+    "save_index",
+    "load_index",
+    "index_is_stale",
+    "read_manifest",
+    "graph_fingerprint",
+    "rates_fingerprint",
 ]

@@ -1,0 +1,294 @@
+"""Compact on-disk persistence for the pairs/star indexes.
+
+Index construction is the expensive half of a CI-Rank cold start; this
+module makes it a one-time cost.  A persisted index is a directory::
+
+    index_manifest.json   format, kind, parameters, fingerprints, shards
+    shard_0000.npz        sources, radii, offsets, targets, distances,
+    shard_0001.npz        retentions  (the BallTables layout, compressed)
+    ...
+
+The manifest carries two fingerprints that together decide staleness:
+
+* ``graph_sha`` — SHA-256 over the compiled CSR arrays (node count,
+  out-adjacency structure and weights) plus every node's relation name.
+  Distances depend only on adjacency; the relation list additionally
+  pins the star-node selection.
+* ``rates_sha`` — SHA-256 over the per-node dampening-rate vector,
+  which transitively covers the importance vector, ``alpha``, ``g``,
+  the teleport setup, and any custom dampening function.  Retentions
+  are products of exactly these rates.
+
+:func:`load_index` re-derives both from the live deployment and raises
+:class:`~repro.exceptions.StaleIndexError` on any mismatch, so a stale
+index can never be served silently; :func:`index_is_stale` answers the
+same question non-destructively.  Shard payloads are plain ``.npz``
+(no pickling), so loading executes no arbitrary code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ReproError, StaleIndexError
+from ..graph.datagraph import DataGraph
+from ..indexing.build import node_rates
+from ..indexing.kernels import BallTables
+from ..indexing.pairs import PairsIndex
+from ..indexing.star import StarIndex
+from ..rwmp.dampening import DampeningModel
+
+INDEX_FORMAT = 1
+MANIFEST_NAME = "index_manifest.json"
+
+#: Sources per on-disk shard (independent of the build block size).
+SHARD_SIZE = 512
+
+IndexType = Union[PairsIndex, StarIndex]
+
+
+# ------------------------------------------------------------ fingerprints
+
+
+def graph_fingerprint(graph: DataGraph) -> str:
+    """SHA-256 over the graph content an index build reads.
+
+    Covers the node count, the full weighted out-adjacency (via the
+    compiled CSR arrays, which are canonical: targets sorted per row),
+    and the per-node relation names.  Node text is deliberately *not*
+    hashed — distances and retentions do not depend on it.
+    """
+    compiled = graph.compiled()
+    digest = hashlib.sha256()
+    digest.update(np.int64(compiled.node_count).tobytes())
+    digest.update(compiled.out_offsets.tobytes())
+    digest.update(compiled.out_targets.tobytes())
+    digest.update(compiled.out_weights.tobytes())
+    for node in graph.nodes():
+        digest.update(graph.info(node).relation.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def rates_fingerprint(graph: DataGraph, dampening: DampeningModel) -> str:
+    """SHA-256 over the per-node dampening-rate vector.
+
+    One hash transitively covers everything retention values depend on:
+    the importance vector (hence teleport parameters and feedback
+    vectors), ``alpha``, ``g``, and custom dampening functions.
+    """
+    return hashlib.sha256(node_rates(graph, dampening).tobytes()).hexdigest()
+
+
+# ------------------------------------------------------------------- save
+
+
+def _index_to_shards(index: IndexType) -> List[BallTables]:
+    """Repack an index's dict tables into BallTables shards."""
+    sources = sorted(index._entries)
+    shards: List[BallTables] = []
+    for lo in range(0, len(sources), SHARD_SIZE):
+        chunk = sources[lo:lo + SHARD_SIZE]
+        targets: List[int] = []
+        distances: List[int] = []
+        retentions: List[float] = []
+        offsets = [0]
+        for source in chunk:
+            table = index._entries[source]
+            for target in sorted(table):
+                dist, retention = table[target]
+                targets.append(target)
+                distances.append(dist)
+                retentions.append(retention)
+            offsets.append(len(targets))
+        shards.append(BallTables(
+            sources=np.asarray(chunk, dtype=np.int64),
+            radii=np.asarray(
+                [index._radius[s] for s in chunk], dtype=np.int64
+            ),
+            offsets=np.asarray(offsets, dtype=np.int64),
+            targets=np.asarray(targets, dtype=np.int64),
+            distances=np.asarray(distances, dtype=np.int64),
+            retentions=np.asarray(retentions, dtype=np.float64),
+        ))
+    return shards
+
+
+def save_index(
+    index: IndexType,
+    directory: Union[str, Path],
+    graph_sha: Optional[str] = None,
+    rates_sha: Optional[str] = None,
+) -> Path:
+    """Persist a built index to ``directory`` (created if missing).
+
+    The fingerprints are recomputed from the index's own graph and
+    dampening model unless supplied (the system facade precomputes them
+    once per deployment).  Returns the directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    shards = _index_to_shards(index)
+    shard_names: List[str] = []
+    for number, shard in enumerate(shards):
+        name = f"shard_{number:04d}.npz"
+        with open(directory / name, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                sources=shard.sources,
+                radii=shard.radii,
+                offsets=shard.offsets,
+                targets=shard.targets,
+                distances=shard.distances,
+                retentions=shard.retentions,
+            )
+        shard_names.append(name)
+    kind = "star" if isinstance(index, StarIndex) else "pairs"
+    manifest: Dict[str, Any] = {
+        "format": INDEX_FORMAT,
+        "kind": kind,
+        "horizon": index.horizon,
+        "d_max": index._d_max,
+        "node_count": index.graph.node_count,
+        "entry_count": index.entry_count,
+        "graph_sha": graph_sha or graph_fingerprint(index.graph),
+        "rates_sha": rates_sha or rates_fingerprint(
+            index.graph, index.dampening
+        ),
+        "shards": shard_names,
+    }
+    if kind == "star":
+        manifest["star_relations"] = sorted(index.star_relations)
+        manifest["max_ball"] = index.max_ball
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+# ------------------------------------------------------------------- load
+
+
+def read_manifest(directory: Union[str, Path]) -> Dict[str, Any]:
+    """The parsed index manifest (raises ReproError when absent/invalid)."""
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ReproError(f"no {MANIFEST_NAME} in {directory}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed {path}: {exc}") from None
+    if manifest.get("format") != INDEX_FORMAT:
+        raise ReproError(
+            f"unsupported index format {manifest.get('format')!r} "
+            f"(this build reads {INDEX_FORMAT})"
+        )
+    return manifest
+
+
+def index_is_stale(
+    directory: Union[str, Path],
+    graph: DataGraph,
+    dampening: DampeningModel,
+) -> Optional[str]:
+    """Why the persisted index cannot serve this deployment (None = fresh).
+
+    Returns a human-readable reason string on any mismatch, or None when
+    the index is safe to load.
+    """
+    try:
+        manifest = read_manifest(directory)
+    except ReproError as exc:
+        return str(exc)
+    if manifest.get("node_count") != graph.node_count:
+        return (
+            f"node count changed: index has {manifest.get('node_count')}, "
+            f"graph has {graph.node_count}"
+        )
+    if manifest.get("graph_sha") != graph_fingerprint(graph):
+        return "graph content changed since the index was built"
+    if manifest.get("rates_sha") != rates_fingerprint(graph, dampening):
+        return (
+            "dampening rates changed since the index was built "
+            "(importance vector or alpha/g parameters differ)"
+        )
+    return None
+
+
+def _load_shards(
+    directory: Path, shard_names: Sequence[str]
+) -> List[BallTables]:
+    shards: List[BallTables] = []
+    for name in shard_names:
+        path = directory / name
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                shards.append(BallTables(
+                    sources=payload["sources"],
+                    radii=payload["radii"],
+                    offsets=payload["offsets"],
+                    targets=payload["targets"],
+                    distances=payload["distances"],
+                    retentions=payload["retentions"],
+                ))
+        except FileNotFoundError:
+            raise ReproError(f"missing index shard {path}") from None
+        except (KeyError, ValueError) as exc:
+            raise ReproError(f"malformed index shard {path}: {exc}") from None
+    return shards
+
+
+def load_index(
+    directory: Union[str, Path],
+    graph: DataGraph,
+    dampening: DampeningModel,
+    kind: Optional[str] = None,
+) -> IndexType:
+    """Reopen a persisted index for this deployment, verifying freshness.
+
+    Args:
+        directory: the directory :func:`save_index` wrote.
+        graph: the live data graph.
+        dampening: the live dampening model.
+        kind: optional expected kind (``"star"`` / ``"pairs"``); a
+            mismatch raises ``ReproError``.
+
+    Raises:
+        StaleIndexError: when the graph or dampening fingerprints do not
+            match the manifest (the caller should rebuild).
+        ReproError: on missing/corrupt files or a kind mismatch.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    if kind is not None and manifest["kind"] != kind:
+        raise ReproError(
+            f"index at {directory} is a {manifest['kind']!r} index, "
+            f"expected {kind!r}"
+        )
+    reason = index_is_stale(directory, graph, dampening)
+    if reason is not None:
+        raise StaleIndexError(f"stale index at {directory}: {reason}")
+    from ..indexing.build import tables_to_dicts
+    shards = _load_shards(directory, manifest.get("shards", ()))
+    entries, radius = tables_to_dicts(shards)
+    if manifest["kind"] == "star":
+        return StarIndex.restore(
+            graph, dampening,
+            star_relations=manifest["star_relations"],
+            horizon=manifest["horizon"],
+            max_ball=manifest.get("max_ball", 0),
+            d_max=manifest["d_max"],
+            entries=entries,
+            radius=radius,
+        )
+    return PairsIndex.restore(
+        graph, dampening,
+        horizon=manifest["horizon"],
+        d_max=manifest["d_max"],
+        entries=entries,
+        radius=radius,
+    )

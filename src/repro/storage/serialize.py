@@ -127,31 +127,33 @@ def _index_from_dict(
     dampening,
 ) -> Union[StarIndex, PairsIndex]:
     kind = payload.get("kind")
-    if kind == "star":
-        index = StarIndex.__new__(StarIndex)
-        index.star_relations = frozenset(payload["star_relations"])
-        index._is_star = [
-            graph.info(node).relation in index.star_relations
-            for node in graph.nodes()
-        ]
-        index.max_ball = payload.get("max_ball", 0)
-    elif kind == "pairs":
-        index = PairsIndex.__new__(PairsIndex)
-    else:
+    if kind not in ("star", "pairs"):
         raise ReproError(f"unknown index kind {kind!r}")
-    index.graph = graph
-    index.dampening = dampening
-    index.horizon = int(payload["horizon"])
-    index._d_max = float(payload["d_max"])
-    index._entries = {
+    entries = {
         int(source): {
             int(target): (int(entry[0]), float(entry[1]))
             for target, entry in table.items()
         }
         for source, table in payload["entries"].items()
     }
-    index._radius = {int(k): int(v) for k, v in payload["radius"].items()}
-    return index
+    radius = {int(k): int(v) for k, v in payload["radius"].items()}
+    if kind == "star":
+        return StarIndex.restore(
+            graph, dampening,
+            star_relations=payload["star_relations"],
+            horizon=payload["horizon"],
+            max_ball=payload.get("max_ball", 0),
+            d_max=payload["d_max"],
+            entries=entries,
+            radius=radius,
+        )
+    return PairsIndex.restore(
+        graph, dampening,
+        horizon=payload["horizon"],
+        d_max=payload["d_max"],
+        entries=entries,
+        radius=radius,
+    )
 
 
 # ----------------------------------------------------------------- system

@@ -72,3 +72,79 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert code == 0
         assert "CI-Rank" in out and "MRR" in out
+
+
+class TestIndexCommands:
+    def test_build_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index", "build"])
+
+    def test_build_then_info(self, tmp_path, capsys):
+        out = tmp_path / "star_index"
+        code = main([
+            "index", "build", "--dataset", "dblp", "--seed", "3",
+            "--out", str(out), "--horizon", "4", "--stats",
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert (out / "index_manifest.json").exists()
+        assert "method:" in printed and "kernel" in printed
+
+        code = main([
+            "index", "info", "--path", str(out),
+            "--dataset", "dblp", "--seed", "3", "--check",
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "kind:        star" in printed
+        assert "freshness:   OK" in printed
+
+    def test_info_detects_wrong_seed(self, tmp_path, capsys):
+        out = tmp_path / "star_index"
+        main([
+            "index", "build", "--dataset", "dblp", "--seed", "3",
+            "--out", str(out), "--horizon", "4",
+        ])
+        capsys.readouterr()
+        code = main([
+            "index", "info", "--path", str(out),
+            "--dataset", "dblp", "--seed", "4", "--check",
+        ])
+        printed = capsys.readouterr().out
+        assert code == 1
+        assert "STALE" in printed
+
+    def test_search_warm_starts_from_index_path(self, tmp_path, capsys):
+        out = tmp_path / "star_index"
+        main([
+            "index", "build", "--dataset", "dblp", "--seed", "3",
+            "--out", str(out),
+        ])
+        capsys.readouterr()
+
+        from repro.cli import _build_system
+        system = _build_system("dblp", 3)
+        token = next(
+            t for t in system.index.vocabulary()
+            if len(system.index.matching_nodes(t)) == 1
+        )
+        code = main([
+            "search", "--dataset", "dblp", "--seed", "3",
+            "--query", token, "--index-path", str(out), "--stats",
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "warm-started from disk" in printed
+
+    def test_pairs_kind(self, tmp_path, capsys):
+        out = tmp_path / "pairs_index"
+        code = main([
+            "index", "build", "--dataset", "dblp", "--seed", "3",
+            "--out", str(out), "--kind", "pairs", "--horizon", "3",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["index", "info", "--path", str(out)])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "kind:        pairs" in printed

@@ -1,0 +1,228 @@
+"""The batched CSR kernels are pinned, entry for entry, to the
+reference per-source builders in ``repro.indexing.loss``.
+
+Exactness here means ``==`` on floats, not ``approx``: the kernel and
+the reference both compute retentions as literal left-to-right products
+of dampening rates, so any drift is a bug (and would break persisted
+index round-trips, which store the kernel's values).
+"""
+
+import pytest
+
+import numpy as np
+
+from repro import DampeningModel, PairsIndex, RWMPParams, StarIndex, pagerank
+from repro.graph.datagraph import DataGraph
+from repro.indexing.kernels import (
+    ball_tables,
+    batched_ball_bfs,
+    batched_retention,
+)
+from repro.indexing.build import build_ball_tables, node_rates, tables_to_dicts
+from repro.indexing.loss import ball_bfs, retention_within
+from repro.exceptions import IndexingError
+from .conftest import random_test_graph
+from .test_indexing import star_schema_graph
+
+
+def _model(graph):
+    return DampeningModel(pagerank(graph), RWMPParams())
+
+
+def _csr(graph):
+    compiled = graph.compiled()
+    return compiled.nbr_offsets, compiled.nbr_targets
+
+
+def _disconnected_graph():
+    """Two components plus one isolated node."""
+    g = DataGraph()
+    for i in range(7):
+        g.add_node("t", f"node {i}")
+    g.add_link(0, 1, 1.0, 1.0)   # component A: 0-1-2
+    g.add_link(1, 2, 1.0, 1.0)
+    g.add_link(3, 4, 1.0, 0.5)   # component B: 3-4-5
+    g.add_link(4, 5, 1.0, 0.5)
+    return g                     # node 6 dangles
+
+
+class TestBatchedBallBfs:
+    @pytest.mark.parametrize("horizon", [0, 1, 2, 5])
+    def test_matches_reference_on_random_graphs(self, horizon):
+        for seed in range(5):
+            g = random_test_graph(seed, n=12, extra_edges=5)
+            offsets, targets = _csr(g)
+            sources = np.arange(g.node_count)
+            dist, radii = batched_ball_bfs(offsets, targets, sources, horizon)
+            for i, source in enumerate(sources):
+                ref_dist, ref_radius = ball_bfs(g, int(source), horizon)
+                got = {
+                    int(n): int(dist[i, n])
+                    for n in range(g.node_count) if dist[i, n] >= 0
+                }
+                assert got == ref_dist, (seed, horizon, int(source))
+                assert int(radii[i]) == ref_radius
+
+    @pytest.mark.parametrize("max_ball", [1, 3, 6, 20])
+    def test_max_ball_valve_matches_reference(self, max_ball):
+        g = star_schema_graph(movies=5, people=20, seed=2)
+        offsets, targets = _csr(g)
+        sources = np.arange(g.node_count)
+        dist, radii = batched_ball_bfs(
+            offsets, targets, sources, horizon=4, max_ball=max_ball
+        )
+        for i in range(g.node_count):
+            ref_dist, ref_radius = ball_bfs(g, i, 4, max_ball)
+            got = {
+                int(n): int(dist[i, n])
+                for n in range(g.node_count) if dist[i, n] >= 0
+            }
+            assert got == ref_dist, (i, max_ball)
+            assert int(radii[i]) == ref_radius
+
+    def test_disconnected_and_dangling_sources(self):
+        g = _disconnected_graph()
+        offsets, targets = _csr(g)
+        sources = np.arange(g.node_count)
+        dist, radii = batched_ball_bfs(offsets, targets, sources, horizon=4)
+        for i in range(g.node_count):
+            ref_dist, ref_radius = ball_bfs(g, i, 4)
+            got = {
+                int(n): int(dist[i, n])
+                for n in range(g.node_count) if dist[i, n] >= 0
+            }
+            assert got == ref_dist
+            # exhausted components report the full horizon
+            assert int(radii[i]) == ref_radius == 4
+
+    def test_negative_horizon_rejected(self):
+        g = random_test_graph(0, n=4)
+        offsets, targets = _csr(g)
+        with pytest.raises(IndexingError):
+            batched_ball_bfs(offsets, targets, np.array([0]), horizon=-1)
+        with pytest.raises(IndexingError):
+            batched_ball_bfs(
+                offsets, targets, np.array([0]), horizon=2, max_ball=-1
+            )
+
+
+class TestBatchedRetention:
+    def test_bitwise_equal_to_reference(self):
+        for seed in range(5):
+            g = random_test_graph(seed + 10, n=12, extra_edges=6)
+            model = _model(g)
+            offsets, targets = _csr(g)
+            rates = node_rates(g, model)
+            sources = np.arange(g.node_count)
+            dist, _ = batched_ball_bfs(offsets, targets, sources, horizon=6)
+            ret = batched_retention(offsets, targets, sources, dist, rates)
+            for i in range(g.node_count):
+                ball = {
+                    int(n) for n in range(g.node_count) if dist[i, n] >= 0
+                }
+                ref = retention_within(g, i, ball, model.rate)
+                for node in range(g.node_count):
+                    # exact: both sides are the same product of floats
+                    assert ret[i, node] == ref.get(node, 0.0), (seed, i, node)
+
+    def test_restricted_ball_excludes_outside_paths(self):
+        # mirror of the reference detour test: the ball restriction must
+        # apply inside the kernel too
+        g = DataGraph()
+        for i in range(5):
+            g.add_node("t", f"n{i}")
+        g.add_link(0, 1, 1.0, 1.0)
+        g.add_link(1, 4, 1.0, 1.0)
+        g.add_link(0, 2, 1.0, 1.0)
+        g.add_link(2, 3, 1.0, 1.0)
+        g.add_link(3, 4, 1.0, 1.0)
+        rates = np.array([1.0, 0.01, 0.9, 0.9, 0.5])
+        offsets, targets = _csr(g)
+        narrow = np.full((1, 5), -1, dtype=np.int32)
+        narrow[0, [0, 1, 4]] = [0, 1, 2]
+        ret = batched_retention(offsets, targets, np.array([0]), narrow, rates)
+        assert ret[0, 4] == 0.01 * 0.5
+
+
+class TestBallTablesVsReferenceBuilders:
+    @pytest.mark.parametrize("horizon", [1, 3, 8])
+    def test_pairs_index_kernel_equals_reference(self, horizon):
+        for seed in range(4):
+            g = random_test_graph(seed + 20, n=14, extra_edges=4)
+            model = _model(g)
+            ref = PairsIndex(g, model, horizon=horizon, method="reference")
+            ker = PairsIndex(g, model, horizon=horizon, method="kernel")
+            assert ker._entries == ref._entries, (seed, horizon)
+            assert ker._radius == ref._radius
+
+    @pytest.mark.parametrize("max_ball", [0, 4, 10])
+    def test_star_index_kernel_equals_reference(self, max_ball):
+        g = star_schema_graph(movies=8, people=18, seed=9)
+        model = _model(g)
+        ref = StarIndex(g, model, horizon=6, max_ball=max_ball,
+                        method="reference")
+        ker = StarIndex(g, model, horizon=6, max_ball=max_ball,
+                        method="kernel")
+        assert ker._entries == ref._entries
+        assert ker._radius == ref._radius
+
+    def test_kernel_on_disconnected_graph(self):
+        g = _disconnected_graph()
+        model = _model(g)
+        ref = PairsIndex(g, model, horizon=4, method="reference")
+        ker = PairsIndex(g, model, horizon=4, method="kernel")
+        assert ker._entries == ref._entries
+        assert ker._radius == ref._radius
+
+    def test_keep_mask_filters_targets(self):
+        g = star_schema_graph(movies=5, people=10, seed=1)
+        model = _model(g)
+        offsets, targets = _csr(g)
+        keep = np.array(
+            [g.info(n).relation == "movie" for n in g.nodes()], dtype=bool
+        )
+        tables = ball_tables(
+            offsets, targets, np.flatnonzero(keep),
+            node_rates(g, model), horizon=4, d_max=model.max_rate(),
+            keep=keep,
+        )
+        assert all(keep[t] for t in tables.targets)
+
+    def test_unknown_method_rejected(self):
+        g = random_test_graph(3, n=5)
+        model = _model(g)
+        with pytest.raises(IndexingError):
+            PairsIndex(g, model, method="magic")
+        with pytest.raises(IndexingError):
+            StarIndex(g, model, method="magic")
+
+
+class TestBuildDriver:
+    def test_build_stats_counters(self):
+        g = random_test_graph(30, n=12, extra_edges=4)
+        model = _model(g)
+        shards, stats = build_ball_tables(
+            g, model, list(g.nodes()), horizon=4, block_size=5
+        )
+        assert stats.method == "kernel"
+        assert stats.sources == 12
+        assert stats.blocks == 3  # ceil(12 / 5)
+        assert stats.entries == sum(s.entry_count for s in shards)
+        assert stats.seconds >= 0.0
+
+    def test_blocked_build_equals_single_block(self):
+        g = random_test_graph(31, n=15, extra_edges=6)
+        model = _model(g)
+        one, _ = build_ball_tables(g, model, list(g.nodes()), horizon=5,
+                                   block_size=1000)
+        many, _ = build_ball_tables(g, model, list(g.nodes()), horizon=5,
+                                    block_size=4)
+        assert tables_to_dicts(one) == tables_to_dicts(many)
+
+    def test_empty_source_list(self):
+        g = random_test_graph(32, n=6)
+        model = _model(g)
+        shards, stats = build_ball_tables(g, model, [], horizon=3)
+        entries, radius = tables_to_dicts(shards)
+        assert entries == {} and radius == {}
+        assert stats.sources == 0

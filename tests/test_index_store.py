@@ -1,0 +1,147 @@
+"""Persistence of graph indexes: round-trips, staleness, corruption."""
+
+import json
+
+import pytest
+
+from repro import DampeningModel, PairsIndex, RWMPParams, StarIndex, pagerank
+from repro.exceptions import ReproError, StaleIndexError
+from repro.storage import (
+    graph_fingerprint,
+    index_is_stale,
+    load_index,
+    rates_fingerprint,
+    save_index,
+)
+from repro.storage.index_store import MANIFEST_NAME, read_manifest
+from .conftest import random_test_graph
+from .test_indexing import star_schema_graph
+
+
+def _model(graph, params=None):
+    return DampeningModel(pagerank(graph), params or RWMPParams())
+
+
+class TestRoundTrip:
+    def test_pairs_round_trip_is_exact(self, tmp_path):
+        g = random_test_graph(50, n=14, extra_edges=5)
+        model = _model(g)
+        index = PairsIndex(g, model, horizon=5)
+        save_index(index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", g, model)
+        assert isinstance(loaded, PairsIndex)
+        # exact equality: distances are ints, retentions round-trip
+        # bitwise through the float64 npz arrays
+        assert loaded._entries == index._entries
+        assert loaded._radius == index._radius
+        assert loaded.horizon == index.horizon
+        assert loaded._d_max == index._d_max
+        assert loaded.method == "restored"
+
+    def test_star_round_trip_is_exact(self, tmp_path):
+        g = star_schema_graph(movies=7, people=15, seed=12)
+        model = _model(g)
+        index = StarIndex(g, model, horizon=6, max_ball=8)
+        save_index(index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", g, model, kind="star")
+        assert isinstance(loaded, StarIndex)
+        assert loaded._entries == index._entries
+        assert loaded._radius == index._radius
+        assert loaded.max_ball == 8
+        assert loaded.star_relations == index.star_relations
+
+    def test_restored_lookups_match_built(self, tmp_path):
+        g = star_schema_graph(movies=6, people=12, seed=13)
+        model = _model(g)
+        index = StarIndex(g, model, horizon=6)
+        save_index(index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx", g, model)
+        for u in list(g.nodes())[:8]:
+            for v in list(g.nodes())[:8]:
+                assert loaded.distance_lower(u, v) == \
+                    index.distance_lower(u, v)
+                assert loaded.retention_upper(u, v) == \
+                    index.retention_upper(u, v)
+
+    def test_fresh_index_reports_not_stale(self, tmp_path):
+        g = random_test_graph(51, n=8)
+        model = _model(g)
+        save_index(PairsIndex(g, model, horizon=3), tmp_path / "idx")
+        assert index_is_stale(tmp_path / "idx", g, model) is None
+
+
+class TestStaleness:
+    def test_graph_mutation_detected(self, tmp_path):
+        g = random_test_graph(52, n=10, extra_edges=4)
+        model = _model(g)
+        save_index(PairsIndex(g, model, horizon=3), tmp_path / "idx")
+        node = g.add_node("t0", "new node")
+        g.add_link(node, 0, 1.0, 1.0)
+        assert index_is_stale(tmp_path / "idx", g, model) is not None
+        with pytest.raises(StaleIndexError):
+            load_index(tmp_path / "idx", g, model)
+
+    def test_edge_only_mutation_detected(self, tmp_path):
+        """Same node count, different adjacency — the sha must differ."""
+        g = random_test_graph(53, n=10, extra_edges=2)
+        model = _model(g)
+        save_index(PairsIndex(g, model, horizon=3), tmp_path / "idx")
+        a, b = 0, 5
+        if not g.has_edge(a, b):
+            g.add_link(a, b, 1.0, 1.0)
+        else:
+            g.add_link(1, 7, 1.0, 1.0)
+        assert index_is_stale(tmp_path / "idx", g, model) is not None
+
+    def test_dampening_change_detected(self, tmp_path):
+        g = random_test_graph(54, n=10, extra_edges=4)
+        model = _model(g)
+        save_index(PairsIndex(g, model, horizon=3), tmp_path / "idx")
+        changed = _model(g, RWMPParams(alpha=0.55))
+        reason = index_is_stale(tmp_path / "idx", g, changed)
+        assert reason is not None and "dampening" in reason
+        with pytest.raises(StaleIndexError):
+            load_index(tmp_path / "idx", g, changed)
+
+    def test_fingerprints_are_deterministic(self):
+        g1 = random_test_graph(55, n=9, extra_edges=3)
+        g2 = random_test_graph(55, n=9, extra_edges=3)
+        assert graph_fingerprint(g1) == graph_fingerprint(g2)
+        assert rates_fingerprint(g1, _model(g1)) == \
+            rates_fingerprint(g2, _model(g2))
+
+
+class TestFailureModes:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ReproError):
+            read_manifest(tmp_path)
+        g = random_test_graph(56, n=5)
+        model = _model(g)
+        # index_is_stale treats "nothing there" as a stale reason, so the
+        # warm-start path falls through to a build
+        assert index_is_stale(tmp_path, g, model) is not None
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        g = star_schema_graph(movies=5, people=8, seed=14)
+        model = _model(g)
+        save_index(StarIndex(g, model, horizon=4), tmp_path / "idx")
+        with pytest.raises(ReproError, match="expected"):
+            load_index(tmp_path / "idx", g, model, kind="pairs")
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        g = random_test_graph(57, n=5)
+        model = _model(g)
+        path = save_index(PairsIndex(g, model, horizon=3), tmp_path / "idx")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["format"] = 99
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ReproError, match="format"):
+            load_index(path, g, model)
+
+    def test_missing_shard_rejected(self, tmp_path):
+        g = random_test_graph(58, n=6, extra_edges=2)
+        model = _model(g)
+        path = save_index(PairsIndex(g, model, horizon=3), tmp_path / "idx")
+        (path / "shard_0000.npz").unlink()
+        with pytest.raises(ReproError, match="shard"):
+            load_index(path, g, model)

@@ -225,6 +225,121 @@ class TestStarIndex:
         }
 
 
+class TestBallBfsEdgeCases:
+    """Horizon/valve edge cases pinned to exact oracle values."""
+
+    def test_horizon_zero_is_bare_source(self, chain_graph):
+        dist, radius = ball_bfs(chain_graph, 1, horizon=0)
+        assert dist == {1: 0}
+        assert radius == 0
+
+    def test_horizon_one(self, chain_graph):
+        dist, radius = ball_bfs(chain_graph, 1, horizon=1)
+        assert dist == {1: 0, 0: 1, 2: 1}
+        assert radius == 1
+
+    def test_negative_horizon_rejected(self, chain_graph):
+        with pytest.raises(IndexingError):
+            ball_bfs(chain_graph, 0, horizon=-1)
+
+    def test_negative_max_ball_rejected(self, chain_graph):
+        with pytest.raises(IndexingError):
+            ball_bfs(chain_graph, 0, horizon=2, max_ball=-1)
+
+    def test_isolated_source_reports_full_horizon(self):
+        g = DataGraph()
+        g.add_node("t", "alone")
+        dist, radius = ball_bfs(g, 0, horizon=5)
+        assert dist == {0: 0}
+        assert radius == 5  # absence truly means "farther"
+
+    def test_disconnected_component_reports_full_horizon(self):
+        g = DataGraph()
+        for i in range(4):
+            g.add_node("t", f"n{i}")
+        g.add_link(0, 1, 1.0, 1.0)
+        g.add_link(2, 3, 1.0, 1.0)
+        dist, radius = ball_bfs(g, 0, horizon=6)
+        assert dist == {0: 0, 1: 1}
+        assert radius == 6
+
+    def test_max_ball_one_keeps_only_source(self):
+        g = star_schema_graph(movies=3, people=5)
+        dist, radius = ball_bfs(g, 0, horizon=3, max_ball=1)
+        assert dist == {0: 0}
+        assert radius == 0
+
+    def test_max_ball_overflow_keeps_previous_level(self, chain_graph):
+        # level 1 of node 1 stages {0, 2}: ball would be 3 > max_ball=2
+        dist, radius = ball_bfs(chain_graph, 1, horizon=3, max_ball=2)
+        assert dist == {1: 0}
+        assert radius == 0
+
+
+class TestRetentionExactProducts:
+    """Retentions are literal products of rates — pinned with ``==``."""
+
+    def test_detour_value_is_exact_product(self):
+        g = DataGraph()
+        for i in range(5):
+            g.add_node("t", f"n{i}")
+        g.add_link(0, 1, 1.0, 1.0)
+        g.add_link(1, 4, 1.0, 1.0)
+        g.add_link(0, 2, 1.0, 1.0)
+        g.add_link(2, 3, 1.0, 1.0)
+        g.add_link(3, 4, 1.0, 1.0)
+        rates = {0: 1.0, 1: 0.01, 2: 0.9, 3: 0.9, 4: 0.5}
+        full = retention_within(g, 0, set(g.nodes()), rates.__getitem__)
+        assert full[4] == 0.9 * 0.9 * 0.5  # bitwise, not approx
+        assert full[2] == 0.9
+        assert full[0] == 1.0
+
+    def test_zero_rate_node_is_impassable(self, chain_graph):
+        rates = {0: 1.0, 1: 0.0, 2: 0.9, 3: 0.9}
+        ball = set(chain_graph.nodes())
+        got = retention_within(chain_graph, 0, ball, rates.__getitem__)
+        assert got == {0: 1.0}  # node 1 blocks the only path
+
+    def test_rates_above_one_are_clamped(self, chain_graph):
+        rates = {0: 1.0, 1: 5.0, 2: 0.5, 3: 1.0}
+        got = retention_within(
+            chain_graph, 0, set(chain_graph.nodes()), rates.__getitem__
+        )
+        assert got[1] == 1.0
+        assert got[2] == 0.5
+
+
+class TestIndexStaleness:
+    def test_pairs_lookup_raises_after_mutation(self, dampening):
+        g = random_test_graph(60, n=8, extra_edges=3)
+        index = PairsIndex(g, dampening(g), horizon=4)
+        assert not index.is_stale
+        node = g.add_node("t0", "late arrival")
+        g.add_link(node, 0, 1.0, 1.0)
+        assert index.is_stale
+        with pytest.raises(IndexingError, match="stale"):
+            index.distance_lower(0, 1)
+        with pytest.raises(IndexingError, match="stale"):
+            index.retention_upper(0, 1)
+
+    def test_star_lookup_raises_after_mutation(self, dampening):
+        g = star_schema_graph(movies=4, people=6, seed=15)
+        index = StarIndex(g, dampening(g), horizon=4)
+        assert not index.is_stale
+        g.add_node("movie", "sequel nobody asked for")
+        assert index.is_stale
+        with pytest.raises(IndexingError, match="stale"):
+            index.distance_lower(0, 1)
+        with pytest.raises(IndexingError, match="stale"):
+            index.retention_upper(0, 1)
+
+    def test_fresh_index_keeps_serving(self, dampening):
+        g = random_test_graph(61, n=8, extra_edges=3)
+        index = PairsIndex(g, dampening(g), horizon=4)
+        assert index.distance_lower(0, 0) == 0  # no raise
+        assert index.graph_version == g.version
+
+
 class TestStarIndexBallCap:
     """The max_ball valve must degrade bounds, never soundness."""
 

@@ -77,6 +77,93 @@ class TestFacade:
         fresh.graph_index = None
 
 
+class TestMatchMemoization:
+    def test_repeat_query_hits_cache(self, tiny_dblp_system):
+        system = tiny_dblp_system
+        workload = generate_workload(
+            system.graph, system.index, WorkloadConfig.dblp(queries=2),
+        )
+        query = workload[0].text
+        first = system.search(query, k=2)
+        hits_before = system.last_cache_stats["match"].hits
+        second = system.search(query, k=2)
+        stats = system.last_cache_stats["match"]
+        assert stats.hits == hits_before + 1
+        assert [a.score for a in first] == [a.score for a in second]
+
+    def test_cache_keyed_on_graph_version(self):
+        from repro import DblpConfig, generate_dblp
+        db = generate_dblp(DblpConfig(
+            conferences=2, papers=10, authors=8, seed=9,
+        ))
+        system = CIRankSystem.from_database(db)
+        word = next(iter(system.index.vocabulary()))
+        match1 = system._match_for(word)
+        match2 = system._match_for(word)
+        assert match2 is match1  # same version: served from cache
+        assert system._match_cache.hits == 1
+        system.graph.add_node("paper", f"fresh {word} mention")
+        match3 = system._match_for(word)  # new version: recomputed
+        assert match3 is not match1
+        assert system._match_cache.hits == 1  # no extra hit
+
+
+class TestAttachIndex:
+    def _fresh(self, system):
+        return CIRankSystem(
+            system.graph, system.index,
+            system.importance, system.params, system.search_params,
+        )
+
+    def test_plain_attach_builds(self, tiny_dblp_system):
+        fresh = self._fresh(tiny_dblp_system)
+        index = fresh.attach_index("star", horizon=4)
+        assert fresh.graph_index is index
+        assert not fresh.index_warm_started
+        assert fresh.last_index_build is not None
+        assert fresh.last_index_build.method == "kernel"
+
+    def test_cold_then_warm_start(self, tiny_dblp_system, tmp_path):
+        path = tmp_path / "idx"
+        cold = self._fresh(tiny_dblp_system)
+        cold.attach_index("star", path=path, horizon=4)
+        assert not cold.index_warm_started
+        assert (path / "index_manifest.json").exists()
+
+        warm = self._fresh(tiny_dblp_system)
+        warm.attach_index("star", path=path, horizon=4)
+        assert warm.index_warm_started
+        assert warm.last_index_build is None  # no rebuild happened
+        assert warm.graph_index._entries == cold.graph_index._entries
+
+    def test_unknown_kind_rejected(self, tiny_dblp_system):
+        with pytest.raises(ReproError):
+            self._fresh(tiny_dblp_system).attach_index("magic")
+
+    def test_index_path_without_kind_rejected(self, tiny_dblp_system):
+        from repro import DblpConfig, generate_dblp
+        db = generate_dblp(DblpConfig(conferences=2, papers=6, authors=5))
+        with pytest.raises(ReproError, match="index_kind"):
+            CIRankSystem.from_database(db, index_path="/tmp/nowhere")
+
+    def test_from_database_attaches_index(self, tmp_path):
+        from repro import DblpConfig, generate_dblp
+        db = generate_dblp(DblpConfig(
+            conferences=3, papers=20, authors=15, seed=5,
+        ))
+        path = tmp_path / "idx"
+        cold = CIRankSystem.from_database(
+            db, index_kind="star", index_path=path,
+        )
+        assert cold.graph_index is not None
+        assert not cold.index_warm_started
+        warm = CIRankSystem.from_database(
+            db, index_kind="star", index_path=path,
+        )
+        assert warm.index_warm_started
+        assert warm.graph_index._entries == cold.graph_index._entries
+
+
 class TestCli:
     def test_parser_subcommands(self):
         parser = build_parser()
