@@ -52,15 +52,38 @@ def _print_search_stats(system: CIRankSystem) -> None:
     stats = system.last_search_stats
     if stats is not None:
         print("search stats:")
-        print(f"  expanded:        {stats.expanded}")
-        print(f"  generated:       {stats.generated}")
-        print(f"  enqueued:        {stats.enqueued}")
-        print(f"  pruned (bound):  {stats.pruned_bound}")
-        print(f"  pruned (diam):   {stats.pruned_diameter}")
-        print(f"  pruned (dist):   {stats.pruned_distance}")
-        print(f"  answers found:   {stats.answers_found}")
-        print(f"  stopped early:   {stats.stopped_early}")
-    caches = system.last_cache_stats
+        if stats.served_from_cache:
+            print("  served from the answer cache (no search ran)")
+            print(f"  answers found:   {stats.answers_found}")
+            print(f"  cache lookup:    {stats.cache_lookup_seconds:.6f}s")
+        else:
+            print(f"  expanded:        {stats.expanded}")
+            print(f"  generated:       {stats.generated}")
+            print(f"  enqueued:        {stats.enqueued}")
+            print(f"  pruned (bound):  {stats.pruned_bound}")
+            print(f"  pruned (diam):   {stats.pruned_diameter}")
+            print(f"  pruned (dist):   {stats.pruned_distance}")
+            print(f"  answers found:   {stats.answers_found}")
+            print(f"  stopped early:   {stats.stopped_early}")
+            print(f"  bound evals:     {stats.bound_evals}")
+            print(f"  cheap admits:    {stats.cheap_admissions}")
+            print(f"  tightened:       {stats.tightened}")
+            print(f"  re-pushed:       {stats.repushed}")
+            print("phase timers:")
+            print(f"  bound:           {stats.bound_seconds:.6f}s")
+            print(f"  expand:          {stats.expand_seconds:.6f}s")
+            print(f"  scoring:         {stats.score_seconds:.6f}s")
+            print(f"  cache lookup:    {stats.cache_lookup_seconds:.6f}s")
+    caches = dict(system.last_cache_stats or {})
+    answers_snap = caches.pop("answers", None)
+    if answers_snap is not None:
+        print("answer cache (hits/misses/invalidations/evictions):")
+        print(
+            f"  {answers_snap.hits}/{answers_snap.misses}"
+            f"/{answers_snap.invalidations}/{answers_snap.evictions}"
+            f"  {answers_snap.hit_rate:.1%} hit rate,"
+            f" {answers_snap.size}/{answers_snap.maxsize} entries"
+        )
     if caches:
         print("scorer caches (hits/misses/evictions, hit rate):")
         for name, snap in caches.items():

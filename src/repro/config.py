@@ -80,6 +80,13 @@ class SearchParams:
             every keyword) or ``"or"`` (answers may cover any non-empty
             subset; the SPARK-style relaxation).  OR mode widens the
             answer space and weakens the search bounds accordingly.
+        lazy_bounds: when True (default), candidates are admitted on a
+            cheap inherited bound and the full ``ce/pe`` bound is only
+            computed when they reach the head of the priority queue
+            (lazy best-first evaluation — see docs/ALGORITHMS.md §2.6).
+            Both modes return identical top-k up to tie classes; False
+            restores the eager per-candidate bound evaluation, mainly
+            useful for differential testing and benchmarking.
     """
 
     k: int = DEFAULT_K
@@ -87,6 +94,7 @@ class SearchParams:
     strict_merge: bool = True
     max_candidates: int = 0
     semantics: str = "and"
+    lazy_bounds: bool = True
 
     def __post_init__(self) -> None:
         if self.k < 1:

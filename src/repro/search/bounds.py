@@ -87,6 +87,12 @@ class UpperBoundEstimator:
         self._ret_cache: Dict[Tuple[int, int], float] = {}
         self._dist_cache: Dict[Tuple[int, int], float] = {}
         self._nbr_rate_cache: Dict[int, float] = {}
+        # Per-root tables for the potential estimate: the per-addition
+        # retention factors depend only on (root, x), not on the
+        # candidate, and roots repeat across thousands of candidates.
+        self._pe_cache: Dict[int, List[Tuple[int, float, float, frozenset]]] = {}
+        self._into_cache: Dict[Tuple[int, int], float] = {}
+        self._all_keywords = frozenset(self.match.keywords)
 
     def _index_retention(self, u: int, v: int) -> float:
         key = (u, v)
@@ -148,13 +154,26 @@ class UpperBoundEstimator:
         return self._compiled.adjacent(a, b)
 
     def _retention_into(self, node: int, root: int, d_root: float) -> float:
-        """Upper bound on message retention of any path ``node -> root``."""
+        """Upper bound on message retention of any path ``node -> root``.
+
+        A pure function of ``(node, root)`` for the lifetime of the
+        query, memoized — the adjacency test behind it is a CSR binary
+        search, and candidates sharing a root repeat the same lookups.
+        """
+        key = (node, root)
+        cached = self._into_cache.get(key)
+        if cached is not None:
+            return cached
         if self.index is not None:
-            return min(d_root, self._index_retention(node, root))
-        if self._adjacent(node, root):
-            return d_root
-        # non-adjacent: at least one intermediate, itself a root neighbor
-        return d_root * self._max_neighbor_rate(root)
+            value = min(d_root, self._index_retention(node, root))
+        elif self._adjacent(node, root):
+            value = d_root
+        else:
+            # non-adjacent: at least one intermediate, itself a root
+            # neighbor
+            value = d_root * self._max_neighbor_rate(root)
+        self._into_cache[key] = value
+        return value
 
     def _best_outside_gen(
         self, keyword: str, cand: CandidateTree, d_root: float
@@ -175,6 +194,39 @@ class UpperBoundEstimator:
             if node not in cand.tree.nodes:
                 return gen
         return 0.0
+
+    def _pe_entries(
+        self, root: int
+    ) -> List[Tuple[int, float, float, frozenset]]:
+        """Per-root table of ``(x, d_x, ret(root -> x), keywords(x))``.
+
+        Everything :meth:`_potential_estimate` needs about an addition
+        ``x`` except the per-candidate pieces (tree membership, missing
+        keywords) is a function of the root alone, and a root is shared
+        by thousands of candidates in one search.  The table preserves
+        the iteration order of ``match.all_nodes`` so the early-exit
+        point — and hence the returned value — is identical to the
+        uncached reference.
+        """
+        cached = self._pe_cache.get(root)
+        if cached is None:
+            rate = self.scorer.dampening.rate
+            keywords_of = self.match.keywords_of
+            cached = []
+            for x in self.match.all_nodes:
+                d_x = rate(x)
+                if self.index is not None:
+                    ret = min(d_x, self._index_retention(root, x))
+                elif self._adjacent(root, x):
+                    ret = d_x
+                else:
+                    # non-adjacent: charge the forced intermediate hop
+                    ret = d_x * self._max_neighbor_rate(root)
+                cached.append(
+                    (x, d_x, ret, keywords_of.get(x, frozenset()))
+                )
+            self._pe_cache[root] = cached
+        return cached
 
     def _potential_estimate(
         self,
@@ -197,7 +249,41 @@ class UpperBoundEstimator:
 
         ``pe`` is the max of this per-``x`` bound over all possible
         additions; nodes matching every missing keyword fall back to the
-        first family only.
+        first family only.  The per-``x`` retention factors come from the
+        memoized per-root table (:meth:`_pe_entries`); the returned value
+        is bitwise identical to :meth:`_potential_estimate_reference`.
+        """
+        caps = {k: self._max_gen_outside(k, cand) for k in missing}
+        best = 0.0
+        cutoff = fbar_min * self._max_enq_rate()
+        nodes = cand.tree.nodes
+        for x, d_x, ret, x_keywords in self._pe_entries(cand.root):
+            if x in nodes:
+                continue
+            bound = fbar_min * ret
+            for keyword in missing:
+                if keyword not in x_keywords:
+                    cap = caps[keyword] * d_x
+                    if cap < bound:
+                        bound = cap
+            if bound > best:
+                best = bound
+            if best >= cutoff:
+                break  # cannot grow further
+        return best
+
+    def _potential_estimate_reference(
+        self,
+        cand: CandidateTree,
+        fbar_min: float,
+        missing,
+    ) -> float:
+        """The uncached ``pe`` (see :meth:`_potential_estimate`).
+
+        Recomputes every retention factor from the graph on each call;
+        kept verbatim as the independent implementation the memoized
+        fast path is differentially checked against, and as part of the
+        ``upper_bound_reference`` benchmark baseline.
         """
         rate = self.scorer.dampening.rate
         caps = {k: self._max_gen_outside(k, cand) for k in missing}
@@ -277,10 +363,136 @@ class UpperBoundEstimator:
                 delivered[n] = 0.0
         return delivered
 
+    @staticmethod
+    def _deliver_factors(
+        factors: Dict[int, Tuple[Tuple[int, float], ...]],
+        source: int,
+        initial: float,
+    ) -> Dict[int, float]:
+        """Delivery pass over per-node ``(neighbor, factor)`` lists.
+
+        Same semantics as :meth:`_deliver`, but the transfer factor
+        rides along with the neighbor in the candidate's structurally
+        shared factor lists (:mod:`repro.search.candidate`), so the hot
+        loop never hashes an edge tuple or rebuilds adjacency.  A
+        non-positive initial value short-circuits to an empty mapping —
+        read results with ``.get(node, 0.0)``.
+        """
+        out: Dict[int, float] = {}
+        if initial <= 0.0:
+            return out
+        stack = [(source, -1, initial)]
+        while stack:
+            node, parent, value = stack.pop()
+            for nbr, factor in factors[node]:
+                if nbr != parent:
+                    kept = value * factor
+                    out[nbr] = kept
+                    if len(factors[nbr]) > 1:
+                        # leaves (single factor entry: the edge back to
+                        # `node`) have nothing further to deliver to
+                        stack.append((nbr, node, kept))
+        return out
+
     # -------------------------------------------------------------- bounds
 
     def upper_bound(self, cand: CandidateTree) -> float:
-        """``ub(C) = max(ce(C), pe(C))`` — admissible by Lemma 1."""
+        """``ub(C) = max(ce(C), pe(C))`` — admissible by Lemma 1.
+
+        Fast path: when the candidate carries incrementally maintained
+        transfer factor lists (see :mod:`repro.search.candidate`) they
+        are used directly — a grow/merge chain never rebuilds adjacency
+        or the per-edge ``tau`` map, and the delivery passes iterate the
+        candidate's shared factor lists.  Candidates built without a
+        :class:`~repro.search.candidate.TransferContext` fall back to
+        the full :meth:`_tree_transfer` rebuild; both paths multiply
+        identical factors along identical paths, so the bound value is
+        bitwise the same (pinned by tests/test_properties_search_cache).
+        """
+        tree = cand.tree
+        root = cand.root
+        sources = cand.sources(self.match)
+        if not sources:
+            return 0.0
+        gen = self.scorer.generation
+        rate = self.scorer.dampening.rate
+        d_root = rate(root)
+
+        factors = cand.transfer
+        if factors is None:
+            adj, tau = self._tree_transfer(tree, root)
+            factors = {
+                a: tuple((b, tau[(a, b)]) for b in adj[a]) for a in adj
+            }
+        deliver = self._deliver_factors
+        gens = []
+        fbar = []
+        fbar_to_root_min = float("inf")
+        for u in sources:
+            g = gen(u)
+            gens.append(g)
+            delivered = deliver(factors, u, g)
+            fbar.append(delivered)
+            to_root = g if u == root else delivered.get(root, 0.0)
+            if to_root < fbar_to_root_min:
+                fbar_to_root_min = to_root
+
+        if self.semantics == "or":
+            missing: frozenset = frozenset()
+        else:
+            missing = self._all_keywords - cand.covered
+        n_sources = len(sources)
+        if missing or n_sources == 1:
+            # `inside` feeds only the missing-keyword terms and the
+            # lone-source fallback; skip the delivery pass otherwise.
+            inside = deliver(factors, root, 1.0)
+            inside[root] = 1.0
+        else:
+            inside = {}
+        g_of = {
+            k: self._best_outside_gen(k, cand, d_root) for k in missing
+        }
+
+        total = 0.0
+        for i, v in enumerate(sources):
+            best = float("inf")
+            for j in range(n_sources):
+                if j != i:
+                    val = fbar[j].get(v, 0.0)
+                    if val < best:
+                        best = val
+            if missing:
+                inside_v = inside.get(v, 0.0)
+                for k in missing:
+                    term = g_of[k] * inside_v
+                    if term < best:
+                        best = term
+            if best == float("inf"):
+                # Lone complete source: T may equal C (score = gen(v)), or
+                # gain extra sources whose deliveries bound v's new min.
+                outside_best = max(
+                    (
+                        self._best_outside_gen(k, cand, d_root)
+                        for k in self.match.keywords
+                    ),
+                    default=0.0,
+                )
+                best = max(gens[i], outside_best * inside.get(v, 0.0))
+            total += best
+        ce = total / n_sources
+
+        pe = self._potential_estimate(cand, fbar_to_root_min, missing)
+        return max(ce, pe)
+
+    def upper_bound_reference(self, cand: CandidateTree) -> float:
+        """The dict-based eager bound (the pre-optimization reference).
+
+        Rebuilds the full transfer map from the graph and runs dict-keyed
+        per-source delivery passes on every call.  Kept as the
+        independent implementation the fast path is differentially
+        checked against, and as the baseline of
+        ``benchmarks/test_search_speedup.py``.
+        """
         tree = cand.tree
         root = cand.root
         sources = tree.non_free_nodes(self.match)
@@ -328,7 +540,7 @@ class UpperBoundEstimator:
                 bounds[v] = max(gen(v), outside_best * inside[v])
         ce = sum(bounds.values()) / len(bounds)
 
-        pe = self._potential_estimate(
+        pe = self._potential_estimate_reference(
             cand, min(fbar_to_root.values()), missing
         )
         return max(ce, pe)

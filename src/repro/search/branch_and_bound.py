@@ -8,8 +8,14 @@ answers are provably optimal (Theorem 1).
 
 Implementation notes:
 
-* every *generated* candidate is registered per root so later candidates
-  with the same root can merge against it (the paper's Line 16);
+* every candidate whose *tight* bound beats the kept top-k is registered
+  per root so later candidates with the same root can merge against it
+  (the paper's Line 16); under lazy evaluation registration waits until
+  the tight bound is known — a cheaply-admitted candidate that never
+  reaches tightening is bounded below the kept top-k, so skipping its
+  merges is the same Lemma-1 prune that drops it, and every pair whose
+  members both survive tightening still merges (the later-registered one
+  sweeps the full partner list when it expands);
 * candidates are deduplicated by (root, tree) signature;
 * a candidate pruned because ``ub <= minscore`` is safe to drop entirely:
   any answer expandable from it is bounded by that same ``ub`` (see the
@@ -17,11 +23,31 @@ Implementation notes:
 * the diameter cap prunes structurally (``diameter > D``) and — when an
   index is available — via distance lower bounds
   (:meth:`UpperBoundEstimator.completion_impossible`).
+
+Lazy bound tightening (``SearchParams.lazy_bounds``, the default):
+
+* at admit time a child candidate inherits the cheapest admissible bound
+  available — its parent's latest bound for a grow, the minimum of both
+  operands' for a merge.  Every answer expandable from the child is
+  expandable from each parent (grow/merge only shrink the reachable
+  answer set), so the inherited value stays admissible and both the
+  admit-time prune and the global stop rule remain sound;
+* the full ``ce/pe`` bound is computed only when a cheaply-bounded
+  candidate reaches the heap head and its inherited bound still beats
+  the kept top-k.  If tightening drops it below the next head it is
+  re-pushed with the tight key instead of expanded — classic lazy
+  best-first evaluation.  Expansion order can differ from the eager
+  configuration but remains a pure function of the input (the heap key
+  is a structural total order), and the returned top-k is identical up
+  to tie classes (pinned by the differential oracle).
+
+See docs/ALGORITHMS.md §2.6 for the soundness argument.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -32,7 +58,7 @@ from ..model.answer import RankedAnswer, RankedList
 from ..rwmp.scoring import RWMPScorer
 from ..text.matcher import MatchSets
 from .bounds import UpperBoundEstimator
-from .candidate import CandidateTree, Signature
+from .candidate import CandidateTree, Signature, TransferContext
 
 
 def _heap_key(ub: float, cand: CandidateTree):
@@ -43,14 +69,17 @@ def _heap_key(ub: float, cand: CandidateTree):
     signature dedup guarantees no two share root *and* tree), so the
     expansion order is a pure function of the input and never depends on
     insertion order.  Smaller trees expand first within a tie, matching
-    the enumeration order of the exhaustive oracle.
+    the enumeration order of the exhaustive oracle.  The node/edge
+    tuples are memoized on the candidate and maintained incrementally
+    by grow/merge, so building a key allocates nothing but the tuple
+    itself.
     """
     return (
         -ub,
         len(cand.tree.nodes),
-        tuple(sorted(cand.tree.nodes)),
+        cand.sorted_nodes,
         cand.root,
-        tuple(sorted(cand.tree.edges)),
+        cand.sorted_edges,
     )
 
 
@@ -68,6 +97,22 @@ class SearchStats:
         answers_found: complete answers offered to the top-k list.
         stopped_early: True when the bound test ended the search before
             the queue drained.
+        bound_evals: full ``ce/pe`` upper-bound evaluations.
+        cheap_admissions: candidates admitted on an inherited
+            (parent-derived) bound instead of a full evaluation.
+        tightened: cheaply-bounded candidates whose full bound was
+            computed at the heap head.
+        repushed: tightened candidates re-enqueued because the tight
+            bound fell below the next head.
+        bound_seconds: wall-clock spent in full bound evaluations.
+        expand_seconds: wall-clock spent generating grows/merges
+            (excluding the admit work accounted above).
+        score_seconds: wall-clock spent scoring complete answers.
+        cache_lookup_seconds: wall-clock the system spent probing the
+            cross-query answer cache for this search.
+        served_from_cache: True when the system answered from the
+            cross-query cache without running the search at all (every
+            other counter is then zero).
     """
 
     expanded: int = 0
@@ -78,6 +123,15 @@ class SearchStats:
     pruned_distance: int = 0
     answers_found: int = 0
     stopped_early: bool = False
+    bound_evals: int = 0
+    cheap_admissions: int = 0
+    tightened: int = 0
+    repushed: int = 0
+    bound_seconds: float = 0.0
+    expand_seconds: float = 0.0
+    score_seconds: float = 0.0
+    cache_lookup_seconds: float = 0.0
+    served_from_cache: bool = False
 
 
 @dataclass(frozen=True)
@@ -114,7 +168,8 @@ class BranchAndBoundSearch:
         graph: the data graph.
         scorer: the query's RWMP scorer.
         match: the query's match sets (must be the scorer's).
-        params: search parameters (k, diameter cap, merge mode).
+        params: search parameters (k, diameter cap, merge mode, lazy
+            bound evaluation).
         index: optional pairs/star index for bound tightening and
             distance pruning.
     """
@@ -137,10 +192,18 @@ class BranchAndBoundSearch:
             graph, scorer, index, semantics=self.params.semantics
         )
         self.stats = SearchStats()
+        #: Whether the last finished run proved its top-k optimal
+        #: (Theorem 1) — the system's answer cache only stores proven
+        #: results.
+        self.last_proven = False
         # Compiled CSR view: pre-sorted neighbor tuples for the
         # expansion loop (replaces sorted(graph.neighbors(...)) per
         # expansion).
         self._compiled = graph.compiled()
+        # Incremental transfer maintenance for grow/merge (see
+        # repro.search.candidate); the bound estimator consumes the
+        # per-candidate factors instead of rebuilding them.
+        self._ctx = TransferContext(graph, scorer.dampening.rate)
 
     # --------------------------------------------------------------- public
 
@@ -150,6 +213,26 @@ class BranchAndBoundSearch:
         for snapshot in self.snapshots():
             pass
         return snapshot.answers if snapshot is not None else []
+
+    def _tight_bound(self, cand: CandidateTree) -> float:
+        """One timed full bound evaluation, cached on the candidate."""
+        start = time.perf_counter()
+        ub = self.bounds.upper_bound(cand)
+        self.stats.bound_seconds += time.perf_counter() - start
+        self.stats.bound_evals += 1
+        cand.cached_ub = ub
+        return ub
+
+    def _cheap_bound(self, inherited: float, cand: CandidateTree) -> float:
+        """The admit-time bound for a candidate with known parents.
+
+        ``inherited`` is the minimum of the parents' latest admissible
+        bounds; any answer expandable from ``cand`` is expandable from
+        each parent, so the value is admissible for ``cand`` too.
+        Factored out so the mutation tests can break it on purpose.
+        """
+        del cand  # the inherited value alone bounds every completion
+        return inherited
 
     def snapshots(self):
         """Anytime execution: yield progress snapshots during the search.
@@ -164,48 +247,67 @@ class BranchAndBoundSearch:
 
         Consumers can stop iterating at any time; the last snapshot's
         ``frontier_bound`` is the quality certificate: no unseen answer
-        can score above it.
+        can score above it (cheap inherited bounds are admissible, so
+        the certificate holds in lazy mode too).
         """
         params = self.params
+        lazy = params.lazy_bounds
+        stats = self.stats
+        self.last_proven = False
         top_k = RankedList(params.k)
         heap: List = []
         seen: Set[Signature] = set()
         by_root: Dict[int, List[CandidateTree]] = {}
 
-        def admit(cand: CandidateTree) -> bool:
+        def admit(
+            cand: CandidateTree, inherited: Optional[float] = None
+        ) -> bool:
             """Register, score-if-complete, bound, and enqueue a candidate.
 
             Returns True when the candidate was new (not a duplicate), so
             the merge cascade knows whether to continue through it.
             """
-            self.stats.generated += 1
+            stats.generated += 1
             if cand.diameter > params.diameter:
-                self.stats.pruned_diameter += 1
+                stats.pruned_diameter += 1
                 return False
             signature = cand.signature()
             if signature in seen:
                 return False
             seen.add(signature)
             if cand.is_answer(self.match, params.diameter, params.semantics):
+                start = time.perf_counter()
                 answer = RankedAnswer(cand.tree, self.scorer.score(cand.tree))
-                self.stats.answers_found += 1
+                stats.score_seconds += time.perf_counter() - start
+                stats.answers_found += 1
                 top_k.offer(answer)
             if self.bounds.completion_impossible(cand, params.diameter):
                 # No completion can exist through any future root or merge,
                 # so expanding (or merging through) this candidate is futile.
-                self.stats.pruned_distance += 1
+                stats.pruned_distance += 1
                 return False
-            ub = self.bounds.upper_bound(cand)
+            if lazy and inherited is not None:
+                ub = self._cheap_bound(inherited, cand)
+                cand.cached_ub = ub
+                tight = False
+                stats.cheap_admissions += 1
+            else:
+                ub = self._tight_bound(cand)
+                tight = True
             if top_k.full and ub <= top_k.min_score():
                 # Lemma 1: every answer expandable from this candidate —
                 # via grows or merges — scores at most `ub`, which cannot
                 # beat the kept top-k; safe to drop the whole subtree of
                 # the search space.
-                self.stats.pruned_bound += 1
+                stats.pruned_bound += 1
                 return False
-            by_root.setdefault(cand.root, []).append(cand)
-            heapq.heappush(heap, (_heap_key(ub, cand), cand))
-            self.stats.enqueued += 1
+            if tight:
+                # Merge-partner registration waits for a surviving tight
+                # bound (see the module docstring); cheap admissions
+                # register at head-tightening instead.
+                by_root.setdefault(cand.root, []).append(cand)
+            heapq.heappush(heap, (_heap_key(ub, cand), tight, cand))
+            stats.enqueued += 1
             return True
 
         for node in sorted(self.match.all_nodes):
@@ -215,21 +317,39 @@ class BranchAndBoundSearch:
         proven = True
         frontier = float("-inf")
         while heap:
-            key, cand = heapq.heappop(heap)
+            key, tight, cand = heapq.heappop(heap)
             ub = -key[0]
             if top_k.full and ub <= top_k.min_score():
                 # everything unexplored (this candidate included) is
                 # bounded by its ub — the stop rule's certificate
-                self.stats.stopped_early = True
+                # (admissible whether the head's bound is cheap or tight)
+                stats.stopped_early = True
                 frontier = ub
                 break
             if (
                 params.max_candidates
-                and self.stats.expanded >= params.max_candidates
+                and stats.expanded >= params.max_candidates
             ):
                 proven = False
                 frontier = ub
                 break
+            if not tight:
+                # Lazy tightening: pay for the full bound only now that
+                # the candidate leads the frontier and still beats the
+                # kept top-k.
+                ub = self._tight_bound(cand)
+                stats.tightened += 1
+                if top_k.full and ub <= top_k.min_score():
+                    stats.pruned_bound += 1
+                    continue
+                # The tight bound survived: the candidate becomes a
+                # merge partner (exactly once — re-pushed entries carry
+                # tight=True).
+                by_root.setdefault(cand.root, []).append(cand)
+                if heap and ub < -heap[0][0][0]:
+                    heapq.heappush(heap, (_heap_key(ub, cand), True, cand))
+                    stats.repushed += 1
+                    continue
             if top_k.revision != last_revision:
                 last_revision = top_k.revision
                 yield AnytimeSnapshot(
@@ -237,9 +357,12 @@ class BranchAndBoundSearch:
                     frontier_bound=ub,
                     proven_optimal=False,
                 )
-            self.stats.expanded += 1
+            stats.expanded += 1
+            start = time.perf_counter()
             self._expand(cand, admit, by_root)
+            stats.expand_seconds += time.perf_counter() - start
 
+        self.last_proven = proven
         yield AnytimeSnapshot(
             answers=top_k.as_list(),
             frontier_bound=frontier,
@@ -249,23 +372,66 @@ class BranchAndBoundSearch:
     # -------------------------------------------------------------- expand
 
     def _expand(self, cand: CandidateTree, admit, by_root) -> None:
-        """Grow ``cand`` in every direction, then cascade merges.
+        """Generate ``cand``'s grows and merges.
 
-        Every newly admitted candidate is merged against all previously
-        registered candidates sharing its root; merge results re-enter the
-        cascade, which is how roots with several children arise.
+        The two evaluation modes expand differently:
+
+        * eager — the seed behavior: newly admitted candidates are merged
+          against all registered same-root candidates immediately, and
+          merge results re-enter the cascade.  Sound because eager admit
+          bound-prunes before registering, which cuts the cascade;
+        * lazy — merges happen at *pop* time only: ``cand`` (just
+          registered with a surviving tight bound) merges against the
+          registered same-root partners, and children enqueue without
+          cascading.  Deferring the merge work to tightening keeps the
+          loose cheap bounds from breeding merge products that the tight
+          bound would have pruned.  Pair completeness holds because
+          whichever partner expands later sweeps the full registered
+          list.
         """
+        if self.params.lazy_bounds:
+            self._expand_lazy(cand, admit, by_root)
+        else:
+            self._expand_eager(cand, admit, by_root)
+
+    def _expand_lazy(self, cand: CandidateTree, admit, by_root) -> None:
+        parent_ub = cand.cached_ub
+        if cand.depth + 1 <= self.params.diameter:
+            for neighbor in self._compiled.neighbors(cand.root):
+                if neighbor not in cand.tree.nodes:
+                    admit(
+                        cand.grow(neighbor, self.match, self._ctx),
+                        parent_ub,
+                    )
+        for partner in list(by_root.get(cand.root, ())):
+            if partner is cand:
+                continue
+            if cand.depth + partner.depth > self.params.diameter:
+                # the merged tree would break the cap; skip before
+                # paying for the union construction
+                self.stats.generated += 1
+                self.stats.pruned_diameter += 1
+                continue
+            merged = cand.merge(partner, strict=self.params.strict_merge)
+            if merged is not None:
+                partner_ub = partner.cached_ub
+                if parent_ub is not None and partner_ub is not None:
+                    admit(merged, min(parent_ub, partner_ub))
+                else:
+                    admit(merged)
+
+    def _expand_eager(self, cand: CandidateTree, admit, by_root) -> None:
         work: List[CandidateTree] = []
         if cand.depth + 1 <= self.params.diameter:
             for neighbor in self._compiled.neighbors(cand.root):
                 if neighbor not in cand.tree.nodes:
-                    work.append(cand.grow(neighbor, self.match))
+                    work.append(cand.grow(neighbor, self.match, self._ctx))
         while work:
             current = work.pop()
             if not admit(current):
                 continue
-            # `admit` may have registered `current`; snapshot partners so
-            # the iteration is stable while the cascade appends new ones.
+            # `admit` registered `current`; snapshot partners so the
+            # iteration is stable while the cascade appends new ones.
             for partner in list(by_root.get(current.root, ())):
                 if current.depth + partner.depth > self.params.diameter:
                     # the merged tree would break the cap; skip before

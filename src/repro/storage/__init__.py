@@ -17,6 +17,7 @@ can never load an index built against a different graph or dampening
 setup (:class:`~repro.exceptions.StaleIndexError`).
 """
 
+from .answer_cache import AnswerCache, AnswerCacheStats, answer_cache_key
 from .index_store import (
     graph_fingerprint,
     index_is_stale,
@@ -33,6 +34,9 @@ from .serialize import (
 )
 
 __all__ = [
+    "AnswerCache",
+    "AnswerCacheStats",
+    "answer_cache_key",
     "graph_to_dict",
     "graph_from_dict",
     "save_system",

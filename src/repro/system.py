@@ -16,6 +16,7 @@ search.  It is the one-stop entry point the examples and the CLI use::
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
@@ -41,6 +42,10 @@ from .text.matcher import KeywordMatcher, MatchSets
 #: Distinct (query, graph version) match sets kept hot per system.
 MATCH_CACHE_SIZE = 256
 
+#: Default capacity of the cross-query answer cache (proven top-k
+#: results reused across repeated searches; 0 disables).
+ANSWER_CACHE_SIZE = 256
+
 
 class CIRankSystem:
     """A ready-to-query CI-Rank deployment over one database graph."""
@@ -52,6 +57,7 @@ class CIRankSystem:
         importance: ImportanceVector,
         params: Optional[RWMPParams] = None,
         search_params: Optional[SearchParams] = None,
+        answer_cache_size: int = ANSWER_CACHE_SIZE,
     ) -> None:
         self.graph = graph
         self.index = index
@@ -65,6 +71,15 @@ class CIRankSystem:
         # stats re-runs, benchmark loops); key on the graph version so a
         # mutation invalidates naturally.
         self._match_cache = LRUCache(MATCH_CACHE_SIZE)
+        # Cross-query cache of proven-optimal top-k results, versioned
+        # by (graph version, ranking epoch) — see
+        # repro.storage.answer_cache.  Local import: repro.storage pulls
+        # in serialize, which imports this module.
+        from .storage.answer_cache import AnswerCache
+        self._answer_cache = AnswerCache(answer_cache_size)
+        # Bumped whenever the ranking itself changes (feedback re-rank);
+        # pairs with graph.version to guard cached answers.
+        self._ranking_epoch = 0
         #: Observability of the most recent :meth:`search` call (the
         #: CLI's ``--stats`` flag reads these).
         self.last_search_stats: Optional[SearchStats] = None
@@ -75,6 +90,11 @@ class CIRankSystem:
         #: Whether :meth:`attach_index` served the persisted index
         #: instead of rebuilding.
         self.index_warm_started = False
+
+    @property
+    def answer_cache(self):
+        """The versioned cross-query answer cache (read-mostly accessor)."""
+        return self._answer_cache
 
     # ------------------------------------------------------------ assembly
 
@@ -90,6 +110,7 @@ class CIRankSystem:
         index_kind: Optional[str] = None,
         index_path=None,
         index_workers: int = 1,
+        answer_cache_size: int = ANSWER_CACHE_SIZE,
     ) -> "CIRankSystem":
         """Build the full stack from a database.
 
@@ -107,6 +128,8 @@ class CIRankSystem:
                 a fresh one stored there warm-starts this deployment,
                 and a rebuild (stale or absent) is saved back.
             index_workers: process count for index construction.
+            answer_cache_size: capacity of the cross-query answer cache
+                (0 disables it).
         """
         params = params or RWMPParams()
         graph = GraphBuilder(weights, merge_tables).build(db)
@@ -114,7 +137,10 @@ class CIRankSystem:
         importance = pagerank(
             graph, teleport=params.teleport, teleport_vector=teleport_vector
         )
-        system = cls(graph, index, importance, params, search_params)
+        system = cls(
+            graph, index, importance, params, search_params,
+            answer_cache_size=answer_cache_size,
+        )
         if index_kind is not None:
             system.attach_index(
                 index_kind, path=index_path, workers=index_workers
@@ -216,6 +242,9 @@ class CIRankSystem:
             teleport_vector=feedback.teleport_vector(),
         )
         self.dampening = DampeningModel(self.importance, self.params)
+        # Cached answers were proven under the old ranking; the epoch
+        # bump invalidates them lazily at their next lookup.
+        self._ranking_epoch += 1
         if self.graph_index is not None:
             raise ReproError(
                 "feedback changes dampening rates; rebuild the graph index "
@@ -265,6 +294,31 @@ class CIRankSystem:
         if diameter is not None:
             overrides["diameter"] = diameter
         params = dataclasses.replace(self.search_params, **overrides)
+        cache_key = None
+        lookup_seconds = 0.0
+        if algorithm == "branch-and-bound" and self._answer_cache.enabled:
+            # Cross-query answer cache: key on the *analyzed* keywords
+            # (two raw strings normalizing identically share an entry),
+            # the resolved params, and the index provenance; the stored
+            # (graph version, ranking epoch) guard is checked inside
+            # lookup, which counts stale entries as invalidations.
+            from .storage.answer_cache import answer_cache_key
+            start = time.perf_counter()
+            cache_key = answer_cache_key(
+                tuple(match.keywords), params, self._index_fingerprint()
+            )
+            cached = self._answer_cache.lookup(
+                cache_key, self.graph.version, self._ranking_epoch
+            )
+            lookup_seconds = time.perf_counter() - start
+            if cached is not None:
+                stats = SearchStats()
+                stats.served_from_cache = True
+                stats.cache_lookup_seconds = lookup_seconds
+                stats.answers_found = len(cached)
+                self.last_search_stats = stats
+                self._publish_cache_stats()
+                return cached
         scorer = self.scorer_for(match)
         if algorithm == "branch-and-bound":
             search = BranchAndBoundSearch(
@@ -274,9 +328,33 @@ class CIRankSystem:
             search = NaiveSearch(self.graph, scorer, match, params)
         answers = search.run()
         self.last_search_stats = getattr(search, "stats", None)
-        self.last_cache_stats = dict(scorer.cache_stats())
-        self.last_cache_stats["match"] = self._match_cache.stats()
+        if self.last_search_stats is not None:
+            self.last_search_stats.cache_lookup_seconds += lookup_seconds
+        if cache_key is not None and getattr(search, "last_proven", False):
+            # Only proven-optimal results are reusable; anytime aborts
+            # (max_candidates) carry no certificate.  Proven *empty*
+            # results are cached too.
+            self._answer_cache.store(
+                cache_key, self.graph.version, self._ranking_epoch, answers
+            )
+        self._publish_cache_stats(scorer)
         return answers
+
+    def _index_fingerprint(self):
+        """Structural identity of the attached graph index (or None)."""
+        index = self.graph_index
+        if index is None:
+            return None
+        return (type(index).__name__, getattr(index, "horizon", None))
+
+    def _publish_cache_stats(self, scorer: Optional[RWMPScorer] = None):
+        """Refresh :attr:`last_cache_stats` after a search."""
+        stats: Dict[str, CacheStats] = (
+            dict(scorer.cache_stats()) if scorer is not None else {}
+        )
+        stats["match"] = self._match_cache.stats()
+        stats["answers"] = self._answer_cache.stats()
+        self.last_cache_stats = stats
 
     def _match_for(self, query_text: str) -> MatchSets:
         """Match sets for a query, memoized per (query, graph version)."""

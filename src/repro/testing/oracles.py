@@ -491,6 +491,36 @@ def differential_check(
     _check_exact_topk("branch-and-bound", label, bnb, oracle_topk, scores)
     report.engines.append("branch-and-bound")
 
+    # Lazy bound tightening (the default) and eager per-candidate bounds
+    # must be interchangeable: both are admissible, so both are exact.
+    eager = dataclasses.replace(complete, lazy_bounds=False)
+    search = BranchAndBoundSearch(graph, scorer, match, eager)
+    _check_exact_topk("eager-bounds", label, search.run(), oracle_topk, scores)
+    report.engines.append("eager-bounds")
+
+    # A repeated identical query must come back from the answer cache
+    # (same object sequence — the cache stores the proven result) and
+    # still satisfy the exactness contract.
+    if system.answer_cache.enabled:
+        before = system.answer_cache.stats().hits
+        warm = system.search(query)
+        after = system.answer_cache.stats()
+        if after.hits != before + 1:
+            raise DifferentialFailure(
+                "answer-cache", label,
+                f"repeated query was not served from the cache "
+                f"(hits {before} -> {after.hits})",
+            )
+        if [(a.tree, a.score) for a in warm] != [
+            (a.tree, a.score) for a in bnb
+        ]:
+            raise DifferentialFailure(
+                "answer-cache", label,
+                "warm-cache result differs from the cold search result",
+            )
+        _check_exact_topk("answer-cache", label, warm, oracle_topk, scores)
+        report.engines.append("answer-cache")
+
     if check_indexes:
         horizon = max(1, params.diameter)
         pairs = PairsIndex(graph, system.dampening, horizon=horizon)

@@ -110,6 +110,14 @@ class LRUCache:
         """Lookup without touching recency or counters (for tests)."""
         return self._data.get(key, default)
 
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return ``key`` (no counter is touched).
+
+        Used by callers that implement their own invalidation semantics
+        on top of the cache (e.g. the versioned answer cache).
+        """
+        return self._data.pop(key, default)
+
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
         self._data.clear()
