@@ -67,13 +67,21 @@ def _print_search_stats(system: CIRankSystem) -> None:
             print(f"  stopped early:   {stats.stopped_early}")
             print(f"  bound evals:     {stats.bound_evals}")
             print(f"  cheap admits:    {stats.cheap_admissions}")
+            print(f"  admit capped:    {stats.admit_capped}")
             print(f"  tightened:       {stats.tightened}")
             print(f"  re-pushed:       {stats.repushed}")
             print("phase timers:")
             print(f"  bound:           {stats.bound_seconds:.6f}s")
+            print(f"    cheap admit:   {stats.cheap_bound_seconds:.6f}s")
+            print(f"    tighten:       {stats.tighten_seconds:.6f}s")
             print(f"  expand:          {stats.expand_seconds:.6f}s")
             print(f"  scoring:         {stats.score_seconds:.6f}s")
             print(f"  cache lookup:    {stats.cache_lookup_seconds:.6f}s")
+            print(f"engine:            {stats.engine}")
+            if stats.engine == "arena":
+                print(f"  candidates:      {stats.arena_candidates}")
+                print(f"  peak bytes:      {stats.arena_peak_bytes}")
+                print(f"  rollbacks:       {stats.arena_rollbacks}")
     caches = dict(system.last_cache_stats or {})
     answers_snap = caches.pop("answers", None)
     if answers_snap is not None:
@@ -110,6 +118,27 @@ def _print_index_build(system: CIRankSystem) -> None:
         print("  warm-started from disk (no rebuild)")
 
 
+def _stats_payload(system: CIRankSystem) -> Optional[dict]:
+    """JSON-able stats for the single-document ``--json --stats`` mode.
+
+    Everything — search counters (including the cheap-admit/tighten
+    timer split and the arena section) and the answer/scorer cache
+    hit/miss counters — rides inside the one ranking document so
+    consumers never have to split concatenated JSON streams.
+    """
+    import dataclasses
+    payload: dict = {}
+    stats = system.last_search_stats
+    if stats is not None:
+        payload["search"] = dataclasses.asdict(stats)
+    caches = system.last_cache_stats or {}
+    if caches:
+        payload["caches"] = {
+            name: snap.as_dict() for name, snap in caches.items()
+        }
+    return payload or None
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     if args.load:
         from .storage import load_system
@@ -122,7 +151,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         )
     elif args.star_index and system.graph_index is None:
         system.build_star_index(workers=args.workers)
-    answers = system.search(args.query, k=args.k, diameter=args.diameter)
+    answers = system.search(
+        args.query, k=args.k, diameter=args.diameter, engine=args.engine
+    )
     if not answers:
         print("no answers")
         if args.stats:
@@ -134,7 +165,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
         _print_search_stats(system)
     if args.json:
         from .export import ranking_to_json
-        print(ranking_to_json(system.graph, answers, query=args.query))
+        stats = _stats_payload(system) if args.stats else None
+        print(ranking_to_json(
+            system.graph, answers, query=args.query, stats=stats
+        ))
     return 0
 
 
@@ -289,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_search.add_argument(
         "--load", default="", help="saved deployment directory"
+    )
+    p_search.add_argument(
+        "--engine", choices=("arena", "object"), default="arena",
+        help="branch-and-bound candidate representation (the flat "
+             "arena is the fast default; the object path is the "
+             "reference implementation kept for bisection)",
     )
     p_search.add_argument(
         "--json", action="store_true", help="also print the ranking as JSON"

@@ -87,6 +87,16 @@ class SearchParams:
             Both modes return identical top-k up to tie classes; False
             restores the eager per-candidate bound evaluation, mainly
             useful for differential testing and benchmarking.
+        engine: candidate representation of the lazy search loop.
+            ``"arena"`` (default) stores candidates in a flat columnar
+            arena (:mod:`repro.search.arena`) — admission is an array
+            append and heap entries carry integer candidate ids;
+            ``"object"`` keeps the per-candidate
+            :class:`~repro.search.candidate.CandidateTree` objects (the
+            reference implementation the arena is differentially pinned
+            against).  Both return identical top-k up to tie classes.
+            Eager evaluation (``lazy_bounds=False``) always runs the
+            object path regardless of this setting.
     """
 
     k: int = DEFAULT_K
@@ -95,6 +105,7 @@ class SearchParams:
     max_candidates: int = 0
     semantics: str = "and"
     lazy_bounds: bool = True
+    engine: str = "arena"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -106,6 +117,10 @@ class SearchParams:
         if self.semantics not in ("and", "or"):
             raise ReproError(
                 f"semantics must be 'and' or 'or', got {self.semantics!r}"
+            )
+        if self.engine not in ("arena", "object"):
+            raise ReproError(
+                f"engine must be 'arena' or 'object', got {self.engine!r}"
             )
 
 

@@ -9,7 +9,7 @@ yEd), and shipping rankings over an API boundary (JSON).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Sequence
+from typing import Any, Dict, Optional, Sequence
 from xml.sax.saxutils import escape
 
 from ..graph.datagraph import DataGraph
@@ -78,12 +78,26 @@ def ranking_to_json(
     graph: DataGraph,
     answers: Sequence[RankedAnswer],
     query: str = "",
+    stats: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """A complete ranking as a JSON document string."""
+    """A complete ranking as a JSON document string.
+
+    Args:
+        graph: the data graph (labels source).
+        answers: the ranked answers.
+        query: the originating query text.
+        stats: optional JSON-able observability payload (search
+            counters, cache hit/miss counts) embedded under a
+            ``"stats"`` key — the CLI's ``--stats --json`` mode keeps
+            everything in the one document so consumers never have to
+            split concatenated JSON.
+    """
     payload = {
         "query": query,
         "answers": [answer_to_json(graph, a) for a in answers],
     }
+    if stats is not None:
+        payload["stats"] = stats
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

@@ -4,6 +4,7 @@ from .candidate import CandidateTree
 from .naive import NaiveSearch
 from .enumerate import enumerate_answers
 from .bounds import UpperBoundEstimator
+from .arena import CandidateArena
 from .branch_and_bound import (
     AnytimeSnapshot,
     BranchAndBoundSearch,
@@ -12,6 +13,7 @@ from .branch_and_bound import (
 
 __all__ = [
     "CandidateTree",
+    "CandidateArena",
     "NaiveSearch",
     "enumerate_answers",
     "UpperBoundEstimator",

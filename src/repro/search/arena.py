@@ -1,0 +1,861 @@
+"""Flat candidate arena: columnar storage for the lazy search loop.
+
+After PR 5 the lazy search admits ~6x more candidates than the eager
+configuration ever evaluates, so per-candidate *admission* cost — object
+allocation, tuple maintenance, dict-of-tuples transfer maps — dominates
+the search phase.  This module replaces the per-object
+:class:`~repro.search.candidate.CandidateTree` representation with a
+**flat arena**: one :class:`CandidateArena` per search run holding every
+candidate as a row across parallel ``array('q')``/``array('d')`` columns
+(zero-copy viewable as numpy arrays via :meth:`CandidateArena.column`),
+indexed by an integer candidate id.
+
+Layout
+------
+
+Scalar columns (one entry per candidate): ``root``, ``depth``,
+``diameter``, ``ub`` (latest admissible bound, cheap or tight),
+``parent`` / ``partner`` (provenance: the grow parent, or both merge
+operands), and the CSR descriptors below.  Set-valued state lives in
+shared pools addressed by ``(start, len)`` slices:
+
+* ``node_pool`` — ascending node ids (``node_start``/``node_len``);
+* ``edge_pool`` — ascending packed edge codes ``(min << 32) | max``
+  (``edge_start``/``edge_len``); sorting codes equals sorting canonical
+  ``(a, b)`` tuples, so slices merge with integer comparisons only;
+* ``src_pool`` — ascending non-free node ids (``src_start``/``src_len``);
+* ``fmap_pool`` — per-node *factor-list ids*, parallel to the node
+  slice (``fmap_start``, sentinel ``-1`` until the candidate is
+  tightened); a factor-list id indexes the global
+  ``flist_start``/``flist_len``/``flist_nbr``/``flist_tau`` table, so
+  the bound's delivery passes iterate contiguous arrays instead of
+  dict-of-tuples.  Structural sharing becomes *index reuse*: a grow
+  child re-points at the parent's factor lists for every node except
+  the old and new root, and a merge concatenates only the shared
+  root's list.
+
+Two Python-list side columns carry the per-candidate ``cover`` bitmask
+(arbitrary keyword count) and the memoized little-endian byte images of
+the node/edge slices, used both as dedup signatures and as heap-key
+tie-break components (bytes compare lexicographically — a total order
+over admitted candidates, though not the same order as the object
+path's int tuples; Theorem 1 makes the returned top-k identical up to
+tie classes either way, which is what the differential harness pins).
+
+Admission is an array append; pruned or duplicate candidates are
+reclaimed by :meth:`CandidateArena.rollback` to the
+:meth:`CandidateArena.mark` taken at admission start.  Only the arena
+*top* is ever rolled back — parents and merge partners are always
+older, already-tightened rows — so no live heap entry or merge-partner
+list can reference a reclaimed region (asserted when
+``BranchAndBoundSearch._debug_validate`` is set).  ``AnytimeSnapshot``
+carries ``arena_mark = len(arena)``, an O(1) high-water version stamp.
+
+The factor lists of a candidate are **deferred**: they are built at
+tighten time from the parent's lists (parents and merge operands are
+always tightened before they expand, so their lists exist), which keeps
+the admit path free of per-node float work.  Admit-time bounding uses
+the inherited parent bound capped by
+:meth:`~repro.search.bounds.UpperBoundEstimator.admit_cap` — the
+index-assisted completion cap (docs/ALGORITHMS.md §2.8).
+
+See docs/PERFORMANCE.md §9 for the measured memory-per-candidate and
+admission-throughput effects.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from array import array
+from bisect import insort
+from typing import Dict, List, Tuple
+
+from ..model.answer import RankedAnswer, RankedList
+
+#: Sentinel for "no candidate" in the parent/partner columns and for a
+#: not-yet-built factor map in ``fmap_start``.
+NO_ID = -1
+
+_LOW32 = 0xFFFFFFFF
+
+#: Approximate CPython overhead charged per ``cover`` list entry in
+#: :meth:`CandidateArena.nbytes` (small-int object + list slot).
+_COVER_SLOT_BYTES = 36
+
+
+def _keyword_mask(node_masks: Dict[int, int], node: int) -> int:
+    """Keyword-coverage bitmask of one node.
+
+    Module-level (rather than inlined in the engine) so the arena
+    mutation tests can corrupt coverage bookkeeping on purpose and
+    prove the differential harness notices a damaged cover slice.
+    """
+    return node_masks.get(node, 0)
+
+
+def pack_edge(a: int, b: int) -> int:
+    """Canonical undirected edge packed into one int64 code."""
+    return (a << 32) | b if a <= b else (b << 32) | a
+
+
+def unpack_edge(code: int) -> Tuple[int, int]:
+    """The canonical ``(min, max)`` endpoints of a packed edge code."""
+    return code >> 32, code & _LOW32
+
+
+def _merge_sorted(a, b, dedup: bool = False) -> Tuple[List[int], int]:
+    """Linear merge of two ascending int sequences.
+
+    Returns ``(merged, shared)`` where ``shared`` counts values present
+    in both inputs; with ``dedup`` those values appear once in the
+    output (the merge operator's node/source union), otherwise twice
+    (never used on overlapping inputs here).
+    """
+    out: List[int] = []
+    i = j = 0
+    la, lb = len(a), len(b)
+    shared = 0
+    while i < la and j < lb:
+        x = a[i]
+        y = b[j]
+        if x < y:
+            out.append(x)
+            i += 1
+        elif y < x:
+            out.append(y)
+            j += 1
+        else:
+            shared += 1
+            out.append(x)
+            i += 1
+            if dedup:
+                j += 1
+            else:
+                out.append(y)
+                j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out, shared
+
+
+class CandidateArena:
+    """Columnar candidate storage for one search run (see module doc).
+
+    All columns and pools are typed ``array`` buffers (``'q'`` int64 /
+    ``'d'`` float64); :meth:`column` exposes any of them as a zero-copy
+    numpy view for offline analysis and the CLI's ``--stats`` section.
+    """
+
+    #: int64 scalar columns, one entry per candidate.
+    _INT_COLUMNS = (
+        "root", "depth", "diameter", "parent", "partner",
+        "node_start", "node_len", "edge_start", "edge_len",
+        "src_start", "src_len", "fmap_start",
+    )
+    #: Shared int64 pools addressed by the CSR descriptors above.
+    _INT_POOLS = (
+        "node_pool", "edge_pool", "src_pool", "fmap_pool",
+        "flist_start", "flist_len", "flist_nbr",
+    )
+    _FLOAT_ARRAYS = ("ub", "flist_tau")
+
+    __slots__ = (
+        _INT_COLUMNS + _INT_POOLS + _FLOAT_ARRAYS
+        + ("cover", "node_bytes", "edge_bytes",
+           "peak_bytes", "rollbacks", "_sig_bytes")
+    )
+
+    def __init__(self) -> None:
+        for name in self._INT_COLUMNS + self._INT_POOLS:
+            setattr(self, name, array("q"))
+        for name in self._FLOAT_ARRAYS:
+            setattr(self, name, array("d"))
+        #: Per-candidate keyword-coverage bitmask (arbitrary precision).
+        self.cover: List[int] = []
+        #: Little-endian byte images of the node/edge slices — dedup
+        #: signatures and heap-key tie-break components.
+        self.node_bytes: List[bytes] = []
+        self.edge_bytes: List[bytes] = []
+        #: High-water mark of :meth:`nbytes` across the run.
+        self.peak_bytes = 0
+        #: Rollbacks performed (duplicate or pruned admissions).
+        self.rollbacks = 0
+        self._sig_bytes = 0
+
+    # ------------------------------------------------------------ shape
+
+    def __len__(self) -> int:
+        """Number of live candidates (also the next candidate id)."""
+        return len(self.root)
+
+    def nbytes(self) -> int:
+        """Approximate bytes held by all columns and pools, O(1)."""
+        total = self._sig_bytes + _COVER_SLOT_BYTES * len(self.cover)
+        for name in self._INT_COLUMNS + self._INT_POOLS:
+            total += len(getattr(self, name)) * 8
+        for name in self._FLOAT_ARRAYS:
+            total += len(getattr(self, name)) * 8
+        return total
+
+    def column(self, name: str):
+        """Zero-copy numpy view of one column or pool.
+
+        The view aliases the live buffer: valid until the next append
+        (array growth may reallocate), which is fine for the post-run
+        analysis it exists for.
+        """
+        import numpy as np
+
+        arr = getattr(self, name)
+        if not isinstance(arr, array):
+            raise TypeError(f"{name} is not an array column")
+        dtype = np.int64 if arr.typecode == "q" else np.float64
+        if len(arr) == 0:
+            return np.empty(0, dtype=dtype)
+        return np.frombuffer(arr, dtype=dtype)
+
+    # ------------------------------------------------------- candidates
+
+    def append_candidate(
+        self,
+        root: int,
+        depth: int,
+        diameter: int,
+        nodes,
+        edge_codes,
+        srcs,
+        cover: int,
+        parent: int = NO_ID,
+        partner: int = NO_ID,
+    ) -> int:
+        """Append one candidate row; returns its id.
+
+        ``nodes``/``edge_codes``/``srcs`` must be ascending.  The bound
+        column starts at 0.0 and the factor map unbuilt (``-1``); the
+        engine fills both.
+        """
+        narr = array("q", nodes)
+        earr = array("q", edge_codes)
+        ns = len(self.node_pool)
+        self.node_pool.extend(narr)
+        es = len(self.edge_pool)
+        self.edge_pool.extend(earr)
+        ss = len(self.src_pool)
+        self.src_pool.extend(array("q", srcs))
+        nb = narr.tobytes()
+        eb = earr.tobytes()
+        cid = len(self.root)
+        self.root.append(root)
+        self.depth.append(depth)
+        self.diameter.append(diameter)
+        self.parent.append(parent)
+        self.partner.append(partner)
+        self.node_start.append(ns)
+        self.node_len.append(len(narr))
+        self.edge_start.append(es)
+        self.edge_len.append(len(earr))
+        self.src_start.append(ss)
+        self.src_len.append(len(srcs))
+        self.fmap_start.append(NO_ID)
+        self.ub.append(0.0)
+        self.cover.append(cover)
+        self.node_bytes.append(nb)
+        self.edge_bytes.append(eb)
+        self._sig_bytes += len(nb) + len(eb)
+        size = self.nbytes()
+        if size > self.peak_bytes:
+            self.peak_bytes = size
+        return cid
+
+    def nodes_of(self, cid: int):
+        """The ascending node-id slice of one candidate (a fresh array)."""
+        start = self.node_start[cid]
+        return self.node_pool[start:start + self.node_len[cid]]
+
+    def edges_of(self, cid: int):
+        """The ascending packed-edge slice of one candidate."""
+        start = self.edge_start[cid]
+        return self.edge_pool[start:start + self.edge_len[cid]]
+
+    def sources_of(self, cid: int):
+        """The ascending non-free-node slice of one candidate."""
+        start = self.src_start[cid]
+        return self.src_pool[start:start + self.src_len[cid]]
+
+    # ----------------------------------------------------- factor lists
+
+    def add_flist(self, nbrs, taus) -> int:
+        """Append one factor list ``(neighbors, transfer factors)``."""
+        fid = len(self.flist_start)
+        self.flist_start.append(len(self.flist_nbr))
+        self.flist_len.append(len(nbrs))
+        self.flist_nbr.extend(nbrs)
+        self.flist_tau.extend(taus)
+        return fid
+
+    def set_fmap(self, cid: int, flist_ids) -> None:
+        """Attach the per-node factor-list ids (parallel to the node
+        slice) of one candidate."""
+        start = len(self.fmap_pool)
+        self.fmap_pool.extend(flist_ids)
+        self.fmap_start[cid] = start
+
+    def fmap_of(self, cid: int) -> Dict[int, int]:
+        """``node -> factor-list id`` for one tightened candidate."""
+        ns = self.node_start[cid]
+        nl = self.node_len[cid]
+        fs = self.fmap_start[cid]
+        return dict(zip(
+            self.node_pool[ns:ns + nl], self.fmap_pool[fs:fs + nl]
+        ))
+
+    # -------------------------------------------------- mark / rollback
+
+    def mark(self) -> Tuple[int, ...]:
+        """Snapshot of every column/pool length, for :meth:`rollback`."""
+        return (
+            len(self.root),
+            len(self.node_pool),
+            len(self.edge_pool),
+            len(self.src_pool),
+            len(self.fmap_pool),
+            len(self.flist_start),
+            len(self.flist_nbr),
+            self._sig_bytes,
+        )
+
+    def rollback(self, mark: Tuple[int, ...]) -> None:
+        """Reclaim every row and pool entry appended since ``mark``.
+
+        Safe by construction in the engine: only the admission in
+        progress (the arena top) is ever rolled back, so no live heap
+        entry or merge-partner id can point into the reclaimed region.
+        """
+        n, np_, ep, sp, fp, fls, fln, sig = mark
+        for name in self._INT_COLUMNS:
+            arr = getattr(self, name)
+            del arr[n:]
+        del self.ub[n:]
+        del self.cover[n:]
+        del self.node_bytes[n:]
+        del self.edge_bytes[n:]
+        del self.node_pool[np_:]
+        del self.edge_pool[ep:]
+        del self.src_pool[sp:]
+        del self.fmap_pool[fp:]
+        del self.flist_start[fls:]
+        del self.flist_len[fls:]
+        del self.flist_nbr[fln:]
+        del self.flist_tau[fln:]
+        self._sig_bytes = sig
+        self.rollbacks += 1
+
+
+def arena_snapshots(search):
+    """The arena-backed lazy search loop (Algorithm 1, engine="arena").
+
+    A generator with the exact contract of
+    :meth:`BranchAndBoundSearch.snapshots`, dispatched to when
+    ``params.lazy_bounds and params.engine == "arena"``.  Control flow
+    mirrors the object path statement for statement — same admission
+    order (diameter prune, signature dedup, answer offer, distance
+    prune, bound, Lemma-1 prune, registration, push), same stop rule,
+    head tightening, re-push and merge-partner discipline — so the two
+    engines return identical top-k up to tie classes (pinned by the
+    differential harness).  Only the candidate representation differs:
+    rows in a :class:`CandidateArena` instead of ``CandidateTree``
+    objects, with heap entries carrying integer candidate ids.
+    """
+    from .branch_and_bound import AnytimeSnapshot
+
+    params = search.params
+    stats = search.stats
+    match = search.match
+    scorer = search.scorer
+    bounds = search.bounds
+    graph = search.graph
+    compiled = search._compiled
+    rate = scorer.dampening.rate
+    semantics = params.semantics
+    max_diameter = params.diameter
+    strict = params.strict_merge
+    use_cap = search.use_admit_cap and semantics == "and"
+    debug = search._debug_validate
+    per_keyword = match.per_keyword
+    index = bounds.index
+    cheap_bound = search._cheap_bound
+    admit_cap = bounds.admit_cap
+    perf = time.perf_counter
+
+    keywords = list(match.keywords)
+    kw_bit = {k: 1 << i for i, k in enumerate(keywords)}
+    node_masks: Dict[int, int] = {}
+    for node, kws in match.keywords_of.items():
+        m = 0
+        for k in kws:
+            m |= kw_bit[k]
+        node_masks[node] = m
+    all_mask = (1 << len(keywords)) - 1
+    #: cover mask -> tuple of missing keywords, in ``match.keywords``
+    #: order (deterministic, unlike frozenset iteration).
+    missing_memo: Dict[int, Tuple[str, ...]] = {}
+
+    def missing_of(cover: int) -> Tuple[str, ...]:
+        got = missing_memo.get(cover)
+        if got is None:
+            got = tuple(k for k in keywords if not (cover & kw_bit[k]))
+            missing_memo[cover] = got
+        return got
+
+    arena = CandidateArena()
+    search.last_arena = arena
+    search.last_proven = False
+    stats.engine = "arena"
+    top_k = RankedList(params.k)
+    heap: List = []
+    seen = set()
+    by_root: Dict[int, List[int]] = {}
+
+    def check_live() -> None:
+        """Debug invariant: no live reference into a rolled-back region."""
+        n = len(arena)
+        assert all(entry[2] < n for entry in heap), (
+            "heap entry references a rolled-back arena region"
+        )
+        assert all(c < n for lst in by_root.values() for c in lst), (
+            "merge-partner list references a rolled-back arena region"
+        )
+        assert len(arena.node_bytes) == n and len(arena.cover) == n
+
+    def materialize(cid: int):
+        """A trusted :class:`JoinedTupleTree` of one candidate row.
+
+        Treeness is guaranteed by construction (grow attaches a leaf,
+        merge unions at the shared root), exactly the cases the trusted
+        constructor exists for.
+        """
+        from ..model.jtt import JoinedTupleTree
+
+        nodes = frozenset(arena.nodes_of(cid))
+        adj: Dict[int, List[int]] = {n: [] for n in nodes}
+        edges = set()
+        for code in arena.edges_of(cid):
+            a = code >> 32
+            b = code & _LOW32
+            edges.add((a, b))
+            adj[a].append(b)
+            adj[b].append(a)
+        return JoinedTupleTree._trusted(
+            nodes, frozenset(edges),
+            {n: frozenset(s) for n, s in adj.items()},
+        )
+
+    # ------------------------------------------------------- tightening
+
+    def build_fmap(cid: int) -> None:
+        """Construct the deferred factor lists of one candidate.
+
+        Parents and merge operands are always tightened before they
+        expand, so their factor maps exist; only the root(s) whose
+        neighborhoods changed get fresh lists — every other node
+        re-points at the parent's list (structural sharing as index
+        reuse).
+        """
+        parent = arena.parent[cid]
+        partner = arena.partner[cid]
+        root = arena.root[cid]
+        nodes = arena.nodes_of(cid)
+        if parent == NO_ID:
+            # Initial single-node candidate: one empty factor list.
+            arena.set_fmap(cid, [arena.add_flist((), ())])
+            return
+        pf = arena.fmap_of(parent)
+        if partner != NO_ID:
+            # Merge: the shared root's list is the concatenation of
+            # both operands' (each already split-freed); every other
+            # node keeps its frozen neighborhood.
+            qf = arena.fmap_of(partner)
+            fa = pf[root]
+            fb = qf[root]
+            sa = arena.flist_start[fa]
+            sb = arena.flist_start[fb]
+            la = arena.flist_len[fa]
+            lb = arena.flist_len[fb]
+            root_fid = arena.add_flist(
+                arena.flist_nbr[sa:sa + la] + arena.flist_nbr[sb:sb + lb],
+                arena.flist_tau[sa:sa + la] + arena.flist_tau[sb:sb + lb],
+            )
+            arena.set_fmap(cid, [
+                root_fid if n == root else pf[n] if n in pf else qf[n]
+                for n in nodes
+            ])
+            return
+        # Grow: the old root's split denominator gains the new edge, and
+        # the new root gets its one-entry list.
+        old_root = arena.root[parent]
+        old_fid = pf[old_root]
+        fs = arena.flist_start[old_fid]
+        fl = arena.flist_len[old_fid]
+        nbrs = list(arena.flist_nbr[fs:fs + fl])
+        insort(nbrs, root)
+        out = graph.out_edges(old_root)
+        den = 0.0
+        for b in nbrs:
+            den += out.get(b, 0.0)
+        if den > 0.0:
+            taus = [out.get(b, 0.0) / den * rate(b) for b in nbrs]
+        else:
+            taus = [0.0] * len(nbrs)
+        new_old = arena.add_flist(nbrs, taus)
+        new_root = arena.add_flist((old_root,), (rate(old_root),))
+        arena.set_fmap(cid, [
+            new_root if n == root
+            else new_old if n == old_root
+            else pf[n]
+            for n in nodes
+        ])
+
+    flist_start = arena.flist_start
+    flist_len = arena.flist_len
+    flist_nbr = arena.flist_nbr
+    flist_tau = arena.flist_tau
+
+    def tighten(cid: int) -> float:
+        """The full ``ce/pe`` bound of one row (mirrors ``upper_bound``).
+
+        Identical float operations in the same order as the object
+        path's factor-list bound, reading contiguous ``flist`` arrays;
+        deferred factor lists are built here first.
+        """
+        t0 = perf()
+        if arena.fmap_start[cid] == NO_ID:
+            build_fmap(cid)
+        root = arena.root[cid]
+        sources = arena.sources_of(cid)
+        n_sources = len(sources)
+        gen = scorer.generation
+        d_root = rate(root)
+        fid_of = arena.fmap_of(cid)
+
+        def deliver(source: int, initial: float) -> Dict[int, float]:
+            out: Dict[int, float] = {}
+            if initial <= 0.0:
+                return out
+            stack = [(source, -1, initial)]
+            while stack:
+                node, par, value = stack.pop()
+                f = fid_of[node]
+                s = flist_start[f]
+                for i in range(s, s + flist_len[f]):
+                    nbr = flist_nbr[i]
+                    if nbr != par:
+                        kept = value * flist_tau[i]
+                        out[nbr] = kept
+                        if flist_len[fid_of[nbr]] > 1:
+                            stack.append((nbr, node, kept))
+            return out
+
+        gens = []
+        fbar = []
+        fbar_to_root_min = float("inf")
+        for u in sources:
+            g = gen(u)
+            gens.append(g)
+            delivered = deliver(u, g)
+            fbar.append(delivered)
+            to_root = g if u == root else delivered.get(root, 0.0)
+            if to_root < fbar_to_root_min:
+                fbar_to_root_min = to_root
+
+        missing = (
+            () if semantics == "or" else missing_of(arena.cover[cid])
+        )
+        if missing or n_sources == 1:
+            inside = deliver(root, 1.0)
+            inside[root] = 1.0
+        else:
+            inside = {}
+        node_set = set(arena.nodes_of(cid))
+        g_of = {
+            k: bounds._best_outside_gen(k, node_set, root, d_root)
+            for k in missing
+        }
+
+        total = 0.0
+        for i in range(n_sources):
+            v = sources[i]
+            best = float("inf")
+            for j in range(n_sources):
+                if j != i:
+                    val = fbar[j].get(v, 0.0)
+                    if val < best:
+                        best = val
+            if missing:
+                inside_v = inside.get(v, 0.0)
+                for k in missing:
+                    term = g_of[k] * inside_v
+                    if term < best:
+                        best = term
+            if best == float("inf"):
+                # Lone complete source (see upper_bound): T may equal C,
+                # or gain sources whose deliveries bound v's new min.
+                outside_best = max(
+                    (
+                        bounds._best_outside_gen(k, node_set, root, d_root)
+                        for k in match.keywords
+                    ),
+                    default=0.0,
+                )
+                best = max(gens[i], outside_best * inside.get(v, 0.0))
+            total += best
+        ce = total / n_sources
+        pe = bounds._potential_estimate(
+            root, node_set, fbar_to_root_min, missing
+        )
+        ub = max(ce, pe)
+        arena.ub[cid] = ub
+        stats.bound_seconds += perf() - t0
+        stats.bound_evals += 1
+        return ub
+
+    # -------------------------------------------------------- admission
+
+    def admit(root, depth, diameter, nodes, edge_codes, srcs, cover,
+              parent, partner, inherited):
+        """Admit one candidate built from ascending component lists.
+
+        Mirrors the object path's ``admit`` closure; ``inherited`` is
+        None for the tight-bounded initial candidates.  Returns the new
+        candidate id, or None when pruned or duplicate (the appended
+        row is then rolled back).
+        """
+        stats.generated += 1
+        if diameter > max_diameter:
+            stats.pruned_diameter += 1
+            return None
+        mark = arena.mark()
+        cid = arena.append_candidate(
+            root, depth, diameter, nodes, edge_codes, srcs, cover,
+            parent, partner,
+        )
+        sig = (root, arena.node_bytes[cid], arena.edge_bytes[cid])
+        if sig in seen:
+            arena.rollback(mark)
+            if debug:
+                check_live()
+            return None
+        seen.add(sig)
+        if semantics == "or" or cover == all_mask:
+            # Answer check: complete (per semantics) and reduced —
+            # every tree leaf covers a keyword.  Degrees come straight
+            # from the edge slice.
+            if len(nodes) == 1:
+                reduced = _keyword_mask(node_masks, nodes[0]) != 0
+            else:
+                deg: Dict[int, int] = {}
+                for code in edge_codes:
+                    a = code >> 32
+                    b = code & _LOW32
+                    deg[a] = deg.get(a, 0) + 1
+                    deg[b] = deg.get(b, 0) + 1
+                reduced = all(
+                    deg[n] > 1 or _keyword_mask(node_masks, n)
+                    for n in nodes
+                )
+            if reduced:
+                t0 = perf()
+                tree = materialize(cid)
+                answer = RankedAnswer(tree, scorer.score(tree))
+                stats.score_seconds += perf() - t0
+                stats.answers_found += 1
+                top_k.offer(answer)
+        missing = () if semantics == "or" else missing_of(cover)
+        if missing:
+            # completion_impossible, arena-native: O(n * |M|) membership
+            # scans over the (small) node list instead of building
+            # per-keyword outside lists from scratch.
+            impossible = False
+            budget = max_diameter - depth
+            for k in missing:
+                outside = [
+                    n for n in per_keyword.get(k, ()) if n not in nodes
+                ]
+                if not outside:
+                    impossible = True  # keyword cannot be supplied
+                    break
+                if index is None:
+                    continue
+                if budget < 1 or all(
+                    bounds._index_distance(root, n) > budget
+                    for n in outside
+                ):
+                    impossible = True
+                    break
+            if impossible:
+                stats.pruned_distance += 1
+                arena.rollback(mark)
+                if debug:
+                    check_live()
+                return None
+        if inherited is not None:
+            t0 = perf()
+            ub = cheap_bound(inherited, None)
+            if use_cap and missing:
+                cap = admit_cap(root, missing, srcs)
+                if cap < ub:
+                    ub = cap
+                    stats.admit_capped += 1
+            stats.cheap_bound_seconds += perf() - t0
+            arena.ub[cid] = ub
+            tight = False
+            stats.cheap_admissions += 1
+        else:
+            ub = tighten(cid)
+            tight = True
+        if top_k.full and ub <= top_k.min_score():
+            # Lemma 1: nothing expandable from this row can beat the
+            # kept top-k; reclaim it (the signature stays in `seen`,
+            # matching the object path's drop-after-dedup semantics).
+            stats.pruned_bound += 1
+            arena.rollback(mark)
+            if debug:
+                check_live()
+            return None
+        if tight:
+            by_root.setdefault(root, []).append(cid)
+        heapq.heappush(heap, (
+            (-ub, len(nodes), arena.node_bytes[cid], root,
+             arena.edge_bytes[cid]),
+            tight, cid,
+        ))
+        stats.enqueued += 1
+        return cid
+
+    # -------------------------------------------------------- expansion
+
+    def expand(cid: int) -> None:
+        """Grows and merges of one tightened row (lazy discipline)."""
+        root = arena.root[cid]
+        depth = arena.depth[cid]
+        diam = arena.diameter[cid]
+        parent_ub = arena.ub[cid]
+        nodes = list(arena.nodes_of(cid))
+        node_set = set(nodes)
+        cover = arena.cover[cid]
+        if depth + 1 <= max_diameter:
+            edges = arena.edges_of(cid)
+            srcs = arena.sources_of(cid)
+            for neighbor in compiled.neighbors(root):
+                if neighbor in node_set:
+                    continue
+                child_nodes = list(nodes)
+                insort(child_nodes, neighbor)
+                child_edges = list(edges)
+                insort(child_edges, pack_edge(root, neighbor))
+                nmask = _keyword_mask(node_masks, neighbor)
+                if nmask:
+                    child_srcs = list(srcs)
+                    insort(child_srcs, neighbor)
+                else:
+                    child_srcs = srcs
+                admit(
+                    neighbor, depth + 1, max(diam, depth + 1),
+                    child_nodes, child_edges, child_srcs,
+                    cover | nmask, cid, NO_ID, parent_ub,
+                )
+        for partner in list(by_root.get(root, ())):
+            if partner == cid:
+                continue
+            p_depth = arena.depth[partner]
+            if depth + p_depth > max_diameter:
+                # the merged tree would break the cap; skip before
+                # paying for the union construction
+                stats.generated += 1
+                stats.pruned_diameter += 1
+                continue
+            p_cover = arena.cover[partner]
+            merged_cover = cover | p_cover
+            if strict and (
+                merged_cover == cover or merged_cover == p_cover
+            ):
+                continue
+            merged_nodes, shared = _merge_sorted(
+                nodes, arena.nodes_of(partner), dedup=True
+            )
+            if shared != 1:
+                continue  # operands overlap beyond the shared root
+            merged_edges, _ = _merge_sorted(
+                arena.edges_of(cid), arena.edges_of(partner)
+            )
+            merged_srcs, _ = _merge_sorted(
+                arena.sources_of(cid), arena.sources_of(partner),
+                dedup=True,
+            )
+            admit(
+                root, max(depth, p_depth),
+                max(diam, arena.diameter[partner], depth + p_depth),
+                merged_nodes, merged_edges, merged_srcs, merged_cover,
+                cid, partner, min(parent_ub, arena.ub[partner]),
+            )
+
+    # -------------------------------------------------------- main loop
+
+    for node in sorted(match.all_nodes):
+        admit(
+            node, 0, 0, [node], [], [node],
+            _keyword_mask(node_masks, node), NO_ID, NO_ID, None,
+        )
+
+    last_revision = -1
+    proven = True
+    frontier = float("-inf")
+    while heap:
+        key, tight, cid = heapq.heappop(heap)
+        ub = -key[0]
+        if top_k.full and ub <= top_k.min_score():
+            stats.stopped_early = True
+            frontier = ub
+            break
+        if params.max_candidates and stats.expanded >= params.max_candidates:
+            proven = False
+            frontier = ub
+            break
+        if not tight:
+            t0 = perf()
+            ub = tighten(cid)
+            stats.tighten_seconds += perf() - t0
+            stats.tightened += 1
+            if top_k.full and ub <= top_k.min_score():
+                stats.pruned_bound += 1
+                continue
+            by_root.setdefault(arena.root[cid], []).append(cid)
+            if heap and ub < -heap[0][0][0]:
+                heapq.heappush(
+                    heap, ((-ub,) + key[1:], True, cid)
+                )
+                stats.repushed += 1
+                continue
+        if top_k.revision != last_revision:
+            last_revision = top_k.revision
+            yield AnytimeSnapshot(
+                answers=top_k.as_list(),
+                frontier_bound=ub,
+                proven_optimal=False,
+                arena_mark=len(arena),
+            )
+        stats.expanded += 1
+        t0 = perf()
+        expand(cid)
+        stats.expand_seconds += perf() - t0
+
+    stats.arena_candidates = len(arena)
+    stats.arena_peak_bytes = arena.peak_bytes
+    stats.arena_rollbacks = arena.rollbacks
+    search.last_proven = proven
+    yield AnytimeSnapshot(
+        answers=top_k.as_list(),
+        frontier_bound=frontier,
+        proven_optimal=proven,
+        arena_mark=len(arena),
+    )

@@ -92,6 +92,10 @@ class UpperBoundEstimator:
         # candidate, and roots repeat across thousands of candidates.
         self._pe_cache: Dict[int, List[Tuple[int, float, float, frozenset]]] = {}
         self._into_cache: Dict[Tuple[int, int], float] = {}
+        # Admit-time cap tables: G_k(r) = max_{x in En(k)} gen(x) *
+        # ret(x -> r) is a pure function of (root, keyword) — see
+        # :meth:`admit_cap`.
+        self._gk_cache: Dict[Tuple[int, str], float] = {}
         self._all_keywords = frozenset(self.match.keywords)
 
     def _index_retention(self, u: int, v: int) -> float:
@@ -175,23 +179,95 @@ class UpperBoundEstimator:
         self._into_cache[key] = value
         return value
 
+    def admit_cap(self, root: int, missing, sources) -> float:
+        """Admit-time cap on any completion of an *incomplete* candidate.
+
+        An O(|S| + |M|) admissible bound that needs no delivery pass —
+        cheap enough to evaluate at admission, where the lazy path
+        otherwise relies on the (much looser) inherited parent bound.
+        With a pairs/star index attached, :meth:`_retention_into` uses
+        the precomputed retentions, which is what makes this cap bite;
+        without one the adjacency fallbacks keep it sound but looser.
+        AND semantics only — under OR nothing forces the missing
+        keywords to attach, so no cap of this shape is admissible.
+
+        Derivation (docs/ALGORITHMS.md §2.8).  Let ``C`` have root
+        ``r``, sources ``S`` and missing keywords ``M != {}``.  Any
+        answer ``T`` completed from ``C`` satisfies
+        ``score(T) <= max(avg_{v in S} b(v), max_{x in S(T) \\ S} b(x))``
+        (the Lemma-1 split).  Every node of ``T \\ C`` attaches through
+        ``r``:
+
+        * for ``v in S``: each missing ``k`` is supplied by a source
+          ``x_k in T \\ C``, so
+          ``b(v) <= f_T(x_k -> v) <= gen(x_k) * ret(x_k -> r) <= G_k(r)``
+          with ``G_k(r) = max_{x in En(k)} gen(x) * ret(x -> r)``
+          (in-tree continuation factors are <= 1), hence
+          ``avg_S <= min_{k in M} G_k(r)``;
+        * for a new source ``x``: any ``u in S`` (nonempty) bounds it,
+          ``b(x) <= f_T(u -> x) <= gen(u) * ret(u -> r)``, hence
+          ``max_X <= H = min_{u in S} gen(u) * ret(u -> r)``
+          (``ret = 1`` when ``u == r``).
+
+        ``cap = max(min_k G_k(r), H)``.  ``G_k`` ranges over all of
+        ``En(k)`` — a pure function of ``(root, keyword)``, memoized for
+        the lifetime of the query.
+
+        Args:
+            root: the candidate's root node.
+            missing: the missing keywords (must be non-empty).
+            sources: the candidate's non-free nodes (non-empty).
+        """
+        rate = self.scorer.dampening.rate
+        d_root = rate(root)
+        gk_min = float("inf")
+        for keyword in missing:
+            key = (root, keyword)
+            gk = self._gk_cache.get(key)
+            if gk is None:
+                gk = 0.0
+                for gen, node in self._keyword_candidates(keyword):
+                    if gen * d_root <= gk:
+                        break  # sorted desc and ret <= d_root
+                    value = gen * self._retention_into(node, root, d_root)
+                    if value > gk:
+                        gk = value
+                self._gk_cache[key] = gk
+            if gk < gk_min:
+                gk_min = gk
+        generation = self.scorer.generation
+        h = float("inf")
+        for u in sources:
+            g = generation(u)
+            value = g if u == root else (
+                g * self._retention_into(u, root, d_root)
+            )
+            if value < h:
+                h = value
+        return max(gk_min, h) if h != float("inf") else gk_min
+
     def _best_outside_gen(
-        self, keyword: str, cand: CandidateTree, d_root: float
+        self, keyword: str, nodes, root: int, d_root: float
     ) -> float:
-        """``G_k``: best ``gen(x) * ret(x -> root)`` over ``En(k) \\ C``."""
+        """``G_k``: best ``gen(x) * ret(x -> root)`` over ``En(k) \\ C``.
+
+        ``nodes`` is any set-like container of the candidate's node ids —
+        a ``frozenset`` on the object path, a plain ``set`` built from an
+        arena slice on the arena path.
+        """
         best = 0.0
         for gen, node in self._keyword_candidates(keyword):
             if gen * d_root <= best:
                 break  # sorted by gen desc; no later node can beat `best`
-            if node in cand.tree.nodes:
+            if node in nodes:
                 continue
-            best = max(best, gen * self._retention_into(node, cand.root, d_root))
+            best = max(best, gen * self._retention_into(node, root, d_root))
         return best
 
-    def _max_gen_outside(self, keyword: str, cand: CandidateTree) -> float:
+    def _max_gen_outside(self, keyword: str, nodes) -> float:
         """Largest generation count among ``En(k) \\ C`` (no retention)."""
         for gen, node in self._keyword_candidates(keyword):
-            if node not in cand.tree.nodes:
+            if node not in nodes:
                 return gen
         return 0.0
 
@@ -230,7 +306,8 @@ class UpperBoundEstimator:
 
     def _potential_estimate(
         self,
-        cand: CandidateTree,
+        root: int,
+        nodes,
         fbar_min: float,
         missing,
     ) -> float:
@@ -253,11 +330,10 @@ class UpperBoundEstimator:
         memoized per-root table (:meth:`_pe_entries`); the returned value
         is bitwise identical to :meth:`_potential_estimate_reference`.
         """
-        caps = {k: self._max_gen_outside(k, cand) for k in missing}
+        caps = {k: self._max_gen_outside(k, nodes) for k in missing}
         best = 0.0
         cutoff = fbar_min * self._max_enq_rate()
-        nodes = cand.tree.nodes
-        for x, d_x, ret, x_keywords in self._pe_entries(cand.root):
+        for x, d_x, ret, x_keywords in self._pe_entries(root):
             if x in nodes:
                 continue
             bound = fbar_min * ret
@@ -286,7 +362,7 @@ class UpperBoundEstimator:
         ``upper_bound_reference`` benchmark baseline.
         """
         rate = self.scorer.dampening.rate
-        caps = {k: self._max_gen_outside(k, cand) for k in missing}
+        caps = {k: self._max_gen_outside(k, cand.tree.nodes) for k in missing}
         best = 0.0
         for x in self.match.all_nodes:
             if x in cand.tree.nodes:
@@ -450,7 +526,8 @@ class UpperBoundEstimator:
         else:
             inside = {}
         g_of = {
-            k: self._best_outside_gen(k, cand, d_root) for k in missing
+            k: self._best_outside_gen(k, tree.nodes, root, d_root)
+            for k in missing
         }
 
         total = 0.0
@@ -472,7 +549,7 @@ class UpperBoundEstimator:
                 # gain extra sources whose deliveries bound v's new min.
                 outside_best = max(
                     (
-                        self._best_outside_gen(k, cand, d_root)
+                        self._best_outside_gen(k, tree.nodes, root, d_root)
                         for k in self.match.keywords
                     ),
                     default=0.0,
@@ -481,7 +558,9 @@ class UpperBoundEstimator:
             total += best
         ce = total / n_sources
 
-        pe = self._potential_estimate(cand, fbar_to_root_min, missing)
+        pe = self._potential_estimate(
+            root, tree.nodes, fbar_to_root_min, missing
+        )
         return max(ce, pe)
 
     def upper_bound_reference(self, cand: CandidateTree) -> float:
@@ -518,7 +597,8 @@ class UpperBoundEstimator:
         else:
             missing = frozenset(self.match.keywords) - cand.covered
         g_of = {
-            k: self._best_outside_gen(k, cand, d_root) for k in missing
+            k: self._best_outside_gen(k, tree.nodes, root, d_root)
+            for k in missing
         }
 
         bounds: Dict[int, float] = {}
@@ -532,7 +612,7 @@ class UpperBoundEstimator:
                 # gain extra sources whose deliveries bound v's new min.
                 outside_best = max(
                     (
-                        self._best_outside_gen(k, cand, d_root)
+                        self._best_outside_gen(k, tree.nodes, root, d_root)
                         for k in self.match.keywords
                     ),
                     default=0.0,

@@ -42,6 +42,13 @@ Lazy bound tightening (``SearchParams.lazy_bounds``, the default):
   to tie classes (pinned by the differential oracle).
 
 See docs/ALGORITHMS.md §2.6 for the soundness argument.
+
+Engines (``SearchParams.engine``): the lazy loop runs either over flat
+columnar candidate rows (``"arena"``, the default — see
+:mod:`repro.search.arena`) or over per-object :class:`CandidateTree`
+candidates (``"object"``, the reference implementation both engines are
+differentially pinned against).  Eager evaluation always runs the
+object path.
 """
 
 from __future__ import annotations
@@ -104,7 +111,16 @@ class SearchStats:
             computed at the heap head.
         repushed: tightened candidates re-enqueued because the tight
             bound fell below the next head.
-        bound_seconds: wall-clock spent in full bound evaluations.
+        admit_capped: cheap admissions whose bound was lowered by the
+            index-assisted admit cap (arena engine, AND semantics).
+        bound_seconds: wall-clock spent in full bound evaluations
+            (admit-time tight bounds plus head tightening).
+        cheap_bound_seconds: wall-clock spent computing admit-time
+            cheap bounds (inherited value plus the admit cap) —
+            previously lumped into ``bound_seconds``, which hid where
+            the lazy path's admission time actually goes.
+        tighten_seconds: the subset of ``bound_seconds`` spent
+            tightening cheaply-admitted candidates at the heap head.
         expand_seconds: wall-clock spent generating grows/merges
             (excluding the admit work accounted above).
         score_seconds: wall-clock spent scoring complete answers.
@@ -113,6 +129,14 @@ class SearchStats:
         served_from_cache: True when the system answered from the
             cross-query cache without running the search at all (every
             other counter is then zero).
+        engine: candidate representation that ran — ``"arena"`` or
+            ``"object"`` (eager evaluation always reports "object").
+        arena_candidates: candidate rows live in the arena at the end
+            of the run (arena engine only).
+        arena_peak_bytes: high-water mark of the arena's column/pool
+            storage across the run (arena engine only).
+        arena_rollbacks: admissions reclaimed by arena rollback
+            (duplicates and pruned candidates; arena engine only).
     """
 
     expanded: int = 0
@@ -127,11 +151,18 @@ class SearchStats:
     cheap_admissions: int = 0
     tightened: int = 0
     repushed: int = 0
+    admit_capped: int = 0
     bound_seconds: float = 0.0
+    cheap_bound_seconds: float = 0.0
+    tighten_seconds: float = 0.0
     expand_seconds: float = 0.0
     score_seconds: float = 0.0
     cache_lookup_seconds: float = 0.0
     served_from_cache: bool = False
+    engine: str = "object"
+    arena_candidates: int = 0
+    arena_peak_bytes: int = 0
+    arena_rollbacks: int = 0
 
 
 @dataclass(frozen=True)
@@ -145,11 +176,15 @@ class AnytimeSnapshot:
         proven_optimal: True on the final snapshot when the search
             terminated through the bound test or queue exhaustion —
             the answers are then the true top-k (Theorem 1).
+        arena_mark: O(1) high-water version stamp of the candidate
+            arena at snapshot time (the number of live candidate rows)
+            under the arena engine; None on the object path.
     """
 
     answers: List[RankedAnswer]
     frontier_bound: float
     proven_optimal: bool
+    arena_mark: Optional[int] = None
 
     @property
     def gap(self) -> float:
@@ -173,6 +208,17 @@ class BranchAndBoundSearch:
         index: optional pairs/star index for bound tightening and
             distance pruning.
     """
+
+    #: Whether the arena engine applies the index-assisted admit cap
+    #: (:meth:`UpperBoundEstimator.admit_cap`) on top of the inherited
+    #: cheap bound.  A class default so benchmarks can disable it per
+    #: instance to measure the representation change in isolation.
+    use_admit_cap = True
+
+    #: When set (tests), the arena engine asserts after every rollback
+    #: that no live heap entry or merge-partner id references the
+    #: reclaimed region.
+    _debug_validate = False
 
     def __init__(
         self,
@@ -204,6 +250,10 @@ class BranchAndBoundSearch:
         # repro.search.candidate); the bound estimator consumes the
         # per-candidate factors instead of rebuilding them.
         self._ctx = TransferContext(graph, scorer.dampening.rate)
+        #: The flat candidate arena of the most recent arena-engine run
+        #: (None before the first run or on the object path) — the
+        #: CLI's ``--stats`` arena section and the tests read it.
+        self.last_arena = None
 
     # --------------------------------------------------------------- public
 
@@ -252,7 +302,15 @@ class BranchAndBoundSearch:
         """
         params = self.params
         lazy = params.lazy_bounds
+        if lazy and params.engine == "arena":
+            # The flat-arena engine (repro.search.arena): identical
+            # control flow over columnar candidate rows.  Local import —
+            # arena.py imports AnytimeSnapshot from this module.
+            from .arena import arena_snapshots
+            yield from arena_snapshots(self)
+            return
         stats = self.stats
+        stats.engine = "object"
         self.last_proven = False
         top_k = RankedList(params.k)
         heap: List = []
@@ -287,7 +345,9 @@ class BranchAndBoundSearch:
                 stats.pruned_distance += 1
                 return False
             if lazy and inherited is not None:
+                start = time.perf_counter()
                 ub = self._cheap_bound(inherited, cand)
+                stats.cheap_bound_seconds += time.perf_counter() - start
                 cand.cached_ub = ub
                 tight = False
                 stats.cheap_admissions += 1
@@ -337,7 +397,9 @@ class BranchAndBoundSearch:
                 # Lazy tightening: pay for the full bound only now that
                 # the candidate leads the frontier and still beats the
                 # kept top-k.
+                start = time.perf_counter()
                 ub = self._tight_bound(cand)
+                stats.tighten_seconds += time.perf_counter() - start
                 stats.tightened += 1
                 if top_k.full and ub <= top_k.min_score():
                     stats.pruned_bound += 1

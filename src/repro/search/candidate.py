@@ -178,6 +178,31 @@ class CandidateTree:
         cand._sources = (node,)
         return cand
 
+    @classmethod
+    def from_arena(cls, arena, cid: int, match: MatchSets) -> "CandidateTree":
+        """Rebuild a validating candidate from one arena row.
+
+        The cross-check bridge between the engines: the node/edge
+        slices of :class:`~repro.search.arena.CandidateArena` row
+        ``cid`` run through the *validating* tree constructor, coverage
+        is recomputed from the match sets, and the transfer factors are
+        left unset so the bound estimator rebuilds them from scratch —
+        the arena's deferred factor lists and cover masks are exactly
+        what this constructor does **not** trust.
+        """
+        nodes = list(arena.nodes_of(cid))
+        edges = [
+            (code >> 32, code & 0xFFFFFFFF) for code in arena.edges_of(cid)
+        ]
+        tree = JoinedTupleTree(nodes, edges)
+        return cls(
+            tree,
+            arena.root[cid],
+            arena.depth[cid],
+            arena.diameter[cid],
+            match.covered_by(tree.nodes),
+        )
+
     def grow(
         self,
         new_root: int,

@@ -263,6 +263,7 @@ class CIRankSystem:
         k: Optional[int] = None,
         diameter: Optional[int] = None,
         algorithm: str = "branch-and-bound",
+        engine: Optional[str] = None,
     ) -> List[RankedAnswer]:
         """Top-k keyword search.
 
@@ -271,6 +272,11 @@ class CIRankSystem:
             k: number of answers (defaults to the configured k).
             diameter: answer diameter cap (defaults to configured D).
             algorithm: ``"branch-and-bound"`` (default) or ``"naive"``.
+            engine: lazy-loop candidate representation — ``"arena"``
+                (flat columnar arena) or ``"object"`` (per-candidate
+                trees); defaults to the configured engine.  Both return
+                identical top-k up to tie classes; the flag exists so a
+                regression is one CLI switch away from bisection.
 
         Returns:
             Ranked answers, best first (possibly fewer than k).
@@ -293,6 +299,8 @@ class CIRankSystem:
             overrides["k"] = k
         if diameter is not None:
             overrides["diameter"] = diameter
+        if engine is not None:
+            overrides["engine"] = engine
         params = dataclasses.replace(self.search_params, **overrides)
         cache_key = None
         lookup_seconds = 0.0

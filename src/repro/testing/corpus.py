@@ -85,6 +85,7 @@ def case_to_dict(case: GeneratedCase) -> Dict:
             "strict_merge": case.params.strict_merge,
             "max_candidates": case.params.max_candidates,
             "semantics": case.params.semantics,
+            "engine": case.params.engine,
         },
         "weights": {
             "default": case.weights.default,
@@ -155,6 +156,7 @@ def case_from_dict(data: Dict) -> GeneratedCase:
         strict_merge=p.get("strict_merge", True),
         max_candidates=p.get("max_candidates", 0),
         semantics=p.get("semantics", "and"),
+        engine=p.get("engine", "arena"),
     )
     return GeneratedCase(
         seed=data.get("seed", -1),

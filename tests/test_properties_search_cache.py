@@ -53,7 +53,12 @@ def _searches_for_seed(seed: int):
     query) — there is nothing to compare.
     """
     case = random_case(seed)
-    params = dataclasses.replace(case.params, strict_merge=False)
+    # These tests instrument object-path internals (``_tight_bound``
+    # receives CandidateTree arguments), so pin the object engine; the
+    # arena engine has its own parity suite in test_search_arena.py.
+    params = dataclasses.replace(
+        case.params, strict_merge=False, engine="object"
+    )
     system = CIRankSystem.from_database(
         case.db, weights=case.weights, search_params=params
     )
