@@ -11,6 +11,9 @@ Subcommands::
     cirank index build --dataset imdb --out /tmp/star_index --workers 4
     cirank index info  --path /tmp/star_index
     cirank search   --index-path /tmp/star_index --query "..."
+    cirank serve    --dataset imdb --port 8377 --deadline-ms 200
+    cirank client   --query "halloran dunefort" --deadline-ms 50
+    cirank client   --stats
 
 ``search`` runs a top-k query (over a freshly generated dataset or a
 saved deployment); ``evaluate`` runs the Fig. 8/9 comparison on a small
@@ -19,6 +22,9 @@ and persists a deployment; ``export`` writes the data graph as GraphML;
 ``index build`` materializes and persists a star/pairs index (optionally
 across worker processes) and ``index info`` inspects one without
 loading it — ``search --index-path`` then warm-starts from it.
+``serve`` runs the long-lived asyncio front end (single-flight dedup,
+query batching, deadline-bounded anytime answers — ``docs/SERVING.md``)
+and ``client`` talks to it.
 """
 
 from __future__ import annotations
@@ -290,6 +296,111 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .config import ServingParams
+    from .serving import CIRankDaemon, ServingServer
+
+    if args.load:
+        from .storage import load_system
+        system = load_system(args.load)
+    else:
+        system = _build_system(args.dataset, args.seed)
+    if args.index_path:
+        system.attach_index(args.index_kind, path=args.index_path)
+    elif args.star_index and system.graph_index is None:
+        system.build_star_index()
+    params = ServingParams(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        deadline_ms=args.deadline_ms,
+        heartbeat=args.heartbeat,
+        dedup=not args.no_dedup,
+        drain_seconds=args.drain_seconds,
+    )
+
+    async def run() -> None:
+        server = ServingServer(CIRankDaemon(system, params))
+        await server.start()
+        print(
+            f"serving {args.dataset if not args.load else args.load} on "
+            f"http://{params.host}:{server.port} "
+            f"(workers={params.workers}, dedup={params.dedup}, "
+            f"default deadline={params.deadline_ms:g}ms) — "
+            f"POST /shutdown to stop",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    print("drained; bye")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .serving import ServingClient, ServingRequestFailed
+
+    with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+        try:
+            if args.stats:
+                document = client.stats()
+            elif args.health:
+                document = client.health()
+            elif args.shutdown:
+                document = client.shutdown()
+            else:
+                document = client.search(
+                    args.query,
+                    k=args.k,
+                    diameter=args.diameter,
+                    deadline_ms=args.deadline_ms,
+                    engine=args.engine,
+                )
+        except ServingRequestFailed as exc:
+            print(f"request failed: {exc}", file=sys.stderr)
+            return 1
+        except ConnectionError as exc:
+            print(
+                f"cannot reach {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    if args.json or args.query is None:
+        print(json_module.dumps(document, indent=2, sort_keys=True))
+        return 0
+    answers = document["answers"]
+    if not answers:
+        print("no answers")
+    for rank, answer in enumerate(answers, start=1):
+        print(f"{rank:2d}. [{answer['score']:.6g}] {answer['text']}")
+    quality = "proven optimal" if document["proven"] else (
+        f"anytime (gap {document['gap']:.6g})"
+        if document["gap"] is not None else "anytime (no bound yet)"
+    )
+    origin = []
+    if document["served_from_cache"]:
+        origin.append("answer cache")
+    if document["coalesced"]:
+        origin.append("coalesced")
+    if document["deadline_hit"]:
+        origin.append("deadline hit")
+    print(
+        f"-- {quality}; {document['elapsed_ms']:.1f}ms"
+        + (f" ({', '.join(origin)})" if origin else "")
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -394,6 +505,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="also verify freshness against --dataset/--seed",
     )
     p_iinfo.set_defaults(func=_cmd_index_info)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived asyncio serving front end"
+    )
+    common(p_serve)
+    p_serve.add_argument(
+        "--load", default="", help="saved deployment directory"
+    )
+    p_serve.add_argument(
+        "--index-path", default="",
+        help="persisted index directory to warm-start from",
+    )
+    p_serve.add_argument(
+        "--index-kind", choices=("star", "pairs"), default="star",
+    )
+    p_serve.add_argument("--star-index", action="store_true")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8377,
+        help="TCP port (0 binds an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="executor threads running searches",
+    )
+    p_serve.add_argument(
+        "--max-batch-size", type=int, default=8,
+        help="max queries dispatched to the pool as one batch",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="how long a forming batch waits for companions",
+    )
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=0.0,
+        help="default per-query deadline (0 = run to proven optimality)",
+    )
+    p_serve.add_argument(
+        "--heartbeat", type=int, default=16,
+        help="anytime snapshot cadence in queue pops (bounds overshoot)",
+    )
+    p_serve.add_argument(
+        "--no-dedup", action="store_true",
+        help="disable single-flight coalescing (for benchmarking)",
+    )
+    p_serve.add_argument(
+        "--drain-seconds", type=float, default=10.0,
+        help="graceful-shutdown budget for in-flight queries",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="query a running cirank serve instance"
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=8377)
+    p_client.add_argument("--timeout", type=float, default=60.0)
+    action = p_client.add_mutually_exclusive_group(required=True)
+    action.add_argument("--query", help="run one search")
+    action.add_argument(
+        "--stats", action="store_true", help="print the serving counters"
+    )
+    action.add_argument(
+        "--health", action="store_true", help="print the health document"
+    )
+    action.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the server to drain and exit",
+    )
+    p_client.add_argument("--k", type=int, default=None)
+    p_client.add_argument("--diameter", type=int, default=None)
+    p_client.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query deadline override",
+    )
+    p_client.add_argument(
+        "--engine", choices=("arena", "object"), default=None
+    )
+    p_client.add_argument(
+        "--json", action="store_true", help="print the raw response JSON"
+    )
+    p_client.set_defaults(func=_cmd_client)
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate one of the paper's experiments"

@@ -1,6 +1,6 @@
 """Configuration objects for the CI-Rank system.
 
-Three dataclasses gather every tunable the paper exposes:
+Four dataclasses gather every tunable the system exposes:
 
 * :class:`RWMPParams` — the message-passing model parameters (Section III):
   the teleportation constant ``c`` of the underlying random walk, and the
@@ -10,9 +10,12 @@ Three dataclasses gather every tunable the paper exposes:
   and the answer-tree diameter cap ``D``.
 * :class:`EdgeWeights` — the per-edge-type weights of Table II, plus helpers
   to register additional link types.
+* :class:`ServingParams` — the asyncio serving front end's knobs
+  (:mod:`repro.serving`): bind address, worker pool size, batching,
+  single-flight dedup, and per-query deadlines.
 
-All values default to the paper's choices (``alpha = 0.15``, ``g = 20``,
-``c = 0.15``, ``k = 5``, ``D = 4``).
+All paper-level values default to the paper's choices (``alpha = 0.15``,
+``g = 20``, ``c = 0.15``, ``k = 5``, ``D = 4``).
 """
 
 from __future__ import annotations
@@ -122,6 +125,69 @@ class SearchParams:
             raise ReproError(
                 f"engine must be 'arena' or 'object', got {self.engine!r}"
             )
+
+
+@dataclass(frozen=True)
+class ServingParams:
+    """Knobs of the asyncio serving front end (:mod:`repro.serving`).
+
+    Attributes:
+        host: bind address of the HTTP front end.
+        port: TCP port (0 = ephemeral, reported after bind).
+        workers: executor threads searching concurrently; the event loop
+            itself never runs a search.
+        max_batch_size: queries dispatched to one worker as a batch (the
+            batch shares a thread handoff and arrives with warm caches).
+        max_wait_ms: how long a forming batch waits for companions once
+            its first query arrived (0 dispatches immediately).
+        deadline_ms: default per-query deadline; 0 runs every search to
+            proven completion.  Requests can override per call.
+        heartbeat: anytime-snapshot cadence (queue pops between
+            heartbeat snapshots) used when a deadline is set — smaller
+            values bound deadline overshoot tighter at slightly more
+            generator overhead.
+        dedup: coalesce identical in-flight queries into one execution
+            (single-flight stampede protection in front of the answer
+            cache).
+        max_request_bytes: request-body size limit (HTTP 413 beyond it).
+        drain_seconds: graceful-shutdown budget for in-flight queries
+            and open connections.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8377
+    workers: int = 4
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    deadline_ms: float = 0.0
+    heartbeat: int = 16
+    dedup: bool = True
+    max_request_bytes: int = 1 << 20
+    drain_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ReproError(f"workers must be >= 1, got {self.workers}")
+        if self.max_batch_size < 1:
+            raise ReproError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_ms < 0:
+            raise ReproError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.deadline_ms < 0:
+            raise ReproError(
+                f"deadline_ms must be >= 0, got {self.deadline_ms}"
+            )
+        if self.heartbeat < 1:
+            raise ReproError(f"heartbeat must be >= 1, got {self.heartbeat}")
+        if self.max_request_bytes < 1:
+            raise ReproError("max_request_bytes must be >= 1")
+        if self.drain_seconds < 0:
+            raise ReproError("drain_seconds must be >= 0")
+        if not 0 <= self.port <= 65535:
+            raise ReproError(f"port must be in [0, 65535], got {self.port}")
 
 
 def _table2_weights() -> Dict[Tuple[str, str], float]:

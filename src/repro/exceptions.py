@@ -60,5 +60,18 @@ class DatasetError(ReproError):
     """A synthetic dataset generator received inconsistent parameters."""
 
 
+class ServingError(ReproError):
+    """The serving front end was configured or driven incorrectly."""
+
+
+class BadRequestError(ServingError):
+    """A client request is malformed (unparseable, missing fields...).
+
+    The HTTP front end maps this to a 400 response; the daemon raises it
+    before the request enters the dedup/batching pipeline, so rejected
+    requests never disturb the serving counters' invariants.
+    """
+
+
 class EvaluationError(ReproError):
     """An evaluation harness was given inconsistent inputs."""

@@ -352,11 +352,12 @@ class CandidateArena:
         self.rollbacks += 1
 
 
-def arena_snapshots(search):
+def arena_snapshots(search, heartbeat: int = 0):
     """The arena-backed lazy search loop (Algorithm 1, engine="arena").
 
     A generator with the exact contract of
-    :meth:`BranchAndBoundSearch.snapshots`, dispatched to when
+    :meth:`BranchAndBoundSearch.snapshots` (including the ``heartbeat``
+    cadence for deadline-bounded consumers), dispatched to when
     ``params.lazy_bounds and params.engine == "arena"``.  Control flow
     mirrors the object path statement for statement — same admission
     order (diameter prune, signature dedup, answer offer, distance
@@ -810,6 +811,7 @@ def arena_snapshots(search):
     last_revision = -1
     proven = True
     frontier = float("-inf")
+    ticks = 0
     while heap:
         key, tight, cid = heapq.heappop(heap)
         ub = -key[0]
@@ -821,6 +823,16 @@ def arena_snapshots(search):
             proven = False
             frontier = ub
             break
+        ticks += 1
+        if heartbeat and ticks % heartbeat == 0:
+            # Heartbeat snapshot (see BranchAndBoundSearch.snapshots):
+            # the head's bound admissibly caps everything undiscovered.
+            yield AnytimeSnapshot(
+                answers=top_k.as_list(),
+                frontier_bound=ub,
+                proven_optimal=False,
+                arena_mark=len(arena),
+            )
         if not tight:
             t0 = perf()
             ub = tighten(cid)

@@ -284,7 +284,7 @@ class BranchAndBoundSearch:
         del cand  # the inherited value alone bounds every completion
         return inherited
 
-    def snapshots(self):
+    def snapshots(self, heartbeat: int = 0):
         """Anytime execution: yield progress snapshots during the search.
 
         The branch-and-bound loop is naturally *anytime*: at every point
@@ -299,6 +299,15 @@ class BranchAndBoundSearch:
         ``frontier_bound`` is the quality certificate: no unseen answer
         can score above it (cheap inherited bounds are admissible, so
         the certificate holds in lazy mode too).
+
+        Args:
+            heartbeat: when > 0, additionally yield a snapshot every
+                ``heartbeat`` queue pops even if the top-k did not
+                improve.  Deadline-bounded consumers (the serving front
+                end) rely on this to observe the wall clock at a bounded
+                cadence; 0 (the default) keeps the improvement-only
+                cadence.  The yielded sequence of *improvements* is
+                identical either way.
         """
         params = self.params
         lazy = params.lazy_bounds
@@ -307,7 +316,7 @@ class BranchAndBoundSearch:
             # control flow over columnar candidate rows.  Local import —
             # arena.py imports AnytimeSnapshot from this module.
             from .arena import arena_snapshots
-            yield from arena_snapshots(self)
+            yield from arena_snapshots(self, heartbeat)
             return
         stats = self.stats
         stats.engine = "object"
@@ -376,6 +385,7 @@ class BranchAndBoundSearch:
         last_revision = -1
         proven = True
         frontier = float("-inf")
+        ticks = 0
         while heap:
             key, tight, cand = heapq.heappop(heap)
             ub = -key[0]
@@ -393,6 +403,16 @@ class BranchAndBoundSearch:
                 proven = False
                 frontier = ub
                 break
+            ticks += 1
+            if heartbeat and ticks % heartbeat == 0:
+                # Heartbeat snapshot: the head's bound is an admissible
+                # cap on everything undiscovered, so the gap certificate
+                # is valid mid-search too.
+                yield AnytimeSnapshot(
+                    answers=top_k.as_list(),
+                    frontier_bound=ub,
+                    proven_optimal=False,
+                )
             if not tight:
                 # Lazy tightening: pay for the full bound only now that
                 # the candidate leads the frontier and still beats the

@@ -1,0 +1,172 @@
+"""Query batching over a bounded worker pool of executor threads.
+
+The event loop never runs a search: every execution is handed to a
+:class:`~concurrent.futures.ThreadPoolExecutor` of ``workers`` threads.
+Rather than paying one loop→executor handoff per query, concurrent
+queries are *batched*: a dispatcher coroutine drains the submission
+queue into groups of up to ``max_batch_size``, waiting at most
+``max_wait_ms`` for companions once a batch has its first member, and
+ships each group to the pool as one unit.  The batch runs on a single
+worker thread back-to-back, so the per-query scheduling overhead
+amortizes and consecutive queries arrive with warm caches (compiled
+CSR, dampening-rate memo, match-set memo) instead of interleaving cold.
+
+Knobs (:class:`repro.config.ServingParams`): ``max_batch_size`` caps a
+group, ``max_wait_ms`` bounds the latency a query can pay waiting for
+companions (0 dispatches immediately, batching only what is already
+queued).  Multiple batches execute concurrently across the pool.
+
+Cancellation: a submission whose future is cancelled before its batch
+reaches it is skipped by the worker; mid-execution cancellation is not
+attempted (a running search is not interruptible from outside — the
+deadline machinery in :mod:`repro.serving.deadline` bounds it instead).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Tuple
+
+from .stats import ServingStats
+
+#: Sentinel closing the dispatcher loop.
+_CLOSE = object()
+
+
+class QueryBatcher:
+    """Batch executor-bound callables behind an asyncio submission queue.
+
+    Args:
+        workers: executor thread count.
+        max_batch_size: maximum callables dispatched as one batch.
+        max_wait_ms: how long a forming batch waits for companions.
+        stats: optional :class:`ServingStats` receiving batch counters.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        stats: Optional[ServingStats] = None,
+    ) -> None:
+        self.workers = workers
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.stats = stats
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._closing = False
+
+    async def start(self) -> None:
+        """Create the pool and start the dispatcher (idempotent)."""
+        if self._dispatcher is not None:
+            return
+        self._closing = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="cirank-worker"
+        )
+        self._queue = asyncio.Queue()
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+
+    async def submit(self, fn: Callable[[], object]) -> object:
+        """Run ``fn`` on the worker pool (possibly batched); await result.
+
+        Raises whatever ``fn`` raised.  Cancelling the await marks the
+        submission dead — an unstarted one is skipped by its batch.
+        """
+        if self._queue is None or self._closing:
+            raise RuntimeError("QueryBatcher is not running")
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        await self._queue.put((fn, future))
+        return await future
+
+    async def stop(self) -> None:
+        """Dispatch everything queued, then shut the pool down."""
+        if self._dispatcher is None:
+            return
+        self._closing = True
+        await self._queue.put(_CLOSE)
+        await self._dispatcher
+        self._dispatcher = None
+        # Blocks until in-flight batches finish — run off-loop so the
+        # event loop stays responsive while draining.
+        executor = self._executor
+        self._executor = None
+        await asyncio.get_running_loop().run_in_executor(
+            None, executor.shutdown
+        )
+
+    # ------------------------------------------------------------ internal
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is _CLOSE:
+                return
+            batch: List[Tuple[Callable[[], object], asyncio.Future]] = [item]
+            closing = self._collect_companions_nowait(batch)
+            if (
+                not closing
+                and len(batch) < self.max_batch_size
+                and self.max_wait_ms > 0
+            ):
+                closing = await self._collect_companions(batch, loop)
+            if self.stats is not None:
+                self.stats.record_batch(len(batch))
+            loop.run_in_executor(self._executor, self._run_batch, batch, loop)
+            if closing:
+                return
+
+    def _collect_companions_nowait(self, batch) -> bool:
+        """Drain already-queued submissions into ``batch`` (no waiting)."""
+        while len(batch) < self.max_batch_size:
+            try:
+                nxt = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return False
+            if nxt is _CLOSE:
+                return True
+            batch.append(nxt)
+        return False
+
+    async def _collect_companions(self, batch, loop) -> bool:
+        """Wait up to ``max_wait_ms`` for more submissions."""
+        deadline = loop.time() + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return False
+            try:
+                nxt = await asyncio.wait_for(self._queue.get(), remaining)
+            except asyncio.TimeoutError:
+                return False
+            if nxt is _CLOSE:
+                return True
+            batch.append(nxt)
+        return False
+
+    def _run_batch(self, batch, loop) -> None:
+        """Worker-thread body: run the batch members back-to-back."""
+        for fn, future in batch:
+            if future.cancelled():
+                continue
+            try:
+                result = fn()
+            except BaseException as exc:  # delivered to the awaiter
+                loop.call_soon_threadsafe(self._resolve, future, None, exc)
+            else:
+                loop.call_soon_threadsafe(self._resolve, future, result, None)
+
+    @staticmethod
+    def _resolve(future: asyncio.Future, result, exc) -> None:
+        if future.cancelled():
+            return
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)

@@ -1,0 +1,245 @@
+"""The long-lived serving daemon owning one :class:`CIRankSystem`.
+
+The daemon/front-end split mirrors production keyword-search services:
+:class:`CIRankDaemon` owns the heavyweight state — the data graph, the
+compiled CSR, any attached pairs/star index, and the versioned answer
+cache — and exposes one coroutine, :meth:`handle_search`, that the
+network layer (:mod:`repro.serving.server`) calls per request.  The
+daemon never touches sockets; the server never touches the system.
+
+A request flows through three stages:
+
+1. **single-flight dedup** (:mod:`repro.serving.dedup`) — identical
+   in-flight queries (same canonical answer-cache key *and* deadline)
+   collapse into one execution whose result every waiter shares;
+2. **batching** (:mod:`repro.serving.batching`) — flight leaders are
+   grouped and dispatched to the bounded executor pool, so the event
+   loop never blocks on a search;
+3. **deadline-bounded execution** (:mod:`repro.serving.deadline`) — the
+   worker drives the anytime search and stops at the wall-clock budget,
+   reporting the snapshot ``gap`` as the SLA field.
+
+Counters land in one :class:`~repro.serving.stats.ServingStats` block
+(the ``/stats`` payload), with ``received == executed + coalesced`` as
+the audit invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..config import ServingParams
+from ..exceptions import BadRequestError
+from ..model.answer import RankedAnswer
+from ..system import CIRankSystem
+from .batching import QueryBatcher
+from .deadline import DeadlineOutcome, run_with_deadline
+from .dedup import SingleFlight
+from .stats import ServingStats
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BadRequestError(message)
+
+
+class CIRankDaemon:
+    """Owns the system and the serving machinery (no network I/O).
+
+    Args:
+        system: the ready-to-query deployment (graph, indexes, caches).
+        params: serving knobs; defaults to :class:`ServingParams`.
+    """
+
+    def __init__(
+        self,
+        system: CIRankSystem,
+        params: Optional[ServingParams] = None,
+    ) -> None:
+        self.system = system
+        self.params = params or ServingParams()
+        self.stats = ServingStats()
+        self.flights = SingleFlight()
+        self.batcher = QueryBatcher(
+            workers=self.params.workers,
+            max_batch_size=self.params.max_batch_size,
+            max_wait_ms=self.params.max_wait_ms,
+            stats=self.stats,
+        )
+        self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown started (new searches are refused)."""
+        return self._draining
+
+    async def start(self) -> None:
+        """Start the worker pool and warm shared read-only state.
+
+        The compiled CSR view and the dampening-rate memo are built once
+        here, on the loop thread, so the executor threads only ever
+        *read* them (their lazy builders are idempotent but warming
+        avoids duplicated work on the first request burst).
+        """
+        compiled = self.system.graph.compiled()
+        del compiled
+        await self.batcher.start()
+
+    def begin_drain(self) -> None:
+        """Stop accepting new searches (in-flight ones keep running)."""
+        self._draining = True
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain in-flight flights, stop the pool."""
+        self.begin_drain()
+        await self.flights.drain()
+        await self.batcher.stop()
+
+    # ------------------------------------------------------------ requests
+
+    async def handle_search(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one search request (already-parsed JSON payload).
+
+        Payload fields: ``query`` (required string), ``k``,
+        ``diameter`` (ints), ``deadline_ms`` (number; overrides the
+        configured default; 0 forces no deadline), ``engine``
+        (``"arena"``/``"object"``).
+
+        Raises:
+            BadRequestError: on an invalid payload (counted as
+                ``rejected``, never ``received``).
+        """
+        query, k, diameter, deadline_ms, engine = self._validate(payload)
+        if self._draining:
+            raise DrainingError("daemon is draining; not accepting queries")
+        self.stats.inc("received")
+
+        def execute() -> DeadlineOutcome:
+            return run_with_deadline(
+                self.system, query, k=k, diameter=diameter,
+                deadline_ms=deadline_ms, heartbeat=self.params.heartbeat,
+                engine=engine,
+            )
+
+        async def fly() -> DeadlineOutcome:
+            self.stats.flight_started()
+            try:
+                return await self.batcher.submit(execute)
+            finally:
+                self.stats.flight_finished()
+
+        if self.params.dedup:
+            # Identical query + identical SLA = one execution; the
+            # deadline is part of the key so a tight-budget request
+            # never inherits (or donates) a different budget's flight.
+            key = (
+                self.system.answer_key(
+                    query, k=k, diameter=diameter, engine=engine
+                ),
+                deadline_ms,
+            )
+            outcome, coalesced = await self.flights.run(key, fly)
+        else:
+            outcome, coalesced = await fly(), False
+
+        if coalesced:
+            self.stats.inc("coalesced")
+        else:
+            self.stats.inc("executed")
+            # Execution-scoped outcomes are counted once per flight,
+            # not once per waiter.
+            if outcome.served_from_cache:
+                self.stats.inc("cache_served")
+            if outcome.deadline_hit:
+                self.stats.inc("deadline_expired")
+        return self._response(query, outcome, coalesced)
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``/stats`` document."""
+        payload = self.stats.as_dict()
+        payload["draining"] = self._draining
+        payload["answer_cache"] = self.system.answer_cache.stats().as_dict()
+        return payload
+
+    def health_payload(self) -> Dict[str, Any]:
+        """The ``/health`` document."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "graph_version": self.system.graph.version,
+            "nodes": self.system.graph.node_count,
+            "edges": self.system.graph.edge_count,
+            "index": type(self.system.graph_index).__name__
+            if self.system.graph_index is not None else None,
+        }
+
+    # ------------------------------------------------------------ internal
+
+    def _validate(self, payload):
+        _require(isinstance(payload, dict), "request body must be an object")
+        query = payload.get("query")
+        _require(
+            isinstance(query, str) and query.strip() != "",
+            "'query' must be a non-empty string",
+        )
+        k = payload.get("k")
+        _require(
+            k is None or (isinstance(k, int) and not isinstance(k, bool)
+                          and k >= 1),
+            "'k' must be an integer >= 1",
+        )
+        diameter = payload.get("diameter")
+        _require(
+            diameter is None
+            or (isinstance(diameter, int) and not isinstance(diameter, bool)
+                and diameter >= 0),
+            "'diameter' must be an integer >= 0",
+        )
+        deadline_ms = payload.get("deadline_ms")
+        _require(
+            deadline_ms is None
+            or (isinstance(deadline_ms, (int, float))
+                and not isinstance(deadline_ms, bool) and deadline_ms >= 0),
+            "'deadline_ms' must be a number >= 0",
+        )
+        if deadline_ms is None:
+            deadline_ms = self.params.deadline_ms
+        engine = payload.get("engine")
+        _require(
+            engine is None or engine in ("arena", "object"),
+            "'engine' must be 'arena' or 'object'",
+        )
+        unknown = set(payload) - {
+            "query", "k", "diameter", "deadline_ms", "engine",
+        }
+        _require(not unknown, f"unknown fields: {sorted(unknown)}")
+        return query, k, diameter, float(deadline_ms), engine
+
+    def _response(
+        self,
+        query: str,
+        outcome: DeadlineOutcome,
+        coalesced: bool,
+    ) -> Dict[str, Any]:
+        return {
+            "query": query,
+            "answers": [self._answer(a) for a in outcome.answers],
+            "proven": outcome.proven,
+            "gap": outcome.gap,
+            "deadline_hit": outcome.deadline_hit,
+            "served_from_cache": outcome.served_from_cache,
+            "coalesced": coalesced,
+            "elapsed_ms": outcome.elapsed_seconds * 1000.0,
+        }
+
+    def _answer(self, answer: RankedAnswer) -> Dict[str, Any]:
+        tree = answer.tree
+        return {
+            "score": answer.score,
+            "nodes": sorted(tree.nodes),
+            "edges": sorted(tuple(edge) for edge in tree.edges),
+            "text": answer.describe(self.system.graph),
+        }
+
+
+class DrainingError(BadRequestError):
+    """The daemon is shutting down; mapped to HTTP 503 by the server."""

@@ -1,0 +1,90 @@
+"""Single-flight deduplication of identical in-flight queries.
+
+Serving workloads stampede: when a hot query misses the answer cache,
+every concurrently arriving duplicate would run the same
+branch-and-bound search and then race to store the same proven result.
+:class:`SingleFlight` collapses the stampede — the first arrival for a
+key becomes the *leader* and executes; every later arrival while that
+execution is in flight becomes a *waiter* and shares the leader's
+result.  One execution per key, however many requests rode it.
+
+Keys are the system's canonical answer-cache keys
+(:meth:`repro.system.CIRankSystem.answer_key` — analyzed keywords,
+resolved search params, index fingerprint) extended by the effective
+deadline, so two textually different queries that normalize identically
+coalesce, while requests with different SLAs never share a flight (a
+10ms waiter must not inherit a 10s execution, nor vice versa).
+
+Cancellation semantics (pinned by ``tests/test_serving_dedup.py``): a
+cancelled waiter abandons only its own await — the shared flight keeps
+running (``asyncio.shield``) and the remaining waiters still get the
+result.  The flight is unregistered *before* its result is delivered,
+so a request arriving after completion starts a fresh flight (and
+typically hits the answer cache instead).
+
+All methods must run on the daemon's event loop; the class holds no
+locks because the loop serializes access.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Hashable, Tuple
+
+
+class SingleFlight:
+    """Coalesce concurrent executions that share a key."""
+
+    def __init__(self) -> None:
+        self._flights: Dict[Hashable, asyncio.Task] = {}
+
+    @property
+    def in_flight(self) -> int:
+        """Number of distinct keys currently executing."""
+        return len(self._flights)
+
+    async def run(
+        self,
+        key: Hashable,
+        supplier: Callable[[], Awaitable],
+    ) -> Tuple[object, bool]:
+        """Execute ``supplier`` once per in-flight ``key``.
+
+        Returns ``(result, coalesced)`` where ``coalesced`` is True when
+        this call joined an existing flight instead of leading one.
+
+        A flight failure propagates to the leader and every waiter; the
+        failed flight is unregistered, so the next request retries.
+        Cancelling this coroutine never cancels the shared flight.
+        """
+        task = self._flights.get(key)
+        if task is None:
+            coalesced = False
+            task = asyncio.ensure_future(self._lead(key, supplier))
+            self._flights[key] = task
+        else:
+            coalesced = True
+        # shield: a waiter's cancellation must not tear down the task
+        # the other waiters (and the leader) are sharing.
+        result = await asyncio.shield(task)
+        return result, coalesced
+
+    async def _lead(self, key: Hashable, supplier) -> object:
+        try:
+            return await supplier()
+        finally:
+            # Unregister before the result is delivered (this finally
+            # runs inside the task, ahead of the waiters' wakeups): no
+            # window where a *finished* flight can be joined.
+            self._flights.pop(key, None)
+
+    async def drain(self) -> None:
+        """Wait for every in-flight execution to finish.
+
+        Flight failures are swallowed here — they were already delivered
+        to the flights' own waiters; drain only cares about quiescence
+        (graceful shutdown).
+        """
+        pending = list(self._flights.values())
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)

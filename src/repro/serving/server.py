@@ -1,0 +1,281 @@
+"""Minimal HTTP/1.1 front end over ``asyncio.start_server``.
+
+No web framework, no third-party dependency: the protocol surface is a
+four-route JSON API, small enough that a hand-rolled HTTP/1.1 subset is
+simpler (and more auditable) than a dependency.
+
+Routes:
+
+* ``POST /search`` — body ``{"query": "...", ...}`` (see
+  :meth:`repro.serving.daemon.CIRankDaemon.handle_search`); 200 with the
+  answer document, 400 on a malformed request, 503 while draining.
+* ``GET /stats`` — serving counters + answer-cache counters.
+* ``GET /health`` — liveness document (status, graph version, sizes).
+* ``POST /shutdown`` — begin graceful shutdown: stop accepting new
+  searches, drain in-flight ones (bounded by
+  :attr:`repro.config.ServingParams.drain_seconds`), then exit
+  :meth:`ServingServer.serve_until_shutdown`.
+
+Protocol subset: ``Content-Length`` bodies only (no chunked requests),
+keep-alive by default, ``Connection: close`` honored, request body
+capped at :attr:`~repro.config.ServingParams.max_request_bytes` (413
+beyond it).  Responses always carry ``Content-Length`` and
+``application/json`` bodies — errors included, as
+``{"error": "..."}``.
+
+Graceful shutdown keeps the audit invariants intact: the listener
+closes first, in-flight requests finish (their connection tasks are
+awaited), and only then does the daemon stop its worker pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Set, Tuple
+
+from ..exceptions import BadRequestError
+from .daemon import CIRankDaemon, DrainingError
+
+#: Cap on the request head (request line + headers) — anti-abuse.
+_MAX_HEAD_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Internal: abort the request with this status/message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServingServer:
+    """Bind a :class:`CIRankDaemon` to a TCP listener."""
+
+    def __init__(self, daemon: CIRankDaemon) -> None:
+        self.daemon = daemon
+        self.params = daemon.params
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._shutdown_requested = asyncio.Event()
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Start the daemon and begin listening."""
+        await self.daemon.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.params.host, self.params.port
+        )
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until ``POST /shutdown`` (or :meth:`request_shutdown`)."""
+        await self._shutdown_requested.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        """Trigger graceful shutdown from outside the protocol."""
+        self._shutdown_requested.set()
+
+    async def stop(self) -> None:
+        """Close the listener, drain in-flight requests, stop the daemon.
+
+        Draining is bounded by ``params.drain_seconds``; connections
+        still open past the budget are cancelled.
+        """
+        self.daemon.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        pending = [task for task in self._connections if not task.done()]
+        if pending:
+            _, unfinished = await asyncio.wait(
+                pending, timeout=self.params.drain_seconds
+            )
+            for task in unfinished:
+                task.cancel()
+            if unfinished:
+                await asyncio.gather(*unfinished, return_exceptions=True)
+        await self.daemon.stop()
+
+    # ---------------------------------------------------------- connections
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_one(self, reader, writer) -> bool:
+        """Serve one request; return True to keep the connection alive."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            await self._send_error(writer, 413, "request head too large")
+            return False
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return False  # clean close between requests
+            raise
+        if len(head) > _MAX_HEAD_BYTES:
+            await self._send_error(writer, 413, "request head too large")
+            return False
+        try:
+            method, path, headers = self._parse_head(head)
+            body = await self._read_body(reader, headers)
+            status, payload = await self._route(method, path, body)
+        except _HttpError as exc:
+            if exc.status in (400, 413, 503):
+                self.daemon.stats.inc("rejected")
+            await self._send_error(writer, exc.status, exc.message)
+            # 413 poisons the stream (unread body bytes follow).
+            return exc.status != 413
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive 500 path
+            self.daemon.stats.inc("errors")
+            await self._send_error(writer, 500, f"internal error: {exc}")
+            return False
+        keep_alive = headers.get("connection", "keep-alive") != "close"
+        await self._send(writer, status, payload, keep_alive)
+        if path == "/shutdown":
+            self._shutdown_requested.set()
+            return False
+        return keep_alive
+
+    # ------------------------------------------------------------- protocol
+
+    def _parse_head(
+        self, head: bytes
+    ) -> Tuple[str, str, Dict[str, str]]:
+        try:
+            text = head.decode("ascii")
+        except UnicodeDecodeError:
+            raise _HttpError(400, "request head is not ASCII")
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, "malformed request line")
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _HttpError(400, f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip().lower()
+        return method, path, headers
+
+    async def _read_body(self, reader, headers: Dict[str, str]) -> bytes:
+        if "transfer-encoding" in headers:
+            raise _HttpError(400, "chunked request bodies are not supported")
+        raw = headers.get("content-length", "0")
+        try:
+            length = int(raw)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length: {raw!r}")
+        if length < 0:
+            raise _HttpError(400, f"bad Content-Length: {raw!r}")
+        if length > self.params.max_request_bytes:
+            raise _HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.params.max_request_bytes}-byte limit",
+            )
+        if length == 0:
+            return b""
+        return await reader.readexactly(length)
+
+    async def _route(self, method: str, path: str, body: bytes):
+        if path == "/search":
+            if method != "POST":
+                raise _HttpError(405, "use POST /search")
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise _HttpError(400, f"request body is not JSON: {exc}")
+            try:
+                return 200, await self.daemon.handle_search(payload)
+            except DrainingError as exc:
+                raise _HttpError(503, str(exc))
+            except BadRequestError as exc:
+                raise _HttpError(400, str(exc))
+        if path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "use GET /stats")
+            return 200, self.daemon.stats_payload()
+        if path == "/health":
+            if method != "GET":
+                raise _HttpError(405, "use GET /health")
+            return 200, self.daemon.health_payload()
+        if path == "/shutdown":
+            if method != "POST":
+                raise _HttpError(405, "use POST /shutdown")
+            return 200, {"status": "shutting down"}
+        raise _HttpError(404, f"no such route: {path}")
+
+    async def _send(self, writer, status, payload, keep_alive=True) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _send_error(self, writer, status, message) -> None:
+        try:
+            await self._send(
+                writer, status, {"error": message}, keep_alive=False
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def serve(daemon: CIRankDaemon) -> ServingServer:
+    """Start a server for ``daemon``; returns once it is listening."""
+    server = ServingServer(daemon)
+    await server.start()
+    return server

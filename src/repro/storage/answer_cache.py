@@ -23,10 +23,18 @@ Only *proven* results are cacheable; anytime/aborted searches
 (``max_candidates`` hit) are not, because their answers carry no
 optimality certificate.  Proven empty results are cached too — "no
 answer exists" is just as expensive to re-derive.
+
+The cache is **thread-safe**: the serving front end
+(:mod:`repro.serving`) probes and populates it from a pool of executor
+threads, and the underlying ``OrderedDict`` recency moves and evictions
+are not atomic, so every public method takes one internal lock.  The
+critical sections are dict operations only (never a search), so
+contention is negligible next to a cache miss.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
@@ -84,11 +92,15 @@ class AnswerCache:
             callers keep one code path.
     """
 
-    __slots__ = ("_lru", "invalidations")
+    __slots__ = ("_lru", "invalidations", "_lock")
 
     def __init__(self, maxsize: int) -> None:
         self._lru = LRUCache(maxsize)
         self.invalidations = 0
+        # Serving hammers lookup/store from executor threads; the LRU's
+        # OrderedDict mutations (move_to_end, popitem) must not
+        # interleave.
+        self._lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
@@ -106,19 +118,21 @@ class AnswerCache:
         epoch)`` is dropped and counted as an invalidation; the caller
         re-runs the search (and typically re-stores the fresh result).
         """
-        entry = self._lru.peek(key)
-        if entry is None:
-            self._lru.misses += 1
-            return None
-        stored_version, stored_epoch, answers = entry
-        if stored_version != graph_version or stored_epoch != epoch:
-            # The graph or the ranking moved on since this result was
-            # proven; the optimality certificate no longer applies.
-            self.invalidations += 1
-            self._lru.pop(key)
-            return None
-        self._lru.get(key)  # refresh recency and count the hit
-        return list(answers)
+        with self._lock:
+            entry = self._lru.peek(key)
+            if entry is None:
+                self._lru.misses += 1
+                return None
+            stored_version, stored_epoch, answers = entry
+            if stored_version != graph_version or stored_epoch != epoch:
+                # The graph or the ranking moved on since this result
+                # was proven; the optimality certificate no longer
+                # applies.
+                self.invalidations += 1
+                self._lru.pop(key)
+                return None
+            self._lru.get(key)  # refresh recency and count the hit
+            return list(answers)
 
     def store(
         self,
@@ -132,22 +146,27 @@ class AnswerCache:
         The caller is responsible for only passing results carrying an
         optimality certificate (``proven_optimal`` final snapshots).
         """
-        self._lru.put(key, (graph_version, epoch, tuple(answers)))
+        with self._lock:
+            self._lru.put(key, (graph_version, epoch, tuple(answers)))
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._lru.clear()
+        with self._lock:
+            self._lru.clear()
 
     def __len__(self) -> int:
-        return len(self._lru)
+        with self._lock:
+            return len(self._lru)
 
     def stats(self) -> AnswerCacheStats:
-        """Snapshot the counters."""
-        inner = self._lru.stats()
+        """Snapshot the counters (one consistent view)."""
+        with self._lock:
+            inner = self._lru.stats()
+            invalidations = self.invalidations
         return AnswerCacheStats(
             hits=inner.hits,
             misses=inner.misses,
-            invalidations=self.invalidations,
+            invalidations=invalidations,
             evictions=inner.evictions,
             size=inner.size,
             maxsize=inner.maxsize,

@@ -11,11 +11,25 @@ search.  It is the one-stop entry point the examples and the CLI use::
         "actor", "actress", "director", "producer"))
     for answer in system.search("halloran winmont", k=5):
         print(system.describe(answer))
+
+Concurrency: :meth:`CIRankSystem.search` and
+:meth:`CIRankSystem.search_anytime` are safe to call from multiple
+threads against an *unchanging* graph — the shared mutable state on the
+query path (the match-set memo and the cross-query answer cache) is
+lock-guarded, per-query scorer/search state is thread-local, and the
+remaining shared memos (dampening rates, compiled CSR) are idempotent
+single-writes.  The observability attributes (``last_search_stats``,
+``last_cache_stats``) are last-writer-wins; concurrent callers should
+read per-request stats through the ``observer`` hook of
+:meth:`search_anytime` instead.  Graph *mutations* are not synchronized
+with in-flight searches — the serving daemon (:mod:`repro.serving`)
+owns that discipline.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from typing import Dict, Iterable, List, Optional
 
@@ -33,7 +47,11 @@ from .indexing.star import StarIndex
 from .model.answer import RankedAnswer
 from .rwmp.dampening import DampeningModel
 from .rwmp.scoring import RWMPScorer
-from .search.branch_and_bound import BranchAndBoundSearch, SearchStats
+from .search.branch_and_bound import (
+    AnytimeSnapshot,
+    BranchAndBoundSearch,
+    SearchStats,
+)
 from .search.naive import NaiveSearch
 from .utils.lru import CacheStats, LRUCache
 from .text.inverted_index import InvertedIndex
@@ -69,8 +87,12 @@ class CIRankSystem:
         self.graph_index: Optional[object] = None
         # Match-set lookups repeat verbatim across searches (pagination,
         # stats re-runs, benchmark loops); key on the graph version so a
-        # mutation invalidates naturally.
+        # mutation invalidates naturally.  The serving front end calls
+        # :meth:`search`/:meth:`search_anytime` from a pool of executor
+        # threads, and the LRU's recency moves are not atomic, so the
+        # memo is guarded by a lock (the answer cache carries its own).
         self._match_cache = LRUCache(MATCH_CACHE_SIZE)
+        self._match_lock = threading.Lock()
         # Cross-query cache of proven-optimal top-k results, versioned
         # by (graph version, ranking epoch) — see
         # repro.storage.answer_cache.  Local import: repro.storage pulls
@@ -292,16 +314,7 @@ class CIRankSystem:
                 return []
         elif not match.matchable:
             return []
-        # dataclasses.replace keeps every configured field (including any
-        # added later) instead of re-listing them by hand.
-        overrides = {}
-        if k is not None:
-            overrides["k"] = k
-        if diameter is not None:
-            overrides["diameter"] = diameter
-        if engine is not None:
-            overrides["engine"] = engine
-        params = dataclasses.replace(self.search_params, **overrides)
+        params = self._resolve_params(k, diameter, engine)
         cache_key = None
         lookup_seconds = 0.0
         if algorithm == "branch-and-bound" and self._answer_cache.enabled:
@@ -348,6 +361,157 @@ class CIRankSystem:
         self._publish_cache_stats(scorer)
         return answers
 
+    def search_anytime(
+        self,
+        query_text: str,
+        k: Optional[int] = None,
+        diameter: Optional[int] = None,
+        engine: Optional[str] = None,
+        heartbeat: int = 0,
+        observer: Optional[object] = None,
+    ):
+        """Anytime top-k search: a generator of :class:`AnytimeSnapshot`.
+
+        The deadline-bounded serving path (:mod:`repro.serving.deadline`)
+        drives this instead of :meth:`search`: each yielded snapshot
+        carries the best answers so far plus the frontier bound, so a
+        consumer can stop at any wall-clock deadline and report the
+        snapshot's ``gap`` as the SLA field.  Fully consuming the
+        generator is equivalent to :meth:`search` (branch-and-bound
+        algorithm): the final snapshot holds the same answers, proven
+        results enter the cross-query answer cache, and cache hits and
+        unmatchable queries yield a single already-proven snapshot.
+
+        Args:
+            query_text: whitespace-separated keywords.
+            k: number of answers (defaults to the configured k).
+            diameter: answer diameter cap (defaults to configured D).
+            engine: ``"arena"`` or ``"object"`` (defaults to configured).
+            heartbeat: yield a snapshot every ``heartbeat`` queue pops
+                even without top-k improvement (0 = improvements only);
+                deadline consumers use this to bound overshoot.
+            observer: optional mutable object; when given, its ``stats``
+                attribute is set to the run's :class:`SearchStats` as
+                soon as it exists.  Concurrent serving threads read
+                per-request stats through this instead of the
+                last-writer-wins :attr:`last_search_stats`.
+        """
+        params = self._resolve_params(k, diameter, engine)
+        match = self._match_for(query_text)
+        if params.semantics == "or":
+            matchable = any(match.per_keyword.values())
+        else:
+            matchable = match.matchable
+        if not matchable:
+            # Provably no answer exists: a single, already-final
+            # snapshot (mirrors search() returning [] without probing
+            # or populating the answer cache).
+            stats = SearchStats()
+            if observer is not None:
+                observer.stats = stats
+            self.last_search_stats = stats
+            self._publish_cache_stats()
+            yield AnytimeSnapshot(
+                answers=[], frontier_bound=float("-inf"),
+                proven_optimal=True,
+            )
+            return
+        cache_key = None
+        lookup_seconds = 0.0
+        if self._answer_cache.enabled:
+            from .storage.answer_cache import answer_cache_key
+            start = time.perf_counter()
+            cache_key = answer_cache_key(
+                tuple(match.keywords), params, self._index_fingerprint()
+            )
+            cached = self._answer_cache.lookup(
+                cache_key, self.graph.version, self._ranking_epoch
+            )
+            lookup_seconds = time.perf_counter() - start
+            if cached is not None:
+                stats = SearchStats()
+                stats.served_from_cache = True
+                stats.cache_lookup_seconds = lookup_seconds
+                stats.answers_found = len(cached)
+                if observer is not None:
+                    observer.stats = stats
+                self.last_search_stats = stats
+                self._publish_cache_stats()
+                yield AnytimeSnapshot(
+                    answers=cached, frontier_bound=float("-inf"),
+                    proven_optimal=True,
+                )
+                return
+        scorer = self.scorer_for(match)
+        search = BranchAndBoundSearch(
+            self.graph, scorer, match, params, index=self.graph_index
+        )
+        if observer is not None:
+            observer.stats = search.stats
+        # The versions the result would be proven against — captured
+        # before the search so a concurrent mutation can only make the
+        # stored guard *stale* (invalidated at next lookup), never wrong.
+        version = self.graph.version
+        epoch = self._ranking_epoch
+        try:
+            for snapshot in search.snapshots(heartbeat=heartbeat):
+                if (
+                    snapshot.proven_optimal
+                    and search.last_proven
+                    and cache_key is not None
+                ):
+                    self._answer_cache.store(
+                        cache_key, version, epoch, list(snapshot.answers)
+                    )
+                yield snapshot
+        finally:
+            # Runs both on normal exhaustion and when a deadline-bounded
+            # consumer abandons the generator mid-search.
+            search.stats.cache_lookup_seconds += lookup_seconds
+            self.last_search_stats = search.stats
+            self._publish_cache_stats(scorer)
+
+    def answer_key(
+        self,
+        query_text: str,
+        k: Optional[int] = None,
+        diameter: Optional[int] = None,
+        engine: Optional[str] = None,
+    ):
+        """The canonical answer-cache key for one search invocation.
+
+        Two raw query strings that analyze to the same keyword sequence
+        under the same resolved parameters and index provenance share a
+        key; the serving front end uses it for single-flight dedup of
+        identical in-flight queries.
+        """
+        from .storage.answer_cache import answer_cache_key
+        match = self._match_for(query_text)
+        params = self._resolve_params(k, diameter, engine)
+        return answer_cache_key(
+            tuple(match.keywords), params, self._index_fingerprint()
+        )
+
+    def _resolve_params(
+        self,
+        k: Optional[int],
+        diameter: Optional[int],
+        engine: Optional[str],
+    ) -> SearchParams:
+        """The configured SearchParams with per-call overrides applied.
+
+        ``dataclasses.replace`` keeps every configured field (including
+        any added later) instead of re-listing them by hand.
+        """
+        overrides = {}
+        if k is not None:
+            overrides["k"] = k
+        if diameter is not None:
+            overrides["diameter"] = diameter
+        if engine is not None:
+            overrides["engine"] = engine
+        return dataclasses.replace(self.search_params, **overrides)
+
     def _index_fingerprint(self):
         """Structural identity of the attached graph index (or None)."""
         index = self.graph_index
@@ -365,13 +529,20 @@ class CIRankSystem:
         self.last_cache_stats = stats
 
     def _match_for(self, query_text: str) -> MatchSets:
-        """Match sets for a query, memoized per (query, graph version)."""
+        """Match sets for a query, memoized per (query, graph version).
+
+        Thread-safe: concurrent searches from the serving executor pool
+        share the memo, and the lock covers the whole get-compute-put
+        sequence (matching is cheap — inverted-index lookups — so
+        serializing it is preferable to racing duplicate inserts).
+        """
         key = (query_text, self.graph.version)
-        match = self._match_cache.get(key)
-        if match is None:
-            match = self.matcher.match(query_text)
-            self._match_cache.put(key, match)
-        return match
+        with self._match_lock:
+            match = self._match_cache.get(key)
+            if match is None:
+                match = self.matcher.match(query_text)
+                self._match_cache.put(key, match)
+            return match
 
     # ------------------------------------------------------------- display
 

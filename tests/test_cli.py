@@ -21,6 +21,43 @@ class TestParser:
         assert args.json and args.load == "/tmp/d"
 
 
+class TestServingParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8377 and args.workers == 4
+        assert args.deadline_ms == 0.0 and not args.no_dedup
+        assert args.max_batch_size == 8 and args.heartbeat == 16
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--workers", "2", "--no-dedup",
+            "--deadline-ms", "50", "--max-wait-ms", "0",
+            "--load", "/tmp/dep", "--drain-seconds", "3",
+        ])
+        assert args.port == 0 and args.workers == 2 and args.no_dedup
+        assert args.deadline_ms == 50.0 and args.max_wait_ms == 0.0
+        assert args.load == "/tmp/dep" and args.drain_seconds == 3.0
+
+    def test_client_requires_an_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client"])
+
+    def test_client_actions_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "client", "--query", "x", "--stats",
+            ])
+
+    def test_client_search_flags(self):
+        args = build_parser().parse_args([
+            "client", "--query", "x", "--k", "3",
+            "--deadline-ms", "25", "--engine", "object", "--json",
+        ])
+        assert args.query == "x" and args.k == 3
+        assert args.deadline_ms == 25.0 and args.engine == "object"
+        assert args.json and not args.stats
+
+
 class TestSaveLoadFlow:
     def test_save_then_search(self, tmp_path, capsys):
         out = tmp_path / "deployment"
