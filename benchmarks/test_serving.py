@@ -18,9 +18,16 @@ recorded to ``BENCH_serving.json`` at the repository root:
   and (on enumerable random cases) to the differential oracle's
   exhaustive top-k.
 
+* **observability overhead** — the same mix served with tracing +
+  metrics at default sampling versus with both disabled; the p50
+  served latency must not regress more than 5% (plus a small absolute
+  slack for timer noise), keeping the instruments cheap enough to run
+  in production by default.
+
 Floors asserted here (the ISSUE's acceptance criteria): dedup
 throughput ≥5x on the 90%-duplicate mix, p99 deadline overshoot
-<50ms, exactness gates answer-for-answer.
+<50ms, exactness gates answer-for-answer, observability overhead
+within the 5% p50 envelope.
 """
 
 from __future__ import annotations
@@ -43,6 +50,9 @@ RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 #: Required floors (the ISSUE's acceptance criteria).
 MIN_DEDUP_SPEEDUP = 5.0
 MAX_P99_OVERSHOOT_MS = 50.0
+#: Observability-on p50 must stay within ratio * off + slack.
+MAX_OBS_P50_RATIO = 1.05
+OBS_P50_SLACK_MS = 2.0
 
 #: The duplicate-heavy mix: fraction of requests asking the hot query.
 DUPLICATE_FRACTION = 0.9
@@ -188,6 +198,47 @@ def _bench_overshoot() -> Dict[str, object]:
     }
 
 
+def _bench_overhead() -> Dict[str, object]:
+    """p50 served latency with observability on vs off, same mix.
+
+    Both legs run twice, interleaved, and each side keeps its best
+    run — the gate compares instrument cost, not scheduler noise.
+    The on-leg uses the serving defaults (trace sample 1.0, metrics
+    on), i.e. exactly what ``cirank serve`` ships with.
+    """
+    system = _fresh_system(answer_cache_size=0)
+    queries = _order_by_cost(system, _bench_queries(system))
+    mix = build_mix(queries, TOTAL_REQUESTS, 0.5, seed=13)
+
+    def leg(obs: bool):
+        params = ServingParams(
+            port=0, workers=4, max_wait_ms=1.0, heartbeat=4,
+            trace=obs, metrics=obs,
+        )
+        with InProcessServer(system, params) as server:
+            report = run_load(
+                server.host, server.port, mix, concurrency=8, k=5
+            )
+        assert report.errors == 0, "overhead leg must complete cleanly"
+        return report
+
+    reports = {"off": [leg(False)], "on": [leg(True)]}
+    reports["off"].append(leg(False))
+    reports["on"].append(leg(True))
+    p50_off = min(r.latency_ms["p50"] for r in reports["off"])
+    p50_on = min(r.latency_ms["p50"] for r in reports["on"])
+    tracer = reports["on"][-1].server_stats.get("tracer", {})
+    return {
+        "total_requests": TOTAL_REQUESTS,
+        "p50_off_ms": p50_off,
+        "p50_on_ms": p50_on,
+        "ratio": p50_on / p50_off if p50_off > 0 else 1.0,
+        "tracer": tracer,
+        "obs_on": reports["on"][-1].as_dict(),
+        "obs_off": reports["off"][-1].as_dict(),
+    }
+
+
 def _bench_exactness() -> Dict[str, object]:
     """Served results == direct search == differential oracle."""
     system = _fresh_system(answer_cache_size=64)
@@ -249,12 +300,14 @@ def test_serving_floors():
     """Dedup ≥5x on the 90%-dup mix; p99 overshoot <50ms; exactness."""
     dedup = _bench_dedup()
     overshoot = _bench_overshoot()
+    overhead = _bench_overhead()
     exactness = _bench_exactness()
     _record({
         "workload": "synthetic-dblp-serving",
         "scale": SCALE,
         "dedup": dedup,
         "deadline": overshoot,
+        "observability_overhead": overhead,
         "exactness": exactness,
     })
 
@@ -277,6 +330,12 @@ def test_serving_floors():
         f"hot cold {overshoot['hot_query_cold_ms']:.0f}ms)"
     )
     print(
+        f"obs overhead:      p50 {overhead['p50_off_ms']:.1f}ms off -> "
+        f"{overhead['p50_on_ms']:.1f}ms on "
+        f"({(overhead['ratio'] - 1) * 100:+.1f}%, "
+        f"{overhead['tracer'].get('spans_finished', 0)} spans)"
+    )
+    print(
         f"exactness:         {exactness['direct_checked']} direct + "
         f"{exactness['oracle_checked']} oracle-checked queries agree"
     )
@@ -291,6 +350,14 @@ def test_serving_floors():
     assert over["p99"] < MAX_P99_OVERSHOOT_MS, (
         f"deadline overshoot regressed: p99 {over['p99']:.1f}ms "
         f">= {MAX_P99_OVERSHOOT_MS}ms"
+    )
+    assert overhead["p50_on_ms"] <= (
+        overhead["p50_off_ms"] * MAX_OBS_P50_RATIO + OBS_P50_SLACK_MS
+    ), (
+        f"observability overhead regressed: p50 "
+        f"{overhead['p50_on_ms']:.2f}ms on vs "
+        f"{overhead['p50_off_ms']:.2f}ms off "
+        f"(ceiling {MAX_OBS_P50_RATIO}x + {OBS_P50_SLACK_MS}ms)"
     )
     assert exactness["oracle_checked"] >= 1, (
         "every oracle seed degenerated to a trivial case"

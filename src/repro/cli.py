@@ -12,8 +12,11 @@ Subcommands::
     cirank index info  --path /tmp/star_index
     cirank search   --index-path /tmp/star_index --query "..."
     cirank serve    --dataset imdb --port 8377 --deadline-ms 200
+    cirank serve    --capture-path /tmp/queries.jsonl --log-level debug
     cirank client   --query "halloran dunefort" --deadline-ms 50
     cirank client   --stats
+    cirank stats    --metrics
+    cirank replay   --log /tmp/queries.jsonl --rate 2 --gate p99_ms=500
 
 ``search`` runs a top-k query (over a freshly generated dataset or a
 saved deployment); ``evaluate`` runs the Fig. 8/9 comparison on a small
@@ -24,7 +27,10 @@ across worker processes) and ``index info`` inspects one without
 loading it — ``search --index-path`` then warm-starts from it.
 ``serve`` runs the long-lived asyncio front end (single-flight dedup,
 query batching, deadline-bounded anytime answers — ``docs/SERVING.md``)
-and ``client`` talks to it.
+and ``client`` talks to it.  ``stats`` scrapes a running daemon's
+counters, ``/metrics`` exposition, or slow-query span trees; ``replay``
+re-fires a captured workload log against a server at a multiple of its
+recorded rate and checks latency gates — ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -300,8 +306,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .config import ServingParams
+    from .obs import configure_logging
     from .serving import CIRankDaemon, ServingServer
 
+    configure_logging(args.log_level)
     if args.load:
         from .storage import load_system
         system = load_system(args.load)
@@ -321,6 +329,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         heartbeat=args.heartbeat,
         dedup=not args.no_dedup,
         drain_seconds=args.drain_seconds,
+        trace=not args.no_trace,
+        trace_sample=args.trace_sample,
+        slow_query_ms=args.slow_query_ms,
+        metrics=not args.no_metrics,
+        capture_path=args.capture_path,
     )
 
     async def run() -> None:
@@ -399,6 +412,100 @@ def _cmd_client(args: argparse.Namespace) -> int:
         + (f" ({', '.join(origin)})" if origin else "")
     )
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .serving import ServingClient, ServingRequestFailed
+
+    with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+        try:
+            if args.metrics:
+                print(client.metrics(), end="")
+            elif args.slow:
+                document = client.slow_queries()
+                print(json_module.dumps(document, indent=2, sort_keys=True))
+            else:
+                document = client.stats()
+                print(json_module.dumps(document, indent=2, sort_keys=True))
+        except ServingRequestFailed as exc:
+            print(f"request failed: {exc}", file=sys.stderr)
+            return 1
+        except ConnectionError as exc:
+            print(
+                f"cannot reach {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _parse_gates(specs: Sequence[str]) -> dict:
+    """Parse ``NAME=VALUE`` gate specs (p50_ms=20, error_rate=0.01)."""
+    gates = {}
+    for spec in specs:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            raise SystemExit(f"bad --gate {spec!r} (expected NAME=VALUE)")
+        try:
+            gates[name.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"bad --gate value in {spec!r}")
+    return gates
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .obs import configure_logging, read_query_log, replay
+
+    configure_logging(args.log_level)
+    records = read_query_log(args.log)
+    if not records:
+        print(f"no records in {args.log}", file=sys.stderr)
+        return 1
+    report = replay(
+        args.host,
+        args.port,
+        records,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        honor_deadlines=not args.no_deadlines,
+        gates=_parse_gates(args.gate) or None,
+        timeout=args.timeout,
+    )
+    if args.json:
+        print(json_module.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        latency = report.latency_ms
+        print(
+            f"replayed {report.total_requests} requests at "
+            f"{args.rate:g}x over {report.elapsed_seconds:.2f}s "
+            f"({report.throughput_qps:.1f} qps)"
+        )
+        if latency.get("count"):
+            print(
+                f"latency ms: p50={latency['p50']:.1f} "
+                f"p95={latency['p95']:.1f} p99={latency['p99']:.1f} "
+                f"max={latency['max']:.1f}"
+            )
+        lag = report.lag_ms
+        if lag.get("count"):
+            print(
+                f"schedule lag ms: p50={lag['p50']:.1f} "
+                f"p99={lag['p99']:.1f}"
+            )
+        print(
+            f"coalesced={report.coalesced} "
+            f"served_from_cache={report.served_from_cache} "
+            f"deadline_hit={report.deadline_hit} errors={report.errors}"
+        )
+        for name, count in sorted(report.error_classes.items()):
+            print(f"  error {name}: {count}")
+        for violation in report.gate_violations:
+            print(f"GATE VIOLATION: {violation}")
+    return 1 if report.gate_violations else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -554,6 +661,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-seconds", type=float, default=10.0,
         help="graceful-shutdown budget for in-flight queries",
     )
+    p_serve.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="stdlib logging level for the repro.* loggers",
+    )
+    p_serve.add_argument(
+        "--no-trace", action="store_true",
+        help="disable request span tracing",
+    )
+    p_serve.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="fraction of requests that get a span tree (0..1)",
+    )
+    p_serve.add_argument(
+        "--slow-query-ms", type=float, default=500.0,
+        help="root spans at/above this land in the GET /slow ring",
+    )
+    p_serve.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the /metrics registry",
+    )
+    p_serve.add_argument(
+        "--capture-path", default="",
+        help="rotating JSONL query log for capture + replay "
+             "(empty = capture off)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_client = sub.add_parser(
@@ -587,6 +720,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the raw response JSON"
     )
     p_client.set_defaults(func=_cmd_client)
+
+    p_stats = sub.add_parser(
+        "stats", help="scrape a running server's observability surfaces"
+    )
+    p_stats.add_argument("--host", default="127.0.0.1")
+    p_stats.add_argument("--port", type=int, default=8377)
+    p_stats.add_argument("--timeout", type=float, default=60.0)
+    stats_view = p_stats.add_mutually_exclusive_group()
+    stats_view.add_argument(
+        "--metrics", action="store_true",
+        help="print the raw Prometheus text exposition (GET /metrics)",
+    )
+    stats_view.add_argument(
+        "--slow", action="store_true",
+        help="print the slow-query span trees (GET /slow)",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_replay = sub.add_parser(
+        "replay", help="re-drive a captured query log against a server"
+    )
+    p_replay.add_argument(
+        "--log", required=True,
+        help="capture JSONL written by cirank serve --capture-path",
+    )
+    p_replay.add_argument("--host", default="127.0.0.1")
+    p_replay.add_argument("--port", type=int, default=8377)
+    p_replay.add_argument("--timeout", type=float, default=120.0)
+    p_replay.add_argument(
+        "--rate", type=float, default=1.0,
+        help="speed multiplier over the recorded arrival pace",
+    )
+    p_replay.add_argument("--concurrency", type=int, default=8)
+    p_replay.add_argument(
+        "--no-deadlines", action="store_true",
+        help="strip recorded deadlines so every answer is proven",
+    )
+    p_replay.add_argument(
+        "--gate", action="append", default=[], metavar="NAME=VALUE",
+        help="latency/error ceiling, repeatable (p50_ms=20, p99_ms=500, "
+             "error_rate=0.01); any violation exits 1",
+    )
+    p_replay.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+    )
+    p_replay.add_argument(
+        "--json", action="store_true", help="print the raw report JSON"
+    )
+    p_replay.set_defaults(func=_cmd_replay)
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate one of the paper's experiments"

@@ -152,6 +152,23 @@ class ServingParams:
         max_request_bytes: request-body size limit (HTTP 413 beyond it).
         drain_seconds: graceful-shutdown budget for in-flight queries
             and open connections.
+        trace: enable query tracing (trace-id'd span trees and the
+            slow-query ring; :mod:`repro.obs.trace`).  Off, requests
+            carry no spans and ``trace_id`` is null in responses.
+        trace_sample: fraction of requests traced (1.0 = all); an
+            unsampled request costs one RNG draw.
+        slow_query_ms: root spans at or above this duration are dumped
+            (full span tree) into the slow-query ring and logged at
+            WARNING.
+        slow_log_size: slow-query ring capacity (oldest dumps evicted).
+        metrics: enable the metrics registry and ``GET /metrics``
+            (Prometheus text exposition; :mod:`repro.obs.metrics`).
+        capture_path: when non-empty, append one JSONL record per
+            accepted request to this rotating workload log
+            (:mod:`repro.obs.workload`); the audit invariant extends to
+            ``logged == received``.
+        capture_max_bytes: rotate the capture log at this size.
+        capture_backups: rotated generations kept (``.1`` … ``.N``).
     """
 
     host: str = "127.0.0.1"
@@ -164,6 +181,14 @@ class ServingParams:
     dedup: bool = True
     max_request_bytes: int = 1 << 20
     drain_seconds: float = 10.0
+    trace: bool = True
+    trace_sample: float = 1.0
+    slow_query_ms: float = 500.0
+    slow_log_size: int = 64
+    metrics: bool = True
+    capture_path: str = ""
+    capture_max_bytes: int = 16 << 20
+    capture_backups: int = 3
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -188,6 +213,22 @@ class ServingParams:
             raise ReproError("drain_seconds must be >= 0")
         if not 0 <= self.port <= 65535:
             raise ReproError(f"port must be in [0, 65535], got {self.port}")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ReproError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample}"
+            )
+        if self.slow_query_ms < 0:
+            raise ReproError(
+                f"slow_query_ms must be >= 0, got {self.slow_query_ms}"
+            )
+        if self.slow_log_size < 0:
+            raise ReproError(
+                f"slow_log_size must be >= 0, got {self.slow_log_size}"
+            )
+        if self.capture_max_bytes < 1:
+            raise ReproError("capture_max_bytes must be >= 1")
+        if self.capture_backups < 0:
+            raise ReproError("capture_backups must be >= 0")
 
 
 def _table2_weights() -> Dict[Tuple[str, str], float]:

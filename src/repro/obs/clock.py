@@ -1,0 +1,91 @@
+"""The observability timebase: one injectable monotonic clock.
+
+Before this module existed every layer picked its own timer —
+:mod:`repro.serving.deadline` used ``time.monotonic`` while
+:mod:`repro.serving.loadgen` used ``time.perf_counter`` — so a trace
+span, a deadline check, and a benchmark latency could disagree about
+how long the same request took.  Everything observability-adjacent now
+reads one :class:`Clock`:
+
+* :meth:`Clock.now` — monotonic seconds (``time.perf_counter``: the
+  highest-resolution monotonic timer the stdlib offers), used for
+  durations, deadlines, and latency measurements;
+* :meth:`Clock.wall` — epoch seconds (``time.time``), used only where
+  an absolute timestamp must survive the process (workload-log arrival
+  times, span start timestamps in slow-query dumps).
+
+Tests inject a :class:`ManualClock` and advance it explicitly, so
+span durations, slow-query thresholds, and replay schedules are exact
+instead of sleep-and-hope.  Production code obtains the process-wide
+default via :func:`get_clock` (or accepts a ``clock=None`` argument
+defaulting to it); :func:`set_clock` swaps it for a whole process —
+useful in harnesses, not meant for the serving hot path.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """The two-readings timebase every observability consumer shares."""
+
+    def now(self) -> float:
+        """Monotonic seconds — durations, deadlines, latencies."""
+        raise NotImplementedError
+
+    def wall(self) -> float:
+        """Epoch seconds — durable timestamps (logs, capture records)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The production clock: ``perf_counter`` + ``time.time``."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def wall(self) -> float:
+        return time.time()
+
+
+class ManualClock(Clock):
+    """A test clock advanced explicitly.
+
+    ``now()`` and ``wall()`` move in lockstep from configurable
+    starting points, so a test can assert exact durations and exact
+    capture timestamps without sleeping.
+    """
+
+    def __init__(self, start: float = 0.0, wall_start: float = 0.0) -> None:
+        self._now = float(start)
+        self._wall = float(wall_start)
+
+    def now(self) -> float:
+        return self._now
+
+    def wall(self) -> float:
+        return self._wall
+
+    def advance(self, seconds: float) -> None:
+        """Move both readings forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"cannot rewind a clock ({seconds})")
+        self._now += seconds
+        self._wall += seconds
+
+
+_DEFAULT_CLOCK: Clock = SystemClock()
+
+
+def get_clock() -> Clock:
+    """The process-wide default clock."""
+    return _DEFAULT_CLOCK
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Replace the process-wide default; returns the previous one."""
+    global _DEFAULT_CLOCK
+    previous = _DEFAULT_CLOCK
+    _DEFAULT_CLOCK = clock
+    return previous

@@ -1,0 +1,57 @@
+"""Logging setup for the serving stack (``cirank serve --log-level``).
+
+Every module in ``repro/`` gets its logger the stdlib way
+(``logging.getLogger(__name__)``); this module owns the *root
+configuration* for processes we control end-to-end — the ``cirank``
+CLI entry points.  Library code never calls :func:`configure_logging`;
+an embedding application keeps full control of handlers.
+
+The format puts the logger name first because that is how serving logs
+are grepped (``repro.serving.daemon``, ``repro.obs.trace``), and
+includes milliseconds because everything interesting in a serving
+daemon happens between whole seconds.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, Union
+
+LOG_FORMAT = (
+    "%(asctime)s.%(msecs)03d %(levelname)-7s %(name)s: %(message)s"
+)
+DATE_FORMAT = "%H:%M:%S"
+
+
+def parse_level(level: Union[str, int]) -> int:
+    """``"debug"``/``"INFO"``/numeric → a stdlib logging level."""
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def configure_logging(
+    level: Union[str, int] = "info",
+    stream: Optional[object] = None,
+) -> None:
+    """Configure the ``repro`` logger tree for a CLI process.
+
+    Idempotent: reconfiguring replaces the handler installed by a
+    previous call instead of stacking duplicates.  Only the ``repro``
+    subtree is touched — the root logger stays whatever the embedding
+    process made it.
+    """
+    resolved = parse_level(level)
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_cirank_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, DATE_FORMAT))
+    handler._cirank_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(resolved)
+    root.propagate = False

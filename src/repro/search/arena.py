@@ -827,6 +827,7 @@ def arena_snapshots(search, heartbeat: int = 0):
         if heartbeat and ticks % heartbeat == 0:
             # Heartbeat snapshot (see BranchAndBoundSearch.snapshots):
             # the head's bound admissibly caps everything undiscovered.
+            stats.snapshots_yielded += 1
             yield AnytimeSnapshot(
                 answers=top_k.as_list(),
                 frontier_bound=ub,
@@ -850,6 +851,7 @@ def arena_snapshots(search, heartbeat: int = 0):
                 continue
         if top_k.revision != last_revision:
             last_revision = top_k.revision
+            stats.snapshots_yielded += 1
             yield AnytimeSnapshot(
                 answers=top_k.as_list(),
                 frontier_bound=ub,
@@ -865,6 +867,7 @@ def arena_snapshots(search, heartbeat: int = 0):
     stats.arena_peak_bytes = arena.peak_bytes
     stats.arena_rollbacks = arena.rollbacks
     search.last_proven = proven
+    stats.snapshots_yielded += 1
     yield AnytimeSnapshot(
         answers=top_k.as_list(),
         frontier_bound=frontier,

@@ -129,6 +129,10 @@ class SearchStats:
         served_from_cache: True when the system answered from the
             cross-query cache without running the search at all (every
             other counter is then zero).
+        snapshots_yielded: anytime snapshots the generator produced
+            (improvements + heartbeats + the final one); the serving
+            layer reads it off slow-query span dumps to judge whether a
+            deadline overshoot came from a too-sparse heartbeat.
         engine: candidate representation that ran — ``"arena"`` or
             ``"object"`` (eager evaluation always reports "object").
         arena_candidates: candidate rows live in the arena at the end
@@ -159,6 +163,7 @@ class SearchStats:
     score_seconds: float = 0.0
     cache_lookup_seconds: float = 0.0
     served_from_cache: bool = False
+    snapshots_yielded: int = 0
     engine: str = "object"
     arena_candidates: int = 0
     arena_peak_bytes: int = 0
@@ -408,6 +413,7 @@ class BranchAndBoundSearch:
                 # Heartbeat snapshot: the head's bound is an admissible
                 # cap on everything undiscovered, so the gap certificate
                 # is valid mid-search too.
+                stats.snapshots_yielded += 1
                 yield AnytimeSnapshot(
                     answers=top_k.as_list(),
                     frontier_bound=ub,
@@ -434,6 +440,7 @@ class BranchAndBoundSearch:
                     continue
             if top_k.revision != last_revision:
                 last_revision = top_k.revision
+                stats.snapshots_yielded += 1
                 yield AnytimeSnapshot(
                     answers=top_k.as_list(),
                     frontier_bound=ub,
@@ -445,6 +452,7 @@ class BranchAndBoundSearch:
             stats.expand_seconds += time.perf_counter() - start
 
         self.last_proven = proven
+        stats.snapshots_yielded += 1
         yield AnytimeSnapshot(
             answers=top_k.as_list(),
             frontier_bound=frontier,

@@ -16,6 +16,10 @@ Layers (each its own module, composable without the ones above it):
 * :mod:`~repro.serving.loadgen` — load generator + in-process server
   harness backing ``BENCH_serving.json``.
 
+Observability (:mod:`repro.obs`) threads through every layer: request
+spans with trace ids, the ``/metrics`` registry, and the rotating
+workload capture log — see ``docs/OBSERVABILITY.md``.
+
 See ``docs/SERVING.md`` for the architecture narrative and
 ``cirank serve`` / ``cirank client`` for the CLI entry points.
 """
@@ -25,7 +29,14 @@ from .client import ServingClient, ServingRequestFailed
 from .daemon import CIRankDaemon, DrainingError
 from .deadline import DeadlineOutcome, run_with_deadline
 from .dedup import SingleFlight
-from .loadgen import InProcessServer, LoadgenReport, build_mix, run_load
+from .loadgen import (
+    InProcessServer,
+    LoadgenReport,
+    build_mix,
+    percentile,
+    run_load,
+    summarize,
+)
 from .server import ServingServer, serve
 from .stats import ServingStats
 
@@ -42,7 +53,9 @@ __all__ = [
     "ServingStats",
     "SingleFlight",
     "build_mix",
+    "percentile",
     "run_load",
     "run_with_deadline",
     "serve",
+    "summarize",
 ]

@@ -25,10 +25,13 @@ deadline machinery in :mod:`repro.serving.deadline` bounds it instead).
 from __future__ import annotations
 
 import asyncio
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Tuple
 
 from .stats import ServingStats
+
+logger = logging.getLogger(__name__)
 
 #: Sentinel closing the dispatcher loop.
 _CLOSE = object()
@@ -42,6 +45,8 @@ class QueryBatcher:
         max_batch_size: maximum callables dispatched as one batch.
         max_wait_ms: how long a forming batch waits for companions.
         stats: optional :class:`ServingStats` receiving batch counters.
+        observe_batch: optional hook called with each dispatched batch's
+            size (the daemon points it at the batch-size histogram).
     """
 
     def __init__(
@@ -50,11 +55,13 @@ class QueryBatcher:
         max_batch_size: int = 8,
         max_wait_ms: float = 2.0,
         stats: Optional[ServingStats] = None,
+        observe_batch: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.workers = workers
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.stats = stats
+        self.observe_batch = observe_batch
         self._executor: Optional[ThreadPoolExecutor] = None
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
@@ -118,6 +125,9 @@ class QueryBatcher:
                 closing = await self._collect_companions(batch, loop)
             if self.stats is not None:
                 self.stats.record_batch(len(batch))
+            if self.observe_batch is not None:
+                self.observe_batch(len(batch))
+            logger.debug("dispatching batch of %d", len(batch))
             loop.run_in_executor(self._executor, self._run_batch, batch, loop)
             if closing:
                 return

@@ -95,6 +95,14 @@ class ServingClient:
         """``GET /health``."""
         return self._request("GET", "/health")
 
+    def metrics(self) -> str:
+        """``GET /metrics`` — raw Prometheus text exposition."""
+        return self._request("GET", "/metrics", raw=True)
+
+    def slow_queries(self) -> Dict[str, Any]:
+        """``GET /slow`` — recent slow-query span trees."""
+        return self._request("GET", "/slow")
+
     def shutdown(self) -> Dict[str, Any]:
         """``POST /shutdown`` — ask the server to drain and exit."""
         return self._request("POST", "/shutdown")
@@ -106,14 +114,15 @@ class ServingClient:
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
-    ) -> Dict[str, Any]:
+        raw: bool = False,
+    ) -> Any:
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         try:
-            return self._roundtrip(method, path, body, headers)
+            return self._roundtrip(method, path, body, headers, raw)
         except (
             http.client.NotConnected,
             http.client.BadStatusLine,
@@ -123,9 +132,9 @@ class ServingClient:
             # The persistent connection died (server restarted, idle
             # close); reconnect once and retry.
             self.close()
-            return self._roundtrip(method, path, body, headers)
+            return self._roundtrip(method, path, body, headers, raw)
 
-    def _roundtrip(self, method, path, body, headers) -> Dict[str, Any]:
+    def _roundtrip(self, method, path, body, headers, raw_text=False) -> Any:
         if self._conn is None:
             self._conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
@@ -135,6 +144,9 @@ class ServingClient:
         raw = response.read()
         if response.will_close:
             self.close()
+        if raw_text and 200 <= response.status < 300:
+            # Non-JSON endpoints (/metrics): hand back the body verbatim.
+            return raw.decode("utf-8")
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -30,11 +30,12 @@ in ``BENCH_serving.json``).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ..model.answer import RankedAnswer
+from ..obs.clock import Clock, get_clock
+from ..obs.trace import Span
 from ..search.branch_and_bound import SearchStats
 from ..system import CIRankSystem
 
@@ -89,19 +90,26 @@ def run_with_deadline(
     deadline_ms: float = 0.0,
     heartbeat: int = DEFAULT_HEARTBEAT,
     engine: Optional[str] = None,
+    span: Optional[Span] = None,
+    clock: Optional[Clock] = None,
 ) -> DeadlineOutcome:
     """Search with a wall-clock budget; return the best anytime answer.
 
     ``deadline_ms <= 0`` runs to proven completion (no budget).  Runs
-    synchronously — callers put it on an executor thread.
+    synchronously — callers put it on an executor thread.  ``span``, if
+    given, is the execution's trace span: the outcome's verdict fields
+    land on it and the search opens its own child under it.  The
+    deadline is measured on the injectable obs ``clock`` — the same
+    timebase traces and benchmarks use.
     """
     observer = SearchObserver()
     budget = deadline_ms / 1000.0 if deadline_ms > 0 else None
-    start = time.monotonic()
+    clk = clock if clock is not None else get_clock()
+    start = clk.now()
     generator = system.search_anytime(
         query_text, k=k, diameter=diameter, engine=engine,
         heartbeat=heartbeat if budget is not None else 0,
-        observer=observer,
+        observer=observer, span=span,
     )
     last = None
     deadline_hit = False
@@ -113,12 +121,12 @@ def run_with_deadline(
                 # that finished at (or just past) the budget still
                 # carries its certificate.
                 break
-            if budget is not None and time.monotonic() - start >= budget:
+            if budget is not None and clk.now() - start >= budget:
                 deadline_hit = True
                 break
     finally:
         generator.close()
-    elapsed = time.monotonic() - start
+    elapsed = clk.now() - start
     assert last is not None, "search_anytime always yields a final snapshot"
     if last.proven_optimal:
         gap: Optional[float] = 0.0
@@ -127,6 +135,15 @@ def run_with_deadline(
     else:
         gap = None
     stats = observer.stats
+    if span is not None:
+        span.set_attributes({
+            "deadline_ms": deadline_ms,
+            "heartbeat": heartbeat,
+            "deadline_hit": deadline_hit,
+            "proven": last.proven_optimal,
+            "gap": gap,
+            "answers": len(last.answers),
+        })
     return DeadlineOutcome(
         answers=list(last.answers),
         proven=last.proven_optimal,

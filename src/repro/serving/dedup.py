@@ -29,7 +29,10 @@ locks because the loop serializes access.
 from __future__ import annotations
 
 import asyncio
+import logging
 from typing import Awaitable, Callable, Dict, Hashable, Tuple
+
+logger = logging.getLogger(__name__)
 
 
 class SingleFlight:
@@ -87,4 +90,5 @@ class SingleFlight:
         """
         pending = list(self._flights.values())
         if pending:
+            logger.info("draining %d in-flight flights", len(pending))
             await asyncio.gather(*pending, return_exceptions=True)

@@ -21,25 +21,33 @@ exercise the real network path without managing a subprocess.
 from __future__ import annotations
 
 import asyncio
+import logging
 import random
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from queue import Empty, SimpleQueue
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..config import ServingParams
+from ..obs.clock import get_clock
 from ..system import CIRankSystem
 from .client import ServingClient
 from .daemon import CIRankDaemon
 from .server import ServingServer
 
+logger = logging.getLogger(__name__)
+
 
 def percentile(values: Sequence[float], p: float) -> float:
-    """The ``p``-th percentile (0..100) with linear interpolation."""
+    """The ``p``-th percentile (0..100) with linear interpolation.
+
+    An empty sequence yields ``nan`` rather than raising: an all-failed
+    load run must still produce a report (with its error-class counts),
+    not die summarizing it.
+    """
     if not values:
-        raise ValueError("percentile of an empty sequence")
+        return float("nan")
     if not 0 <= p <= 100:
         raise ValueError(f"percentile must be in [0, 100], got {p}")
     ordered = sorted(values)
@@ -97,6 +105,7 @@ class LoadgenReport:
     deadline_hit: int
     served_from_cache: int
     errors: int
+    error_classes: Dict[str, int] = field(default_factory=dict)
     server_stats: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -111,6 +120,7 @@ class LoadgenReport:
             "deadline_hit": self.deadline_hit,
             "served_from_cache": self.served_from_cache,
             "errors": self.errors,
+            "error_classes": dict(self.error_classes),
             "server_stats": self.server_stats,
         }
 
@@ -136,6 +146,7 @@ def run_load(
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    clock = get_clock()
     work: SimpleQueue = SimpleQueue()
     for query in mix:
         work.put(query)
@@ -149,13 +160,16 @@ def run_load(
                     query = work.get_nowait()
                 except Empty:
                     return
-                t0 = time.perf_counter()
+                t0 = clock.now()
                 try:
                     response = client.search(
                         query, k=k, deadline_ms=deadline_ms, engine=engine
                     )
                 except Exception as exc:
-                    record = {"error": str(exc)}
+                    record = {"error": type(exc).__name__}
+                    logger.warning(
+                        "request failed: %s: %s", type(exc).__name__, exc
+                    )
                 else:
                     record = {
                         "coalesced": response["coalesced"],
@@ -163,20 +177,24 @@ def run_load(
                         "served_from_cache": response["served_from_cache"],
                         "elapsed_ms": response["elapsed_ms"],
                     }
-                record["latency_ms"] = (time.perf_counter() - t0) * 1000.0
+                record["latency_ms"] = (clock.now() - t0) * 1000.0
                 with records_lock:
                     records.append(record)
 
-    started = time.perf_counter()
+    started = clock.now()
     with ThreadPoolExecutor(
         max_workers=concurrency, thread_name_prefix="loadgen"
     ) as pool:
         futures = [pool.submit(worker) for _ in range(concurrency)]
         for future in futures:
             future.result()
-    elapsed = time.perf_counter() - started
+    elapsed = clock.now() - started
 
     ok = [r for r in records if "error" not in r]
+    error_classes: Dict[str, int] = {}
+    for r in records:
+        if "error" in r:
+            error_classes[r["error"]] = error_classes.get(r["error"], 0) + 1
     latencies = [r["latency_ms"] for r in ok]
     overshoots = [
         max(0.0, r["elapsed_ms"] - deadline_ms)
@@ -192,17 +210,19 @@ def run_load(
         concurrency=concurrency,
         elapsed_seconds=elapsed,
         throughput_qps=len(ok) / elapsed if elapsed > 0 else 0.0,
-        latency_ms=_summary(latencies),
-        overshoot_ms=_summary(overshoots),
+        latency_ms=summarize(latencies),
+        overshoot_ms=summarize(overshoots),
         coalesced=sum(1 for r in ok if r["coalesced"]),
         deadline_hit=sum(1 for r in ok if r["deadline_hit"]),
         served_from_cache=sum(1 for r in ok if r["served_from_cache"]),
         errors=len(records) - len(ok),
+        error_classes=error_classes,
         server_stats=server_stats,
     )
 
 
-def _summary(values: List[float]) -> Dict[str, float]:
+def summarize(values: List[float]) -> Dict[str, float]:
+    """count/mean/percentile summary (``{"count": 0}`` when empty)."""
     if not values:
         return {"count": 0}
     return {

@@ -11,6 +11,9 @@ Routes:
   answer document, 400 on a malformed request, 503 while draining.
 * ``GET /stats`` — serving counters + answer-cache counters.
 * ``GET /health`` — liveness document (status, graph version, sizes).
+* ``GET /metrics`` — the metrics registry in Prometheus text format
+  (404 when metrics are disabled).
+* ``GET /slow`` — recent slow-query span trees (the tracer's ring).
 * ``POST /shutdown`` — begin graceful shutdown: stop accepting new
   searches, drain in-flight ones (bounded by
   :attr:`repro.config.ServingParams.drain_seconds`), then exit
@@ -19,9 +22,10 @@ Routes:
 Protocol subset: ``Content-Length`` bodies only (no chunked requests),
 keep-alive by default, ``Connection: close`` honored, request body
 capped at :attr:`~repro.config.ServingParams.max_request_bytes` (413
-beyond it).  Responses always carry ``Content-Length`` and
-``application/json`` bodies — errors included, as
-``{"error": "..."}``.
+beyond it).  Responses always carry ``Content-Length``; every route
+speaks ``application/json`` — errors included, as ``{"error": "..."}``
+— except ``/metrics``, whose exposition is ``text/plain`` per the
+Prometheus convention.
 
 Graceful shutdown keeps the audit invariants intact: the listener
 closes first, in-flight requests finish (their connection tasks are
@@ -32,10 +36,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from typing import Dict, Optional, Set, Tuple
 
 from ..exceptions import BadRequestError
 from .daemon import CIRankDaemon, DrainingError
+
+logger = logging.getLogger(__name__)
 
 #: Cap on the request head (request line + headers) — anti-abuse.
 _MAX_HEAD_BYTES = 16 * 1024
@@ -83,6 +90,9 @@ class ServingServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.params.host, self.params.port
         )
+        logger.info(
+            "listening on %s:%d", self.params.host, self.port
+        )
 
     async def serve_until_shutdown(self) -> None:
         """Block until ``POST /shutdown`` (or :meth:`request_shutdown`)."""
@@ -104,6 +114,7 @@ class ServingServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+            logger.info("listener closed; draining connections")
         pending = [task for task in self._connections if not task.done()]
         if pending:
             _, unfinished = await asyncio.wait(
@@ -112,6 +123,10 @@ class ServingServer:
             for task in unfinished:
                 task.cancel()
             if unfinished:
+                logger.warning(
+                    "drain budget (%.1fs) expired; cancelled %d connections",
+                    self.params.drain_seconds, len(unfinished),
+                )
                 await asyncio.gather(*unfinished, return_exceptions=True)
         await self.daemon.stop()
 
@@ -247,6 +262,17 @@ class ServingServer:
             if method != "GET":
                 raise _HttpError(405, "use GET /health")
             return 200, self.daemon.health_payload()
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "use GET /metrics")
+            text = self.daemon.metrics_text()
+            if text is None:
+                raise _HttpError(404, "metrics are disabled")
+            return 200, text
+        if path == "/slow":
+            if method != "GET":
+                raise _HttpError(405, "use GET /slow")
+            return 200, self.daemon.slow_queries_payload()
         if path == "/shutdown":
             if method != "POST":
                 raise _HttpError(405, "use POST /shutdown")
@@ -254,10 +280,17 @@ class ServingServer:
         raise _HttpError(404, f"no such route: {path}")
 
     async def _send(self, writer, status, payload, keep_alive=True) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        # A str payload is pre-rendered plain text (the /metrics
+        # exposition); everything else is a JSON document.
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"

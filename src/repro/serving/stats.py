@@ -7,6 +7,9 @@ with closed-form invariants (checked by ``tests/test_serving_server.py``):
 
 * ``received == executed + coalesced`` — every accepted search request
   either led a flight or joined one;
+* ``logged == received`` when workload capture is enabled — every
+  accepted request produced exactly one capture record (coalesced
+  waiters included); ``logged`` stays 0 with capture off;
 * ``cache_served <= executed`` — cache service is a property of an
   execution, counted once per flight, not per waiter;
 * ``batched_queries == executed`` — every execution went through the
@@ -34,6 +37,7 @@ COUNTER_FIELDS = (
     "batched_queries",
     "rejected",
     "errors",
+    "logged",
 )
 
 
@@ -57,6 +61,8 @@ class ServingStats:
     * ``rejected`` — requests refused before the search path (malformed,
       oversized, draining).
     * ``errors`` — requests that failed with an internal error.
+    * ``logged`` — capture records written to the workload log (equals
+      ``received`` when capture is on, 0 when off).
 
     Gauges: ``in_flight`` (flights currently executing) and its
     high-water mark ``peak_in_flight``.

@@ -60,6 +60,20 @@ from .text.matcher import KeywordMatcher, MatchSets
 #: Distinct (query, graph version) match sets kept hot per system.
 MATCH_CACHE_SIZE = 256
 
+
+def _finish_search_span(span, stats: "SearchStats", outcome: str) -> None:
+    """Attach a run's full ``SearchStats`` to its trace span and close it.
+
+    Every field of the stats dataclass — phase timers included — becomes
+    a span attribute, so a slow-query dump answers "where did the time
+    go" without a re-run.  No-op when tracing is off (``span is None``).
+    """
+    if span is None:
+        return
+    span.set_attribute("outcome", outcome)
+    span.set_attributes(dataclasses.asdict(stats))
+    span.finish()
+
 #: Default capacity of the cross-query answer cache (proven top-k
 #: results reused across repeated searches; 0 disables).
 ANSWER_CACHE_SIZE = 256
@@ -369,6 +383,7 @@ class CIRankSystem:
         engine: Optional[str] = None,
         heartbeat: int = 0,
         observer: Optional[object] = None,
+        span: Optional[object] = None,
     ):
         """Anytime top-k search: a generator of :class:`AnytimeSnapshot`.
 
@@ -395,7 +410,13 @@ class CIRankSystem:
                 soon as it exists.  Concurrent serving threads read
                 per-request stats through this instead of the
                 last-writer-wins :attr:`last_search_stats`.
+            span: optional parent trace span
+                (:class:`repro.obs.trace.Span`); a ``search`` child is
+                opened under it and the run's :class:`SearchStats` —
+                phase timers included — land on that child as
+                attributes when the generator closes.
         """
+        search_span = span.child("search") if span is not None else None
         params = self._resolve_params(k, diameter, engine)
         match = self._match_for(query_text)
         if params.semantics == "or":
@@ -411,6 +432,7 @@ class CIRankSystem:
                 observer.stats = stats
             self.last_search_stats = stats
             self._publish_cache_stats()
+            _finish_search_span(search_span, stats, "unmatchable")
             yield AnytimeSnapshot(
                 answers=[], frontier_bound=float("-inf"),
                 proven_optimal=True,
@@ -437,6 +459,7 @@ class CIRankSystem:
                     observer.stats = stats
                 self.last_search_stats = stats
                 self._publish_cache_stats()
+                _finish_search_span(search_span, stats, "cache_hit")
                 yield AnytimeSnapshot(
                     answers=cached, frontier_bound=float("-inf"),
                     proven_optimal=True,
@@ -470,6 +493,7 @@ class CIRankSystem:
             search.stats.cache_lookup_seconds += lookup_seconds
             self.last_search_stats = search.stats
             self._publish_cache_stats(scorer)
+            _finish_search_span(search_span, search.stats, "search")
 
     def answer_key(
         self,

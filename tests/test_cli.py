@@ -58,6 +58,61 @@ class TestServingParsers:
         assert args.json and not args.stats
 
 
+class TestObservabilityParsers:
+    def test_serve_obs_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.log_level == "info" and not args.no_trace
+        assert args.trace_sample == 1.0 and args.slow_query_ms == 500.0
+        assert not args.no_metrics and args.capture_path == ""
+
+    def test_serve_obs_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--no-trace", "--no-metrics", "--log-level", "debug",
+            "--trace-sample", "0.25", "--slow-query-ms", "100",
+            "--capture-path", "/tmp/cap.jsonl",
+        ])
+        assert args.no_trace and args.no_metrics
+        assert args.log_level == "debug" and args.trace_sample == 0.25
+        assert args.slow_query_ms == 100.0
+        assert args.capture_path == "/tmp/cap.jsonl"
+
+    def test_stats_views_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--metrics", "--slow"])
+
+    def test_stats_flags(self):
+        args = build_parser().parse_args(["stats", "--metrics"])
+        assert args.metrics and not args.slow
+        args = build_parser().parse_args(["stats", "--slow"])
+        assert args.slow and not args.metrics
+
+    def test_replay_requires_log(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay"])
+
+    def test_replay_flags(self):
+        args = build_parser().parse_args([
+            "replay", "--log", "/tmp/cap.jsonl", "--rate", "2",
+            "--concurrency", "4", "--no-deadlines",
+            "--gate", "p99_ms=500", "--gate", "error_rate=0.01",
+        ])
+        assert args.log == "/tmp/cap.jsonl" and args.rate == 2.0
+        assert args.concurrency == 4 and args.no_deadlines
+        assert args.gate == ["p99_ms=500", "error_rate=0.01"]
+
+    def test_gate_specs_parse(self):
+        from repro.cli import _parse_gates
+        gates = _parse_gates(["p50_ms=20", "error_rate=0.01"])
+        assert gates == {"p50_ms": 20.0, "error_rate": 0.01}
+
+    def test_bad_gate_specs_exit(self):
+        from repro.cli import _parse_gates
+        with pytest.raises(SystemExit):
+            _parse_gates(["p50_ms"])
+        with pytest.raises(SystemExit):
+            _parse_gates(["p50_ms=fast"])
+
+
 class TestSaveLoadFlow:
     def test_save_then_search(self, tmp_path, capsys):
         out = tmp_path / "deployment"

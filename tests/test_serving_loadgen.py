@@ -1,0 +1,83 @@
+"""Tests for the load generator's summary math and failure reporting.
+
+The regression being pinned: a run where *every* request fails must
+still produce a report — ``percentile`` of an empty sample is ``nan``,
+``summarize`` collapses to ``{"count": 0}``, and the failures come back
+as exception-class counts instead of crashing the summary.
+"""
+
+import math
+
+import pytest
+
+from repro.serving import (
+    LoadgenReport,
+    build_mix,
+    percentile,
+    run_load,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_empty_sample_is_nan_not_a_crash(self):
+        assert math.isnan(percentile([], 50))
+        assert math.isnan(percentile([], 99))
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_linear_interpolation(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0) == 10.0
+        assert percentile(values, 100) == 40.0
+        assert percentile(values, 50) == pytest.approx(25.0)
+
+    def test_out_of_range_p_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSummarize:
+    def test_empty_is_count_zero(self):
+        assert summarize([]) == {"count": 0}
+
+    def test_summary_shape(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["p50"] == pytest.approx(2.0)
+        assert summary["max"] == 3.0
+
+
+class TestBuildMix:
+    def test_duplicate_fraction_shapes_the_mix(self):
+        mix = build_mix(["hot", "a", "b"], total=10, duplicate_fraction=0.8)
+        assert len(mix) == 10
+        assert mix.count("hot") == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_mix([], 10, 0.5)
+        with pytest.raises(ValueError):
+            build_mix(["q"], 0, 0.5)
+        with pytest.raises(ValueError):
+            build_mix(["q"], 10, 1.5)
+
+
+class TestAllFailedRun:
+    def test_unreachable_server_reports_error_classes(self):
+        # Nothing listens on this port: every request raises, and the
+        # report must come back whole instead of dying in percentile().
+        report = run_load(
+            "127.0.0.1", 1, ["q one", "q two"], concurrency=2, timeout=0.5
+        )
+        assert isinstance(report, LoadgenReport)
+        assert report.errors == 2
+        assert report.total_requests == 2
+        assert sum(report.error_classes.values()) == 2
+        assert all(name for name in report.error_classes)
+        assert report.latency_ms == {"count": 0}
+        assert report.overshoot_ms == {"count": 0}
+        document = report.as_dict()
+        assert document["error_classes"] == report.error_classes
