@@ -94,6 +94,15 @@ def _print_search_stats(system: CIRankSystem) -> None:
                 print(f"  candidates:      {stats.arena_candidates}")
                 print(f"  peak bytes:      {stats.arena_peak_bytes}")
                 print(f"  rollbacks:       {stats.arena_rollbacks}")
+            elif stats.engine == "sharded":
+                print(f"  shard fanout:    {stats.shard_fanout}")
+                print(
+                    f"  terminated:      {stats.shards_terminated_early}"
+                )
+                walls = " ".join(
+                    f"{wall:.4f}s" for wall in stats.shard_wall_seconds
+                )
+                print(f"  shard walls:     {walls or '-'}")
     caches = dict(system.last_cache_stats or {})
     answers_snap = caches.pop("answers", None)
     if answers_snap is not None:
@@ -164,7 +173,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     elif args.star_index and system.graph_index is None:
         system.build_star_index(workers=args.workers)
     answers = system.search(
-        args.query, k=args.k, diameter=args.diameter, engine=args.engine
+        args.query, k=args.k, diameter=args.diameter, engine=args.engine,
+        shards=args.shards,
     )
     if not answers:
         print("no answers")
@@ -212,7 +222,9 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_index_info(args: argparse.Namespace) -> int:
-    from .storage import index_is_stale, read_manifest
+    from pathlib import Path
+
+    from .storage import index_is_stale, manifest_shards, read_manifest
     manifest = read_manifest(args.path)
     print(f"kind:        {manifest['kind']}")
     print(f"horizon:     {manifest['horizon']}")
@@ -221,7 +233,25 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
         print(f"max ball:    {manifest['max_ball'] or 'unlimited'}")
     print(f"node count:  {manifest['node_count']}")
     print(f"entries:     {manifest['entry_count']}")
-    print(f"shards:      {len(manifest['shards'])}")
+    records = manifest_shards(manifest)
+    # Legacy manifests recorded bare file names; fill sizes from disk
+    # so the per-shard table stays useful either way.
+    for record in records:
+        if record["bytes"] is None:
+            path = Path(args.path) / record["name"]
+            if path.exists():
+                record["bytes"] = path.stat().st_size
+    known = [r["bytes"] for r in records if r["bytes"] is not None]
+    total = f" ({sum(known)} bytes on disk)" if known else ""
+    print(f"shards:      {len(records)}{total}")
+    for record in records:
+        sources = record["sources"] if record["sources"] is not None else "?"
+        entries = record["entries"] if record["entries"] is not None else "?"
+        size = record["bytes"] if record["bytes"] is not None else "?"
+        print(
+            f"  {record['name']:<18} sources={sources:<7} "
+            f"entries={entries:<9} bytes={size}"
+        )
     print(f"graph sha:   {manifest['graph_sha'][:16]}…")
     print(f"rates sha:   {manifest['rates_sha'][:16]}…")
     if args.check:
@@ -543,10 +573,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", default="", help="saved deployment directory"
     )
     p_search.add_argument(
-        "--engine", choices=("arena", "object"), default="arena",
+        "--engine", choices=("arena", "object", "sharded"), default="arena",
         help="branch-and-bound candidate representation (the flat "
              "arena is the fast default; the object path is the "
-             "reference implementation kept for bisection)",
+             "reference implementation kept for bisection; sharded "
+             "partitions the graph at star-table cut points and runs "
+             "arena searches per shard with bound-based early "
+             "termination)",
+    )
+    p_search.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count for --engine sharded (defaults to the "
+             "configured count; ignored by the other engines)",
     )
     p_search.add_argument(
         "--json", action="store_true", help="also print the ranking as JSON"
@@ -714,7 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-query deadline override",
     )
     p_client.add_argument(
-        "--engine", choices=("arena", "object"), default=None
+        "--engine", choices=("arena", "object", "sharded"), default=None
     )
     p_client.add_argument(
         "--json", action="store_true", help="print the raw response JSON"

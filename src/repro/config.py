@@ -97,9 +97,15 @@ class SearchParams:
             ``"object"`` keeps the per-candidate
             :class:`~repro.search.candidate.CandidateTree` objects (the
             reference implementation the arena is differentially pinned
-            against).  Both return identical top-k up to tie classes.
-            Eager evaluation (``lazy_bounds=False``) always runs the
-            object path regardless of this setting.
+            against); ``"sharded"`` partitions the graph at star-table
+            cut points and runs one arena search per shard with global
+            bound-based early termination
+            (:mod:`repro.search.sharded`).  All engines return identical
+            top-k up to tie classes.  Eager evaluation
+            (``lazy_bounds=False``) always runs the object path
+            regardless of this setting.
+        shards: shard count for ``engine="sharded"`` (ignored by the
+            single-process engines).
     """
 
     k: int = DEFAULT_K
@@ -109,6 +115,7 @@ class SearchParams:
     semantics: str = "and"
     lazy_bounds: bool = True
     engine: str = "arena"
+    shards: int = 4
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -121,10 +128,13 @@ class SearchParams:
             raise ReproError(
                 f"semantics must be 'and' or 'or', got {self.semantics!r}"
             )
-        if self.engine not in ("arena", "object"):
+        if self.engine not in ("arena", "object", "sharded"):
             raise ReproError(
-                f"engine must be 'arena' or 'object', got {self.engine!r}"
+                f"engine must be 'arena', 'object', or 'sharded', "
+                f"got {self.engine!r}"
             )
+        if self.shards < 1:
+            raise ReproError(f"shards must be >= 1, got {self.shards}")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,422 @@
+"""Star-cut graph partitioning for sharded search.
+
+The paper's structural observation — star tables are the articulation
+points whose removal disconnects the data graph — makes the graph
+naturally partitionable: every edge is incident to a star node
+(:func:`repro.indexing.star.find_star_relations` is a greedy edge
+cover), so grouping each node under a star *anchor* and distributing
+anchor groups over N parts cuts the graph only at star boundaries.
+
+Each part owns a disjoint set of nodes and is widened by a *halo*: the
+BFS ball of radius ``D`` (the search diameter cap) around the owned
+set.  Answer trees have diameter at most ``D``, so every answer that
+contains an owned node of part ``i`` lies entirely inside shard ``i``'s
+node set — the union of per-shard answer spaces covers the global
+answer space, and because each shard is an *induced* subgraph every
+shard answer is a valid global answer with the same score.  That
+containment argument is what lets :mod:`repro.search.sharded` merge
+per-shard top-k streams into an exact global top-k.
+
+Scores are preserved *bitwise*, not just approximately:
+
+* local ids are assigned in ascending global-id order (a monotone
+  remap), so every sorted iteration order is preserved;
+* edge weights and node texts are copied exactly, so tree kernels and
+  term frequencies are unchanged;
+* the shard :class:`~repro.rwmp.dampening.DampeningModel` is built over
+  the sliced importance values and then pinned to the *global*
+  ``p_min``/``t`` convention, so per-node rates and surfer counts match
+  the full-graph model exactly (RWMP scores depend only on the tree's
+  nodes, edges, rates, and term statistics — all shard-invariant).
+
+Attached pairs/star indexes are *sliced*, not rebuilt: entries are
+restricted to shard-local pairs and remapped.  Global distances are
+lower bounds on shard distances and global retentions are upper bounds
+on shard retentions, so the sliced tables keep exactly the
+admissibility the bound estimator needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..exceptions import ReproError
+from ..importance.pagerank import ImportanceVector
+from ..model.answer import RankedAnswer
+from ..model.jtt import JoinedTupleTree
+from ..rwmp.dampening import DampeningModel
+from ..text.inverted_index import InvertedIndex
+from ..text.matcher import MatchSets
+from .datagraph import DataGraph
+
+__all__ = ["ShardView", "GraphPartition", "partition_graph"]
+
+
+@dataclasses.dataclass
+class ShardView:
+    """One self-contained shard: subgraph, id maps, and scoring state.
+
+    Attributes:
+        sid: shard index within the partition.
+        graph: the induced subgraph over the shard's node set.
+        local_to_global: ascending global ids, indexed by local id.
+        global_to_local: inverse of ``local_to_global``.
+        owned: local ids this shard *owns* (disjoint across shards).
+        index: inverted index over the shard subgraph.
+        dampening: dampening model pinned to the global ``p_min``.
+        graph_index: sliced pairs/star index (None when the parent
+            system has none attached).
+    """
+
+    sid: int
+    graph: DataGraph
+    local_to_global: List[int]
+    global_to_local: Dict[int, int]
+    owned: Set[int]
+    index: InvertedIndex
+    dampening: DampeningModel
+    graph_index: Optional[object] = None
+
+    @property
+    def node_count(self) -> int:
+        return len(self.local_to_global)
+
+    def localize_match(self, match: MatchSets, semantics: str) -> Optional[MatchSets]:
+        """The shard-local restriction of a query's match sets.
+
+        Returns None when the shard cannot host any answer (a keyword
+        has no shard-local match under AND semantics, or no keyword
+        matches at all under OR) — the sharded coordinator skips such
+        shards without running a search.
+        """
+        g2l = self.global_to_local
+        per_keyword: Dict[str, Set[int]] = {}
+        for keyword, nodes in match.per_keyword.items():
+            per_keyword[keyword] = {
+                g2l[node] for node in nodes if node in g2l
+            }
+        if semantics == "or":
+            if not any(per_keyword.values()):
+                return None
+        elif not all(per_keyword.values()):
+            return None
+        return MatchSets(
+            keywords=list(match.keywords), per_keyword=per_keyword
+        )
+
+    def globalize(self, answer: RankedAnswer) -> RankedAnswer:
+        """A shard-local answer re-expressed over global node ids."""
+        l2g = self.local_to_global
+        tree = JoinedTupleTree(
+            (l2g[node] for node in answer.tree.nodes),
+            ((l2g[a], l2g[b]) for a, b in answer.tree.edges),
+        )
+        return RankedAnswer(tree=tree, score=answer.score)
+
+
+@dataclasses.dataclass
+class GraphPartition:
+    """A star-cut partition of one data graph at one (diameter, shards).
+
+    Attributes:
+        shards: the shard views (may be fewer than requested when the
+            graph has fewer anchor groups than shards).
+        halo: BFS radius used to widen owned sets (the diameter cap).
+        star_relations: the star cover the cut was made at.
+        graph_version: version of the source graph at partition time.
+        requested_shards: the shard count asked for.
+    """
+
+    shards: List[ShardView]
+    halo: int
+    star_relations: frozenset
+    graph_version: int
+    requested_shards: int
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+def _star_anchors(graph: DataGraph, star_nodes: Set[int]) -> Dict[int, int]:
+    """Anchor of each node: itself for stars/isolates, else its least
+    star neighbor (every edge is star-incident, so non-star nodes with
+    any edge always have one)."""
+    anchors: Dict[int, int] = {}
+    for node in graph.nodes():
+        if node in star_nodes:
+            anchors[node] = node
+            continue
+        stars = [n for n in graph.neighbors(node) if n in star_nodes]
+        anchors[node] = min(stars) if stars else node
+    return anchors
+
+
+def _components(graph: DataGraph) -> Dict[int, int]:
+    """Connected-component index per node (BFS from ascending ids)."""
+    comp: Dict[int, int] = {}
+    current = 0
+    for start in graph.nodes():
+        if start in comp:
+            continue
+        comp[start] = current
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for nbr in graph.neighbors(node):
+                if nbr not in comp:
+                    comp[nbr] = current
+                    queue.append(nbr)
+        current += 1
+    return comp
+
+
+def _owned_parts(graph: DataGraph, n_shards: int, star_nodes: Set[int]) -> List[List[int]]:
+    """Distribute anchor groups over at most ``n_shards`` owned sets.
+
+    Groups are kept whole (the star cut) and packed contiguously in
+    (component, anchor) order, so connected clusters land in as few
+    shards as the balance target allows.
+    """
+    anchors = _star_anchors(graph, star_nodes)
+    groups: Dict[int, List[int]] = {}
+    for node in graph.nodes():
+        groups.setdefault(anchors[node], []).append(node)
+    comp = _components(graph)
+    ordered = sorted(groups, key=lambda anchor: (comp[anchor], anchor))
+    total = graph.node_count
+    target = max(1, -(-total // n_shards))  # ceil division
+    parts: List[List[int]] = [[]]
+    for anchor in ordered:
+        if len(parts[-1]) >= target and len(parts) < n_shards:
+            parts.append([])
+        parts[-1].extend(groups[anchor])
+    return [sorted(part) for part in parts if part]
+
+
+def _halo_ball(graph: DataGraph, owned: Sequence[int], halo: int) -> List[int]:
+    """Owned nodes plus everything within graph distance ``halo``."""
+    seen: Set[int] = set(owned)
+    frontier = list(owned)
+    for _ in range(halo):
+        nxt: List[int] = []
+        for node in frontier:
+            for nbr in graph.neighbors(node):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    nxt.append(nbr)
+        if not nxt:
+            break
+        frontier = nxt
+    return sorted(seen)
+
+
+def _induced_subgraph(
+    graph: DataGraph, members: List[int]
+) -> Tuple[DataGraph, Dict[int, int]]:
+    """The induced subgraph over ``members`` (ascending global order)."""
+    sub = DataGraph()
+    g2l: Dict[int, int] = {}
+    for global_id in members:
+        info = graph.info(global_id)
+        local = sub.add_node(info.relation, info.text, attrs=info.attrs)
+        sub.info(local).sources.extend(info.sources)
+        g2l[global_id] = local
+    for global_id in members:
+        for target, weight in sorted(graph.out_edges(global_id).items()):
+            if target in g2l:
+                sub.add_edge(g2l[global_id], g2l[target], weight)
+    return sub, g2l
+
+
+def _slice_importance(
+    importance: ImportanceVector, members: List[int]
+) -> ImportanceVector:
+    values = importance.values[np.asarray(members, dtype=np.int64)]
+    return ImportanceVector(
+        values=values,
+        teleport=importance.teleport,
+        iterations=importance.iterations,
+        converged=importance.converged,
+    )
+
+
+def _shard_dampening(
+    parent: DampeningModel, shard_importance: ImportanceVector
+) -> DampeningModel:
+    model = DampeningModel(shard_importance, parent.params, fn=parent._fn)
+    # Pin the global surfer convention: rates and surfer counts must be
+    # computed against the *global* p_min so shard scores match the
+    # full-graph scores bitwise.  Safe post-construction: the rate
+    # cache is empty until the first lookup.
+    model.p_min = parent.p_min
+    model.t = parent.t
+    return model
+
+
+def _slice_graph_index(
+    parent_index: object,
+    sub: DataGraph,
+    dampening: DampeningModel,
+    g2l: Dict[int, int],
+) -> Optional[object]:
+    """Restrict an attached pairs/star index to one shard.
+
+    Sliced entries keep global distances (lower bounds on shard
+    distances) and global retentions (upper bounds on shard
+    retentions), so every estimate stays admissible for the shard's
+    search.  A source missing from the sliced radius table keeps the
+    parent's "complete to horizon" semantics via the restore fallback.
+    """
+    if parent_index is None:
+        return None
+    from ..indexing.pairs import PairsIndex
+    from ..indexing.star import StarIndex
+    entries: Dict[int, Dict[int, Tuple[int, float]]] = {}
+    radius: Dict[int, int] = {}
+    for source, table in parent_index._entries.items():
+        local_source = g2l.get(source)
+        if local_source is None:
+            continue
+        entries[local_source] = {
+            g2l[target]: value
+            for target, value in table.items()
+            if target in g2l
+        }
+        radius[local_source] = parent_index._radius[source]
+    if isinstance(parent_index, StarIndex):
+        return StarIndex.restore(
+            sub, dampening,
+            star_relations=parent_index.star_relations,
+            horizon=parent_index.horizon,
+            max_ball=parent_index.max_ball,
+            d_max=parent_index._d_max,
+            entries=entries, radius=radius,
+        )
+    if isinstance(parent_index, PairsIndex):
+        return PairsIndex.restore(
+            sub, dampening,
+            horizon=parent_index.horizon,
+            d_max=parent_index._d_max,
+            entries=entries, radius=radius,
+        )
+    raise ReproError(
+        f"cannot slice graph index of type {type(parent_index).__name__}"
+    )
+
+
+def partition_graph(
+    graph: DataGraph,
+    importance: ImportanceVector,
+    dampening: DampeningModel,
+    n_shards: int,
+    halo: int,
+    *,
+    inverted_index: Optional[InvertedIndex] = None,
+    graph_index: Optional[object] = None,
+    star_relations: Optional[frozenset] = None,
+) -> GraphPartition:
+    """Partition ``graph`` at star-table cut points into shard views.
+
+    Args:
+        graph: the data graph.
+        importance: the graph's importance vector.
+        dampening: the full-graph dampening model (supplies the global
+            ``p_min``/``t`` convention and the dampening function).
+        n_shards: requested shard count (>= 1); the result may hold
+            fewer shards when the graph has fewer anchor groups.
+        halo: BFS widening radius — pass the search diameter cap so
+            every answer containing an owned node fits in its shard.
+        inverted_index: parent inverted index (supplies the analyzer so
+            shard term statistics match the global ones).
+        graph_index: optional attached pairs/star index to slice.
+        star_relations: optional pre-computed star cover (defaults to
+            :func:`~repro.indexing.star.find_star_relations`).
+
+    Returns:
+        The :class:`GraphPartition`.
+    """
+    if n_shards < 1:
+        raise ReproError(f"n_shards must be >= 1, got {n_shards}")
+    if halo < 0:
+        raise ReproError(f"halo must be >= 0, got {halo}")
+    from ..indexing.star import find_star_relations
+    if star_relations is None:
+        star_relations = find_star_relations(graph)
+    star_relations = frozenset(r.lower() for r in star_relations)
+    star_nodes = {
+        node for node in graph.nodes()
+        if graph.info(node).relation in star_relations
+    }
+    analyzer = inverted_index.analyzer if inverted_index is not None else None
+    shards: List[ShardView] = []
+    for sid, owned_global in enumerate(
+        _owned_parts(graph, n_shards, star_nodes) if graph.node_count else []
+    ):
+        members = _halo_ball(graph, owned_global, halo)
+        sub, g2l = _induced_subgraph(graph, members)
+        shard_importance = _slice_importance(importance, members)
+        shard_dampening = _shard_dampening(dampening, shard_importance)
+        shards.append(ShardView(
+            sid=sid,
+            graph=sub,
+            local_to_global=members,
+            global_to_local=g2l,
+            owned={g2l[node] for node in owned_global},
+            index=InvertedIndex.build(sub, analyzer=analyzer),
+            dampening=shard_dampening,
+            graph_index=_slice_graph_index(
+                graph_index, sub, shard_dampening, g2l
+            ),
+        ))
+    return GraphPartition(
+        shards=shards,
+        halo=halo,
+        star_relations=star_relations,
+        graph_version=graph.version,
+        requested_shards=n_shards,
+    )
+
+
+class PartitionCache:
+    """Version-keyed memo of partitions (one per (diameter, shards)).
+
+    The sharded engine asks for a partition on every query; repartition
+    only when the graph mutates or the shard geometry changes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cache: Dict[Tuple[int, int, int, int], GraphPartition] = {}
+
+    def get(
+        self,
+        graph: DataGraph,
+        importance: ImportanceVector,
+        dampening: DampeningModel,
+        n_shards: int,
+        halo: int,
+        epoch: int = 0,
+        **kwargs,
+    ) -> GraphPartition:
+        key = (graph.version, epoch, n_shards, halo)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        partition = partition_graph(
+            graph, importance, dampening, n_shards, halo, **kwargs
+        )
+        with self._lock:
+            # Keep only the live (version, epoch) generation.
+            self._cache = {
+                k: v for k, v in self._cache.items()
+                if k[0] == graph.version and k[1] == epoch
+            }
+            self._cache[key] = partition
+        return partition

@@ -10,6 +10,7 @@ from .branch_and_bound import (
     BranchAndBoundSearch,
     SearchStats,
 )
+from .sharded import ShardedExecutor, ShardedSearch, ShardWorkerPool
 
 __all__ = [
     "CandidateTree",
@@ -20,4 +21,7 @@ __all__ = [
     "AnytimeSnapshot",
     "BranchAndBoundSearch",
     "SearchStats",
+    "ShardedExecutor",
+    "ShardedSearch",
+    "ShardWorkerPool",
 ]

@@ -1,0 +1,672 @@
+"""Sharded branch-and-bound: per-shard searches merged at a coordinator.
+
+``SearchParams.engine="sharded"`` partitions the data graph at
+star-table cut points (:mod:`repro.graph.partition`) and runs the
+arena-backed lazy branch-and-bound once per shard, merging the
+per-shard top-k streams into one global
+:class:`~repro.model.answer.RankedList` with *bound-based early
+termination*: once the global list holds k answers, any shard whose
+best remaining upper bound is at most the global k-th score is
+cancelled — the same ``ub <= min_score`` rule the single-process stop
+test uses, so the merged top-k stays tie-class-identical to the
+single-process engines.
+
+Exactness argument (the coordinator's Theorem-1 certificate):
+
+1. Every shard is an induced subgraph, so every shard answer is a
+   valid global answer with a bitwise-identical score (see
+   :mod:`repro.graph.partition` for why scores are preserved exactly).
+2. Every global answer has diameter at most ``D`` and therefore lies
+   inside the halo-widened shard that owns any of its nodes — the
+   union of shard answer spaces covers the global answer space.
+3. A shard is only cancelled when the global list is full and the
+   shard's frontier bound is at most the k-th score; every answer it
+   had left scores at most that bound, and the k-th score only rises
+   as more answers merge, so nothing in the final top-k is lost.
+4. When every shard has either proven its local search complete or
+   been cancelled under rule 3, no undiscovered answer can beat the
+   k-th score: the merged list is the global top-k.
+
+Two execution modes share the coordinator logic:
+
+* **inline** (default on a single-CPU host): shard searches run as
+  interleaved generators in the calling thread, round-robin with a
+  small heartbeat so cancellations land promptly.  Deterministic, and
+  still profitable serially: per-shard bound evaluation iterates only
+  the shard's slice of the match sets, where the global engine pays
+  for every match node on every bound (see ``docs/PERFORMANCE.md``
+  §11).
+* **process**: a persistent pool of ``fork`` workers holds the shard
+  payloads copy-on-write (mirroring ``indexing/build.py``); the
+  coordinator broadcasts the global k-th score through a shared array
+  the workers poll between heartbeat snapshots, and a cancelled slot
+  is driven to ``+inf``.  The pool is owned by the system and joined
+  within the serving daemon's drain budget on shutdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SearchParams
+from ..exceptions import ReproError, SearchError
+from ..model.answer import RankedAnswer, RankedList
+from ..model.jtt import JoinedTupleTree
+from ..rwmp.scoring import RWMPScorer
+from ..text.matcher import MatchSets
+from .branch_and_bound import (
+    AnytimeSnapshot,
+    BranchAndBoundSearch,
+    SearchStats,
+)
+
+__all__ = ["ShardedSearch", "ShardWorkerPool", "ShardedExecutor"]
+
+#: Internal per-shard generator heartbeat when the caller asked for
+#: improvement-only snapshots — the round-robin still needs ticks to
+#: interleave shards and deliver cancellations promptly.
+INLINE_TICK = 64
+
+#: Queue pops between shared-threshold polls inside a pool worker.
+WORKER_TICK = 64
+
+#: Coordinator poll timeout while waiting on pool results (seconds).
+POOL_POLL_SECONDS = 0.02
+
+#: SearchStats counters summed across shards.
+_SUM_FIELDS = (
+    "expanded", "generated", "enqueued", "pruned_bound",
+    "pruned_diameter", "pruned_distance", "answers_found", "bound_evals",
+    "cheap_admissions", "tightened", "repushed", "admit_capped",
+    "bound_seconds", "cheap_bound_seconds", "tighten_seconds",
+    "expand_seconds", "score_seconds", "arena_candidates",
+    "arena_rollbacks",
+)
+
+
+def _shard_params(params: SearchParams) -> SearchParams:
+    """The per-shard search parameters (single-process engine)."""
+    return dataclasses.replace(params, engine="arena")
+
+
+def _accumulate(total: SearchStats, shard_stats: Dict[str, object]) -> None:
+    """Fold one shard's stats dict into the coordinator's totals."""
+    for field in _SUM_FIELDS:
+        setattr(total, field, getattr(total, field) + shard_stats[field])
+    total.arena_peak_bytes = max(
+        total.arena_peak_bytes, int(shard_stats["arena_peak_bytes"])
+    )
+    total.stopped_early = bool(
+        total.stopped_early or shard_stats["stopped_early"]
+    )
+
+
+def _answers_payload(shard, answers: List[RankedAnswer]) -> List[tuple]:
+    """Globalized answers as plain picklable tuples."""
+    payload = []
+    for answer in answers:
+        ranked = shard.globalize(answer)
+        payload.append((
+            tuple(sorted(ranked.tree.nodes)),
+            tuple(sorted(ranked.tree.edges)),
+            ranked.score,
+        ))
+    return payload
+
+
+def _answers_from_payload(payload: List[tuple]) -> List[RankedAnswer]:
+    return [
+        RankedAnswer(tree=JoinedTupleTree(nodes, edges), score=score)
+        for nodes, edges, score in payload
+    ]
+
+
+def _run_shard(
+    shard,
+    local_match: MatchSets,
+    params: SearchParams,
+    heartbeat: int,
+    threshold,
+) -> Tuple[List[tuple], Dict[str, object], float, bool]:
+    """One shard search to completion or cancellation (worker side).
+
+    ``threshold`` is a zero-argument callable returning the latest
+    cancellation threshold (the global k-th score; ``-inf`` while the
+    global list is not full, ``+inf`` to force a cancel).
+
+    Returns ``(answers_payload, stats_dict, wall_seconds, terminated)``.
+    """
+    start = time.perf_counter()
+    scorer = RWMPScorer(shard.graph, shard.index, local_match, shard.dampening)
+    search = BranchAndBoundSearch(
+        shard.graph, scorer, local_match, _shard_params(params),
+        index=shard.graph_index,
+    )
+    terminated = False
+    last = None
+    generator = search.snapshots(heartbeat=heartbeat)
+    try:
+        for snapshot in generator:
+            last = snapshot
+            if snapshot.proven_optimal:
+                break
+            if snapshot.frontier_bound <= threshold():
+                terminated = True
+                break
+    finally:
+        generator.close()
+    answers = _answers_payload(shard, last.answers if last else [])
+    wall = time.perf_counter() - start
+    return answers, dataclasses.asdict(search.stats), wall, terminated
+
+
+# --------------------------------------------------------------------- pool
+
+
+def _pool_worker(partition, tasks, results, thresholds) -> None:
+    """Persistent worker loop: shard payloads arrive via fork (COW).
+
+    Tasks are ``(query_id, sid, match_payload, params, heartbeat)``;
+    ``None`` is the shutdown sentinel.  Results are
+    ``(query_id, sid, answers_payload, stats_dict, wall, terminated)``.
+    """
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        query_id, sid, match_payload, params, heartbeat = task
+        shard = partition.shards[sid]
+        keywords, per_keyword = match_payload
+        local_match = MatchSets(
+            keywords=list(keywords),
+            per_keyword={kw: set(nodes) for kw, nodes in per_keyword},
+        )
+        try:
+            answers, stats, wall, terminated = _run_shard(
+                shard, local_match, params, heartbeat,
+                threshold=lambda: thresholds[sid],
+            )
+            results.put((query_id, sid, answers, stats, wall, terminated))
+        except BaseException as exc:  # surface, don't hang the merge
+            results.put((query_id, sid, exc, None, 0.0, False))
+
+
+class ShardWorkerPool:
+    """A persistent pool of fork workers over one partition.
+
+    One sharded query runs through the pool at a time (the per-query
+    cancellation slots are shared state); concurrent callers serialize
+    on :meth:`acquire`.  The serving daemon closes the pool inside its
+    drain budget via :meth:`close`.
+    """
+
+    def __init__(self, partition, workers: Optional[int] = None) -> None:
+        import multiprocessing
+        import os
+        import threading
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ReproError("sharded process pool requires fork start method")
+        ctx = multiprocessing.get_context("fork")
+        self.partition = partition
+        n = partition.n_shards
+        if workers is None:
+            workers = max(1, min(n, os.cpu_count() or 1))
+        self.workers = workers
+        self._thresholds = ctx.Array("d", max(1, n))
+        for i in range(len(self._thresholds)):
+            self._thresholds[i] = float("-inf")
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._lock = threading.Lock()
+        self._query_seq = 0
+        self._closed = False
+        self._procs = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(partition, self._tasks, self._results,
+                      self._thresholds),
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    # ------------------------------------------------------------- queries
+
+    def acquire(self) -> int:
+        """Reserve the pool for one query; returns the query id."""
+        self._lock.acquire()
+        if self._closed:
+            self._lock.release()
+            raise ReproError("shard worker pool is closed")
+        self._query_seq += 1
+        for i in range(len(self._thresholds)):
+            self._thresholds[i] = float("-inf")
+        return self._query_seq
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def submit(self, query_id, sid, match_payload, params, heartbeat):
+        self._tasks.put((query_id, sid, match_payload, params, heartbeat))
+
+    def poll(self, timeout: float):
+        """Next result tuple, or None on timeout."""
+        import queue as queue_mod
+        try:
+            return self._results.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+
+    def broadcast_threshold(self, value: float) -> None:
+        """Publish the global k-th score to every live shard slot."""
+        for i in range(len(self._thresholds)):
+            if self._thresholds[i] != float("inf"):
+                self._thresholds[i] = value
+
+    def cancel_shard(self, sid: int) -> None:
+        self._thresholds[sid] = float("inf")
+
+    def cancel_all(self) -> None:
+        for i in range(len(self._thresholds)):
+            self._thresholds[i] = float("inf")
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def alive(self) -> bool:
+        return any(proc.is_alive() for proc in self._procs)
+
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Stop the workers, joining within ``timeout`` seconds.
+
+        In-flight shard searches are cancelled through the shared
+        threshold array, the shutdown sentinel is queued per worker,
+        and any process still alive past the deadline is terminated.
+        Returns True when every worker exited by itself.
+        """
+        with self._lock:
+            if self._closed:
+                return True
+            self._closed = True
+            self.cancel_all()
+            for _ in self._procs:
+                self._tasks.put(None)
+            deadline = (
+                None if timeout is None else time.perf_counter() + timeout
+            )
+            graceful = True
+            for proc in self._procs:
+                remaining = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.perf_counter())
+                )
+                proc.join(remaining)
+                if proc.is_alive():
+                    graceful = False
+                    proc.terminate()
+                    proc.join(1.0)
+            self._tasks.close()
+            self._results.close()
+            return graceful
+
+
+# --------------------------------------------------------------- coordinator
+
+
+class ShardedSearch:
+    """Coordinator for one sharded query.
+
+    Mirrors the :class:`BranchAndBoundSearch` surface the system layer
+    drives — :meth:`run`, :meth:`snapshots`, ``stats``,
+    ``last_proven`` — so the answer cache, anytime serving, and span
+    accounting work unchanged.
+
+    Args:
+        partition: the shard views (:class:`repro.graph.partition.GraphPartition`).
+        match: the query's *global* match sets.
+        params: resolved search parameters (``engine="sharded"``).
+        pool: optional :class:`ShardWorkerPool`; None runs the shards
+            inline (interleaved generators, deterministic).
+        span: optional parent trace span — one ``shard`` child span is
+            opened per searched shard.
+    """
+
+    #: Test-only mutation hook: per-shard frontier bounds are scaled by
+    #: this factor before the cancellation test.  Anything below 1.0 is
+    #: unsound (deflated bounds cancel shards that still hold top-k
+    #: answers) — the differential harness proves such a deflation is
+    #: caught.
+    _bound_scale = 1.0
+
+    def __init__(
+        self,
+        partition,
+        match: MatchSets,
+        params: SearchParams,
+        pool: Optional[ShardWorkerPool] = None,
+        span=None,
+    ) -> None:
+        if params.engine != "sharded":
+            raise SearchError(
+                f"ShardedSearch needs engine='sharded', got {params.engine!r}"
+            )
+        self.partition = partition
+        self.match = match
+        self.params = params
+        self.pool = pool
+        self.span = span
+        self.stats = SearchStats(engine="sharded")
+        self.last_proven = False
+        self.last_arena = None
+
+    # --------------------------------------------------------------- public
+
+    def run(self) -> List[RankedAnswer]:
+        snapshot = None
+        for snapshot in self.snapshots():
+            pass
+        return snapshot.answers if snapshot is not None else []
+
+    def snapshots(self, heartbeat: int = 0):
+        """Anytime merged snapshots (contract of
+        :meth:`BranchAndBoundSearch.snapshots`)."""
+        self.last_proven = False
+        active = []
+        walls: Dict[int, float] = {}
+        for shard in self.partition.shards:
+            local = shard.localize_match(self.match, self.params.semantics)
+            if local is not None:
+                active.append((shard, local))
+        self.stats.shard_fanout = len(active)
+        if not active:
+            self.stats.shard_wall_seconds = ()
+            self.last_proven = True
+            self.stats.snapshots_yielded += 1
+            yield AnytimeSnapshot(
+                answers=[], frontier_bound=float("-inf"), proven_optimal=True
+            )
+            return
+        if self.pool is not None:
+            source = self._pool_snapshots(active, walls, heartbeat)
+        else:
+            source = self._inline_snapshots(active, walls, heartbeat)
+        try:
+            yield from source
+        finally:
+            self.stats.shard_wall_seconds = tuple(
+                walls.get(shard.sid, 0.0) for shard, _ in active
+            )
+
+    # --------------------------------------------------------------- inline
+
+    def _shard_span(self, shard):
+        if self.span is None:
+            return None
+        child = self.span.child("shard")
+        child.set_attribute("shard", shard.sid)
+        child.set_attribute("shard_nodes", shard.node_count)
+        return child
+
+    def _finish_shard_span(self, span, wall: float, terminated: bool) -> None:
+        if span is None:
+            return
+        span.set_attribute("wall_seconds", wall)
+        span.set_attribute("terminated_early", terminated)
+        span.finish()
+
+    def _inline_snapshots(self, active, walls, heartbeat: int):
+        params = self.params
+        tick = heartbeat if heartbeat > 0 else INLINE_TICK
+        top_k = RankedList(params.k)
+        states = deque()
+        for shard, local in active:
+            scorer = RWMPScorer(
+                shard.graph, shard.index, local, shard.dampening
+            )
+            search = BranchAndBoundSearch(
+                shard.graph, scorer, local, _shard_params(params),
+                index=shard.graph_index,
+            )
+            states.append({
+                "shard": shard,
+                "search": search,
+                "gen": search.snapshots(heartbeat=tick),
+                "span": self._shard_span(shard),
+                "bound": float("inf"),
+            })
+            walls[shard.sid] = 0.0
+        live = {state["shard"].sid: state for state in states}
+        last_yield_revision = -1
+        ticks = 0
+
+        def merged(proven: bool) -> AnytimeSnapshot:
+            frontier = (
+                max(state["bound"] for state in live.values())
+                if live else float("-inf")
+            )
+            self.stats.snapshots_yielded += 1
+            return AnytimeSnapshot(
+                answers=top_k.as_list(),
+                frontier_bound=frontier,
+                proven_optimal=proven,
+            )
+
+        def retire(state, terminated: bool) -> None:
+            shard = state["shard"]
+            state["gen"].close()
+            _accumulate(
+                self.stats, dataclasses.asdict(state["search"].stats)
+            )
+            if terminated:
+                self.stats.shards_terminated_early += 1
+            live.pop(shard.sid, None)
+            self._finish_shard_span(
+                state["span"], walls[shard.sid], terminated
+            )
+
+        try:
+            while states:
+                state = states.popleft()
+                shard = state["shard"]
+                start = time.perf_counter()
+                try:
+                    snapshot = next(state["gen"])
+                except StopIteration:
+                    walls[shard.sid] += time.perf_counter() - start
+                    retire(state, terminated=False)
+                    continue
+                walls[shard.sid] += time.perf_counter() - start
+                ticks += 1
+                for answer in snapshot.answers:
+                    top_k.offer(shard.globalize(answer))
+                if snapshot.proven_optimal:
+                    retire(state, terminated=False)
+                else:
+                    bound = snapshot.frontier_bound * self._bound_scale
+                    state["bound"] = bound
+                    if top_k.full and bound <= top_k.min_score():
+                        # Global early termination: everything this
+                        # shard has left is bounded below the k-th
+                        # admitted score.
+                        retire(state, terminated=True)
+                    else:
+                        states.append(state)
+                if top_k.revision != last_yield_revision or (
+                    heartbeat and states
+                ):
+                    last_yield_revision = top_k.revision
+                    yield merged(proven=False)
+            self.last_proven = True
+            yield merged(proven=True)
+        finally:
+            for state in states:
+                retire(state, terminated=False)
+
+    # ----------------------------------------------------------------- pool
+
+    def _pool_snapshots(self, active, walls, heartbeat: int):
+        params = self.params
+        pool = self.pool
+        top_k = RankedList(params.k)
+        query_id = pool.acquire()
+        spans = {}
+        outstanding = set()
+        try:
+            for shard, local in active:
+                payload = (
+                    tuple(local.keywords),
+                    tuple(
+                        (kw, tuple(sorted(nodes)))
+                        for kw, nodes in sorted(local.per_keyword.items())
+                    ),
+                )
+                pool.submit(
+                    query_id, shard.sid, payload, params, WORKER_TICK
+                )
+                outstanding.add(shard.sid)
+                walls[shard.sid] = 0.0
+                spans[shard.sid] = self._shard_span(shard)
+            last_yield_revision = -1
+            while outstanding:
+                result = pool.poll(POOL_POLL_SECONDS)
+                if result is None:
+                    if heartbeat:
+                        self.stats.snapshots_yielded += 1
+                        yield AnytimeSnapshot(
+                            answers=top_k.as_list(),
+                            frontier_bound=float("inf"),
+                            proven_optimal=False,
+                        )
+                    continue
+                rid, sid, answers, stats, wall, terminated = result
+                if rid != query_id:
+                    continue  # stale result from an abandoned query
+                outstanding.discard(sid)
+                if isinstance(answers, BaseException):
+                    raise answers
+                walls[sid] = wall
+                for answer in _answers_from_payload(answers):
+                    top_k.offer(answer)
+                _accumulate(self.stats, stats)
+                if terminated:
+                    self.stats.shards_terminated_early += 1
+                self._finish_shard_span(spans.pop(sid, None), wall, terminated)
+                if top_k.full:
+                    pool.broadcast_threshold(
+                        top_k.min_score() / self._bound_scale
+                        if self._bound_scale
+                        else top_k.min_score()
+                    )
+                if top_k.revision != last_yield_revision and outstanding:
+                    last_yield_revision = top_k.revision
+                    self.stats.snapshots_yielded += 1
+                    yield AnytimeSnapshot(
+                        answers=top_k.as_list(),
+                        frontier_bound=float("inf"),
+                        proven_optimal=False,
+                    )
+            self.last_proven = True
+            self.stats.snapshots_yielded += 1
+            yield AnytimeSnapshot(
+                answers=top_k.as_list(),
+                frontier_bound=float("-inf"),
+                proven_optimal=True,
+            )
+        finally:
+            if outstanding:
+                # Abandoned mid-query (deadline): hasten the workers and
+                # drain our stale results so the next query starts clean.
+                pool.cancel_all()
+                deadline = time.perf_counter() + 30.0
+                while outstanding and time.perf_counter() < deadline:
+                    result = pool.poll(POOL_POLL_SECONDS)
+                    if result is None:
+                        continue
+                    if result[0] == query_id:
+                        outstanding.discard(result[1])
+            for span in spans.values():
+                self._finish_shard_span(span, 0.0, False)
+            pool.release()
+
+
+# ------------------------------------------------------------------ executor
+
+
+class ShardedExecutor:
+    """System-owned factory of sharded searches.
+
+    Memoizes the graph partition per (version, epoch, shards, halo) and
+    owns the optional persistent worker pool.  ``mode``:
+
+    * ``"auto"``: processes when the host has more than one CPU and the
+      partition has more than one shard, else inline.
+    * ``"inline"`` / ``"process"``: forced.
+    """
+
+    def __init__(self, system, mode: str = "auto") -> None:
+        if mode not in ("auto", "inline", "process"):
+            raise ReproError(f"unknown sharded mode {mode!r}")
+        from ..graph.partition import PartitionCache
+        self.system = system
+        self.mode = mode
+        self._partitions = PartitionCache()
+        self._pool: Optional[ShardWorkerPool] = None
+        self._pool_key = None
+        import threading
+        self._pool_lock = threading.Lock()
+
+    def partition_for(self, params: SearchParams):
+        system = self.system
+        return self._partitions.get(
+            system.graph, system.importance, system.dampening,
+            params.shards, params.diameter,
+            epoch=getattr(system, "_ranking_epoch", 0),
+            inverted_index=system.index,
+            graph_index=system.graph_index,
+        )
+
+    def _resolve_mode(self, partition) -> str:
+        if self.mode != "auto":
+            return self.mode
+        import multiprocessing
+        import os
+        if (
+            partition.n_shards > 1
+            and (os.cpu_count() or 1) > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            return "process"
+        return "inline"
+
+    def _pool_for(self, partition) -> ShardWorkerPool:
+        with self._pool_lock:
+            key = (partition.graph_version, id(partition))
+            if self._pool is not None and self._pool_key == key:
+                return self._pool
+            if self._pool is not None:
+                self._pool.close(timeout=5.0)
+            self._pool = ShardWorkerPool(partition)
+            self._pool_key = key
+            return self._pool
+
+    def search_for(
+        self, match: MatchSets, params: SearchParams, span=None
+    ) -> ShardedSearch:
+        partition = self.partition_for(params)
+        pool = None
+        if self._resolve_mode(partition) == "process":
+            pool = self._pool_for(partition)
+        return ShardedSearch(partition, match, params, pool=pool, span=span)
+
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Join the worker pool (if any) within ``timeout`` seconds."""
+        with self._pool_lock:
+            pool, self._pool, self._pool_key = self._pool, None, None
+        if pool is None:
+            return True
+        return pool.close(timeout=timeout)

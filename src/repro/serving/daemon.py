@@ -75,6 +75,12 @@ _GAP_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, 1.0)
 #: Arena peak-bytes buckets (64 KiB .. 256 MiB, powers of four).
 _ARENA_BUCKETS = tuple(float(1 << s) for s in range(16, 29, 2))
 
+#: Per-shard wall-time buckets (sharded engine): sub-millisecond shard
+#: searches up to multi-second stragglers.
+_SHARD_WALL_BUCKETS = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
@@ -161,10 +167,24 @@ class CIRankDaemon:
         self._draining = True
 
     async def stop(self) -> None:
-        """Graceful shutdown: drain in-flight flights, stop the pool."""
+        """Graceful shutdown: drain in-flight flights, stop the pools.
+
+        Shard workers (sharded engine) are joined inside the same
+        ``drain_seconds`` budget the connection drain uses; a worker
+        that ignores its cancellation threshold past the deadline is
+        terminated so shutdown never hangs.
+        """
         self.begin_drain()
         await self.flights.drain()
         await self.batcher.stop()
+        graceful = self.system.close_sharded(
+            timeout=self.params.drain_seconds
+        )
+        if not graceful:
+            logger.warning(
+                "shard worker pool exceeded the drain budget (%.1fs) "
+                "and was terminated", self.params.drain_seconds,
+            )
         if self.capture is not None:
             self.capture.close()
         logger.info(
@@ -183,7 +203,7 @@ class CIRankDaemon:
         Payload fields: ``query`` (required string), ``k``,
         ``diameter`` (ints), ``deadline_ms`` (number; overrides the
         configured default; 0 forces no deadline), ``engine``
-        (``"arena"``/``"object"``).
+        (``"arena"``/``"object"``/``"sharded"``).
 
         Raises:
             BadRequestError: on an invalid payload (counted as
@@ -428,6 +448,19 @@ class CIRankDaemon:
             "Cumulative seconds per search phase across executions.",
             labelnames=("phase",),
         )
+        self._shard_fanout = reg.counter(
+            "cirank_shard_fanout_total",
+            "Shards searched across sharded-engine executions.",
+        )
+        self._shards_terminated = reg.counter(
+            "cirank_shards_terminated_early_total",
+            "Shards cancelled by bound-based early termination.",
+        )
+        self._shard_wall_hist = reg.histogram(
+            "cirank_shard_wall_seconds",
+            "Per-shard wall time within sharded-engine executions.",
+            buckets=_SHARD_WALL_BUCKETS,
+        )
 
     def _observe_batch(self, size: int) -> None:
         """Batcher hook: record one dispatched batch's size."""
@@ -459,6 +492,11 @@ class CIRankDaemon:
                 self._phase_seconds.labels(phase).inc(seconds)
         if stats.arena_peak_bytes > 0:
             self._arena_hist.observe(stats.arena_peak_bytes)
+        if stats.shard_fanout > 0:
+            self._shard_fanout.inc(stats.shard_fanout)
+            self._shards_terminated.inc(stats.shards_terminated_early)
+            for wall in stats.shard_wall_seconds:
+                self._shard_wall_hist.observe(wall)
 
     def _capture(
         self,
@@ -548,8 +586,8 @@ class CIRankDaemon:
             deadline_ms = self.params.deadline_ms
         engine = payload.get("engine")
         _require(
-            engine is None or engine in ("arena", "object"),
-            "'engine' must be 'arena' or 'object'",
+            engine is None or engine in ("arena", "object", "sharded"),
+            "'engine' must be 'arena', 'object', or 'sharded'",
         )
         unknown = set(payload) - {
             "query", "k", "diameter", "deadline_ms", "engine",

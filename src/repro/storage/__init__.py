@@ -22,6 +22,7 @@ from .index_store import (
     graph_fingerprint,
     index_is_stale,
     load_index,
+    manifest_shards,
     rates_fingerprint,
     read_manifest,
     save_index,
@@ -44,6 +45,7 @@ __all__ = [
     "save_index",
     "load_index",
     "index_is_stale",
+    "manifest_shards",
     "read_manifest",
     "graph_fingerprint",
     "rates_fingerprint",

@@ -134,7 +134,7 @@ def save_index(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     shards = _index_to_shards(index)
-    shard_names: List[str] = []
+    shard_records: List[Dict[str, Any]] = []
     for number, shard in enumerate(shards):
         name = f"shard_{number:04d}.npz"
         with open(directory / name, "wb") as handle:
@@ -147,7 +147,12 @@ def save_index(
                 distances=shard.distances,
                 retentions=shard.retentions,
             )
-        shard_names.append(name)
+        shard_records.append({
+            "name": name,
+            "sources": int(shard.sources.size),
+            "entries": int(shard.targets.size),
+            "bytes": (directory / name).stat().st_size,
+        })
     kind = "star" if isinstance(index, StarIndex) else "pairs"
     manifest: Dict[str, Any] = {
         "format": INDEX_FORMAT,
@@ -160,7 +165,7 @@ def save_index(
         "rates_sha": rates_sha or rates_fingerprint(
             index.graph, index.dampening
         ),
-        "shards": shard_names,
+        "shards": shard_records,
     }
     if kind == "star":
         manifest["star_relations"] = sorted(index.star_relations)
@@ -219,6 +224,32 @@ def index_is_stale(
     return None
 
 
+def manifest_shards(manifest: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Normalized per-shard records from a manifest.
+
+    Current manifests record ``{"name", "sources", "entries", "bytes"}``
+    per shard; format-1 manifests written before the per-shard
+    accounting recorded bare file names.  Both normalize to the dict
+    shape (missing fields become None) so ``cirank index info`` and the
+    loader share one access path.
+    """
+    records: List[Dict[str, Any]] = []
+    for entry in manifest.get("shards", ()):
+        if isinstance(entry, str):
+            records.append({
+                "name": entry, "sources": None,
+                "entries": None, "bytes": None,
+            })
+        else:
+            records.append({
+                "name": entry["name"],
+                "sources": entry.get("sources"),
+                "entries": entry.get("entries"),
+                "bytes": entry.get("bytes"),
+            })
+    return records
+
+
 def _load_shards(
     directory: Path, shard_names: Sequence[str]
 ) -> List[BallTables]:
@@ -273,7 +304,9 @@ def load_index(
     if reason is not None:
         raise StaleIndexError(f"stale index at {directory}: {reason}")
     from ..indexing.build import tables_to_dicts
-    shards = _load_shards(directory, manifest.get("shards", ()))
+    shards = _load_shards(
+        directory, [record["name"] for record in manifest_shards(manifest)]
+    )
     entries, radius = tables_to_dicts(shards)
     if manifest["kind"] == "star":
         return StarIndex.restore(

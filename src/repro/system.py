@@ -116,6 +116,13 @@ class CIRankSystem:
         # Bumped whenever the ranking itself changes (feedback re-rank);
         # pairs with graph.version to guard cached answers.
         self._ranking_epoch = 0
+        # Lazily-created sharded-search executor (partition memo plus
+        # the optional persistent worker pool); see repro.search.sharded.
+        self._sharded = None
+        self._sharded_lock = threading.Lock()
+        #: Execution mode of the sharded engine: "auto" (processes on
+        #: multi-CPU hosts, inline otherwise), "inline", or "process".
+        self.sharded_mode = "auto"
         #: Observability of the most recent :meth:`search` call (the
         #: CLI's ``--stats`` flag reads these).
         self.last_search_stats: Optional[SearchStats] = None
@@ -287,6 +294,33 @@ class CIRankSystem:
                 "(build_star_index / build_pairs_index) after apply_feedback"
             )
 
+    # ------------------------------------------------------------- sharded
+
+    def _sharded_search(self, match: MatchSets, params: SearchParams, span=None):
+        """A coordinator for one ``engine="sharded"`` query."""
+        with self._sharded_lock:
+            if self._sharded is None or self._sharded.mode != self.sharded_mode:
+                from .search.sharded import ShardedExecutor
+                previous = self._sharded
+                self._sharded = ShardedExecutor(self, mode=self.sharded_mode)
+                if previous is not None:
+                    previous.close(timeout=5.0)
+            executor = self._sharded
+        return executor.search_for(match, params, span=span)
+
+    def close_sharded(self, timeout: Optional[float] = None) -> bool:
+        """Shut down the sharded executor's worker pool, if any.
+
+        The serving daemon calls this during graceful drain with its
+        ``drain_seconds`` budget; returns True when every shard worker
+        joined within the budget (or none existed).
+        """
+        with self._sharded_lock:
+            executor, self._sharded = self._sharded, None
+        if executor is None:
+            return True
+        return executor.close(timeout=timeout)
+
     # -------------------------------------------------------------- search
 
     def scorer_for(self, match: MatchSets) -> RWMPScorer:
@@ -300,6 +334,7 @@ class CIRankSystem:
         diameter: Optional[int] = None,
         algorithm: str = "branch-and-bound",
         engine: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> List[RankedAnswer]:
         """Top-k keyword search.
 
@@ -309,10 +344,15 @@ class CIRankSystem:
             diameter: answer diameter cap (defaults to configured D).
             algorithm: ``"branch-and-bound"`` (default) or ``"naive"``.
             engine: lazy-loop candidate representation — ``"arena"``
-                (flat columnar arena) or ``"object"`` (per-candidate
-                trees); defaults to the configured engine.  Both return
-                identical top-k up to tie classes; the flag exists so a
-                regression is one CLI switch away from bisection.
+                (flat columnar arena), ``"object"`` (per-candidate
+                trees), or ``"sharded"`` (star-cut partition searched
+                per shard with bound-based early termination;
+                :mod:`repro.search.sharded`); defaults to the
+                configured engine.  All return identical top-k up to
+                tie classes; the flag exists so a regression is one CLI
+                switch away from bisection.
+            shards: shard count for the sharded engine (defaults to the
+                configured count; ignored by the other engines).
 
         Returns:
             Ranked answers, best first (possibly fewer than k).
@@ -328,7 +368,7 @@ class CIRankSystem:
                 return []
         elif not match.matchable:
             return []
-        params = self._resolve_params(k, diameter, engine)
+        params = self._resolve_params(k, diameter, engine, shards)
         cache_key = None
         lookup_seconds = 0.0
         if algorithm == "branch-and-bound" and self._answer_cache.enabled:
@@ -356,9 +396,12 @@ class CIRankSystem:
                 return cached
         scorer = self.scorer_for(match)
         if algorithm == "branch-and-bound":
-            search = BranchAndBoundSearch(
-                self.graph, scorer, match, params, index=self.graph_index
-            )
+            if params.engine == "sharded":
+                search = self._sharded_search(match, params)
+            else:
+                search = BranchAndBoundSearch(
+                    self.graph, scorer, match, params, index=self.graph_index
+                )
         else:
             search = NaiveSearch(self.graph, scorer, match, params)
         answers = search.run()
@@ -381,6 +424,7 @@ class CIRankSystem:
         k: Optional[int] = None,
         diameter: Optional[int] = None,
         engine: Optional[str] = None,
+        shards: Optional[int] = None,
         heartbeat: int = 0,
         observer: Optional[object] = None,
         span: Optional[object] = None,
@@ -401,7 +445,10 @@ class CIRankSystem:
             query_text: whitespace-separated keywords.
             k: number of answers (defaults to the configured k).
             diameter: answer diameter cap (defaults to configured D).
-            engine: ``"arena"`` or ``"object"`` (defaults to configured).
+            engine: ``"arena"``, ``"object"``, or ``"sharded"``
+                (defaults to configured).
+            shards: shard count for the sharded engine (defaults to the
+                configured count; ignored by the other engines).
             heartbeat: yield a snapshot every ``heartbeat`` queue pops
                 even without top-k improvement (0 = improvements only);
                 deadline consumers use this to bound overshoot.
@@ -417,7 +464,7 @@ class CIRankSystem:
                 attributes when the generator closes.
         """
         search_span = span.child("search") if span is not None else None
-        params = self._resolve_params(k, diameter, engine)
+        params = self._resolve_params(k, diameter, engine, shards)
         match = self._match_for(query_text)
         if params.semantics == "or":
             matchable = any(match.per_keyword.values())
@@ -466,9 +513,12 @@ class CIRankSystem:
                 )
                 return
         scorer = self.scorer_for(match)
-        search = BranchAndBoundSearch(
-            self.graph, scorer, match, params, index=self.graph_index
-        )
+        if params.engine == "sharded":
+            search = self._sharded_search(match, params, span=search_span)
+        else:
+            search = BranchAndBoundSearch(
+                self.graph, scorer, match, params, index=self.graph_index
+            )
         if observer is not None:
             observer.stats = search.stats
         # The versions the result would be proven against — captured
@@ -521,6 +571,7 @@ class CIRankSystem:
         k: Optional[int],
         diameter: Optional[int],
         engine: Optional[str],
+        shards: Optional[int] = None,
     ) -> SearchParams:
         """The configured SearchParams with per-call overrides applied.
 
@@ -534,6 +585,8 @@ class CIRankSystem:
             overrides["diameter"] = diameter
         if engine is not None:
             overrides["engine"] = engine
+        if shards is not None:
+            overrides["shards"] = shards
         return dataclasses.replace(self.search_params, **overrides)
 
     def _index_fingerprint(self):

@@ -20,6 +20,19 @@ class TestParser:
         ])
         assert args.json and args.load == "/tmp/d"
 
+    def test_search_sharded_flags(self):
+        args = build_parser().parse_args([
+            "search", "--query", "x", "--engine", "sharded",
+            "--shards", "2",
+        ])
+        assert args.engine == "sharded" and args.shards == 2
+        args = build_parser().parse_args(["search", "--query", "x"])
+        assert args.shards is None
+        args = build_parser().parse_args([
+            "client", "--query", "x", "--engine", "sharded",
+        ])
+        assert args.engine == "sharded"
+
 
 class TestServingParsers:
     def test_serve_defaults(self):
@@ -190,6 +203,29 @@ class TestIndexCommands:
         assert code == 0
         assert "kind:        star" in printed
         assert "freshness:   OK" in printed
+        # Per-shard accounting straight from the manifest.
+        assert "bytes on disk" in printed
+        assert "shard_0000.npz" in printed
+        assert "sources=" in printed and "bytes=" in printed
+
+    def test_info_renders_legacy_manifest(self, tmp_path, capsys):
+        out = tmp_path / "star_index"
+        main([
+            "index", "build", "--dataset", "dblp", "--seed", "3",
+            "--out", str(out), "--horizon", "4",
+        ])
+        capsys.readouterr()
+        manifest_path = out / "index_manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["shards"] = [r["name"] for r in manifest["shards"]]
+        manifest_path.write_text(json.dumps(manifest))
+        code = main(["index", "info", "--path", str(out)])
+        printed = capsys.readouterr().out
+        assert code == 0
+        # Sizes come from disk, counts degrade to '?'.
+        assert "shard_0000.npz" in printed
+        assert "sources=?" in printed
+        assert "bytes on disk" in printed
 
     def test_info_detects_wrong_seed(self, tmp_path, capsys):
         out = tmp_path / "star_index"
@@ -227,6 +263,24 @@ class TestIndexCommands:
         printed = capsys.readouterr().out
         assert code == 0
         assert "warm-started from disk" in printed
+
+    def test_search_sharded_engine_prints_shard_stats(self, capsys):
+        from repro.cli import _build_system
+        system = _build_system("dblp", 3)
+        token = next(
+            t for t in system.index.vocabulary()
+            if len(system.index.matching_nodes(t)) == 1
+        )
+        code = main([
+            "search", "--dataset", "dblp", "--seed", "3",
+            "--query", token, "--engine", "sharded", "--shards", "2",
+            "--stats",
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "engine:            sharded" in printed
+        assert "shard fanout:" in printed
+        assert "shard walls:" in printed
 
     def test_pairs_kind(self, tmp_path, capsys):
         out = tmp_path / "pairs_index"

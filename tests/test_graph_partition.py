@@ -1,0 +1,298 @@
+"""Star-cut partitioning: the structural contracts sharded search rests on.
+
+The sharded coordinator's exactness certificate (docs/PERFORMANCE.md
+§11) leans on four properties of :func:`repro.graph.partition.partition_graph`,
+each pinned here directly:
+
+* **ownership** — owned sets are disjoint and cover every node;
+* **halo containment** — each shard contains the full BFS ball of
+  radius ``halo`` around its owned set, so any answer tree of diameter
+  <= halo touching an owned node lies inside the shard;
+* **induced subgraph** — shard edges are exactly the global edges
+  between shard members, with identical weights and texts, under a
+  monotone (order-preserving) id remap;
+* **score invariance** — shard dampening is pinned to the global
+  ``p_min``/``t``, so per-node rates and surfer counts match the
+  full-graph model bitwise, and sliced pairs/star indexes keep
+  admissible (global-distance / global-retention) estimates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from .conftest import random_test_graph
+from repro import DampeningModel, InvertedIndex, RWMPParams, pagerank
+from repro.exceptions import ReproError
+from repro.graph.partition import (
+    GraphPartition,
+    PartitionCache,
+    ShardView,
+    partition_graph,
+)
+from repro.indexing.star import find_star_relations
+from repro.model.answer import RankedAnswer
+from repro.model.jtt import JoinedTupleTree
+from repro.text.matcher import KeywordMatcher
+
+SEEDS = (0, 1, 5, 9, 13)
+
+
+def _env(seed: int, n: int = 14, extra: int = 8):
+    graph = random_test_graph(seed, n=n, extra_edges=extra)
+    importance = pagerank(graph)
+    dampening = DampeningModel(importance, RWMPParams())
+    index = InvertedIndex.build(graph)
+    return graph, importance, dampening, index
+
+
+def _ball(graph, owned, radius):
+    seen = set(owned)
+    frontier = deque(owned)
+    depth = {node: 0 for node in owned}
+    while frontier:
+        node = frontier.popleft()
+        if depth[node] >= radius:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr not in seen:
+                seen.add(nbr)
+                depth[nbr] = depth[node] + 1
+                frontier.append(nbr)
+    return seen
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("n_shards", (1, 2, 4, 7))
+    def test_owned_sets_partition_the_nodes(self, seed, n_shards):
+        graph, importance, dampening, _ = _env(seed)
+        partition = partition_graph(
+            graph, importance, dampening, n_shards, halo=2
+        )
+        owned_global = [
+            {shard.local_to_global[node] for node in shard.owned}
+            for shard in partition.shards
+        ]
+        union = set().union(*owned_global)
+        assert union == set(graph.nodes())
+        assert sum(len(part) for part in owned_global) == graph.node_count
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_halo_ball_is_contained(self, seed):
+        halo = 3
+        graph, importance, dampening, _ = _env(seed)
+        partition = partition_graph(graph, importance, dampening, 3, halo)
+        assert partition.halo == halo
+        for shard in partition.shards:
+            owned_global = {
+                shard.local_to_global[node] for node in shard.owned
+            }
+            members = set(shard.local_to_global)
+            assert _ball(graph, owned_global, halo) <= members
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_induced_subgraph_with_monotone_remap(self, seed):
+        graph, importance, dampening, _ = _env(seed)
+        partition = partition_graph(graph, importance, dampening, 3, halo=2)
+        for shard in partition.shards:
+            l2g = shard.local_to_global
+            assert l2g == sorted(l2g), "remap must preserve id order"
+            assert shard.global_to_local == {
+                g: l for l, g in enumerate(l2g)
+            }
+            members = set(l2g)
+            for local, global_id in enumerate(l2g):
+                info = graph.info(global_id)
+                sub_info = shard.graph.info(local)
+                assert sub_info.relation == info.relation
+                assert sub_info.text == info.text
+                expected = {
+                    shard.global_to_local[t]: w
+                    for t, w in graph.out_edges(global_id).items()
+                    if t in members
+                }
+                assert shard.graph.out_edges(local) == expected
+
+    def test_star_cut_keeps_anchor_groups_whole(self):
+        graph, importance, dampening, _ = _env(3)
+        stars = find_star_relations(graph)
+        star_nodes = {
+            node for node in graph.nodes()
+            if graph.info(node).relation in stars
+        }
+        partition = partition_graph(
+            graph, importance, dampening, 4, halo=0, star_relations=stars
+        )
+        # halo=0: a non-star node's shard must own its anchor star —
+        # groups are never split across owned sets.
+        owner = {}
+        for shard in partition.shards:
+            for local in shard.owned:
+                owner[shard.local_to_global[local]] = shard.sid
+        for node in graph.nodes():
+            if node in star_nodes:
+                continue
+            stars_of = [
+                n for n in graph.neighbors(node) if n in star_nodes
+            ]
+            if stars_of:
+                assert owner[node] == owner[min(stars_of)]
+
+    def test_fewer_groups_than_shards(self):
+        graph, importance, dampening, _ = _env(0, n=4, extra=0)
+        partition = partition_graph(graph, importance, dampening, 16, halo=1)
+        assert 1 <= partition.n_shards <= 4
+        assert partition.requested_shards == 16
+
+    def test_invalid_arguments(self):
+        graph, importance, dampening, _ = _env(0, n=4, extra=0)
+        with pytest.raises(ReproError):
+            partition_graph(graph, importance, dampening, 0, halo=1)
+        with pytest.raises(ReproError):
+            partition_graph(graph, importance, dampening, 2, halo=-1)
+
+
+class TestScoringState:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dampening_pinned_to_global_convention(self, seed):
+        graph, importance, dampening, _ = _env(seed)
+        partition = partition_graph(graph, importance, dampening, 3, halo=2)
+        for shard in partition.shards:
+            assert shard.dampening.p_min == dampening.p_min
+            assert shard.dampening.t == dampening.t
+            for local, global_id in enumerate(shard.local_to_global):
+                assert shard.dampening.rate(local) == dampening.rate(
+                    global_id
+                )
+                assert shard.dampening.surfers(local) == dampening.surfers(
+                    global_id
+                )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shard_term_statistics_match(self, seed):
+        graph, importance, dampening, index = _env(seed)
+        partition = partition_graph(
+            graph, importance, dampening, 3, halo=2, inverted_index=index
+        )
+        for shard in partition.shards:
+            for local, global_id in enumerate(shard.local_to_global):
+                assert shard.index.doc_length(local) == index.doc_length(
+                    global_id
+                )
+
+
+class TestMatchLocalization:
+    def _two_cluster_graph(self):
+        """Two disconnected 3-chains; 'apple' left, 'berry' right."""
+        from repro.graph.datagraph import DataGraph
+        g = DataGraph()
+        g.add_node("t", "apple")      # 0
+        g.add_node("hub", "mid one")  # 1
+        g.add_node("t", "cedar")      # 2
+        g.add_node("t", "berry")      # 3
+        g.add_node("hub", "mid two")  # 4
+        g.add_node("t", "cedar")      # 5
+        g.add_link(0, 1, 1.0, 1.0)
+        g.add_link(1, 2, 1.0, 1.0)
+        g.add_link(3, 4, 1.0, 1.0)
+        g.add_link(4, 5, 1.0, 1.0)
+        return g
+
+    def test_and_semantics_skips_uncovered_shards(self):
+        graph = self._two_cluster_graph()
+        importance = pagerank(graph)
+        dampening = DampeningModel(importance, RWMPParams())
+        index = InvertedIndex.build(graph)
+        match = KeywordMatcher(index).match("apple berry")
+        partition = partition_graph(
+            graph, importance, dampening, 2, halo=2, inverted_index=index
+        )
+        assert partition.n_shards == 2
+        # Each cluster holds only one of the two keywords: under AND no
+        # shard can host an answer; under OR both still can.
+        for shard in partition.shards:
+            assert shard.localize_match(match, "and") is None
+            local = shard.localize_match(match, "or")
+            assert local is not None
+            assert local.keywords == match.keywords
+
+    def test_localized_ids_and_globalize_roundtrip(self):
+        graph, importance, dampening, index = _env(2)
+        match = KeywordMatcher(index).match("apple berry")
+        partition = partition_graph(
+            graph, importance, dampening, 2, halo=3, inverted_index=index
+        )
+        for shard in partition.shards:
+            local = shard.localize_match(match, "and")
+            if local is None:
+                continue
+            for keyword, nodes in local.per_keyword.items():
+                globals_ = {shard.local_to_global[n] for n in nodes}
+                assert globals_ <= match.per_keyword[keyword]
+            tree = JoinedTupleTree.single(next(iter(local.all_nodes)))
+            ranked = shard.globalize(RankedAnswer(tree=tree, score=0.5))
+            assert ranked.score == 0.5
+            assert ranked.tree.nodes == {
+                shard.local_to_global[n] for n in tree.nodes
+            }
+
+
+class TestIndexSlicing:
+    @pytest.mark.parametrize("kind", ("pairs", "star"))
+    def test_sliced_index_keeps_admissible_estimates(self, kind):
+        from repro.indexing.pairs import PairsIndex
+        from repro.indexing.star import StarIndex
+        graph, importance, dampening, index = _env(4)
+        cls = PairsIndex if kind == "pairs" else StarIndex
+        parent = cls(graph, dampening, horizon=3)
+        partition = partition_graph(
+            graph, importance, dampening, 3, halo=2,
+            inverted_index=index, graph_index=parent,
+        )
+        for shard in partition.shards:
+            sliced = shard.graph_index
+            assert isinstance(sliced, cls)
+            for u_local, u in enumerate(shard.local_to_global):
+                for v_local, v in enumerate(shard.local_to_global):
+                    if u_local == v_local:
+                        continue
+                    assert sliced.distance_lower(
+                        u_local, v_local
+                    ) <= parent.distance_lower(u, v)
+                    assert sliced.retention_upper(
+                        u_local, v_local
+                    ) >= 0.0
+
+    def test_no_parent_index_means_no_shard_index(self):
+        graph, importance, dampening, _ = _env(0)
+        partition = partition_graph(graph, importance, dampening, 2, halo=1)
+        assert all(s.graph_index is None for s in partition.shards)
+
+
+class TestPartitionCache:
+    def test_memoizes_per_geometry_and_invalidates_on_mutation(self):
+        graph, importance, dampening, _ = _env(1)
+        cache = PartitionCache()
+        first = cache.get(graph, importance, dampening, 2, 2)
+        again = cache.get(graph, importance, dampening, 2, 2)
+        assert again is first
+        other_geometry = cache.get(graph, importance, dampening, 4, 2)
+        assert other_geometry is not first
+        # Same geometry still cached alongside the second one.
+        assert cache.get(graph, importance, dampening, 2, 2) is first
+        graph.add_node("t", "new row")
+        importance = pagerank(graph)  # stale vector would misindex
+        rebuilt = cache.get(graph, importance, dampening, 2, 2)
+        assert rebuilt is not first
+        assert rebuilt.graph_version == graph.version
+
+    def test_epoch_invalidates(self):
+        graph, importance, dampening, _ = _env(1)
+        cache = PartitionCache()
+        first = cache.get(graph, importance, dampening, 2, 2, epoch=0)
+        assert cache.get(
+            graph, importance, dampening, 2, 2, epoch=1
+        ) is not first

@@ -145,3 +145,37 @@ class TestFailureModes:
         (path / "shard_0000.npz").unlink()
         with pytest.raises(ReproError, match="shard"):
             load_index(path, g, model)
+
+
+class TestManifestShardRecords:
+    def test_manifest_carries_per_shard_accounting(self, tmp_path):
+        from repro.storage import manifest_shards
+        g = star_schema_graph(movies=7, people=15, seed=21)
+        model = _model(g)
+        index = StarIndex(g, model, horizon=5)
+        path = save_index(index, tmp_path / "idx")
+        manifest = read_manifest(path)
+        records = manifest_shards(manifest)
+        assert records and records == manifest["shards"]
+        for record in records:
+            assert set(record) == {"name", "sources", "entries", "bytes"}
+            assert record["bytes"] == (path / record["name"]).stat().st_size
+            assert record["sources"] >= 1
+        assert sum(r["entries"] for r in records) == index.entry_count
+        assert sum(r["sources"] for r in records) == len(index._entries)
+
+    def test_legacy_string_shards_still_load(self, tmp_path):
+        from repro.storage import manifest_shards
+        g = random_test_graph(59, n=10, extra_edges=4)
+        model = _model(g)
+        index = PairsIndex(g, model, horizon=3)
+        path = save_index(index, tmp_path / "idx")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["shards"] = [r["name"] for r in manifest["shards"]]
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        records = manifest_shards(read_manifest(path))
+        assert all(
+            r["sources"] is None and r["bytes"] is None for r in records
+        )
+        loaded = load_index(path, g, model)
+        assert loaded._entries == index._entries

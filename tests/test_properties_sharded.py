@@ -1,0 +1,134 @@
+"""Property-based exactness of the sharded coordinator.
+
+Two falsifiable contracts on top of the deterministic suites:
+
+* **tie-class identity** — for any seeded random case and any shard
+  count in {1, 2, 4, 7}, the sharded coordinator's top-k score profile
+  equals the single-process arena engine's.  This is the acceptance
+  gate of docs/PERFORMANCE.md §11: sharding is a pure execution
+  strategy, never a ranking change.
+* **mutation sensitivity** — a *deflated* per-shard frontier bound
+  (``ShardedSearch._bound_scale < 1``) cancels shards that still hold
+  top-k answers and must be caught by the differential oracle within a
+  bounded seed sweep, while an *inflated* bound (scale > 1) merely
+  delays cancellation and must stay exact.  Soundness comes from
+  admissibility of the cancellation rule, not from its tightness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CIRankSystem
+from repro.graph.partition import partition_graph
+from repro.search.sharded import ShardedSearch
+from repro.testing import DifferentialFailure, check_case, random_case
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+#: Seeds to try before concluding a mutation went unnoticed (mirrors
+#: ``TestMutationsAreCaught`` in test_properties_differential.py; the
+#: deflated shard bound is caught well inside this sweep).
+SWEEP = 40
+
+
+def _arena_system(seed: int):
+    """(system, query, arena answers) for one generated case, or None."""
+    case = random_case(seed)
+    system = CIRankSystem.from_database(
+        case.db,
+        weights=case.weights,
+        search_params=dataclasses.replace(case.params, strict_merge=False),
+    )
+    try:
+        match = system.matcher.match(case.query)
+    except Exception:
+        return None
+    if not match.matchable:
+        return None
+    return system, case.query, match
+
+
+@given(seed=st.integers(min_value=0, max_value=10**9))
+@settings(suppress_health_check=[HealthCheck.too_slow])
+def test_sharded_matches_arena_tie_classes(seed):
+    """Any seed, any shard count: identical top-k score profiles."""
+    env = _arena_system(seed)
+    if env is None:
+        return
+    system, query, match = env
+    arena = system.search(query, engine="arena")
+    profile = [answer.score for answer in arena]
+    params = dataclasses.replace(system.search_params, engine="sharded")
+    for n_shards in SHARD_COUNTS:
+        partition = partition_graph(
+            system.graph, system.importance, system.dampening,
+            n_shards, params.diameter,
+            inverted_index=system.index,
+        )
+        sharded = ShardedSearch(
+            partition, match,
+            dataclasses.replace(params, shards=n_shards),
+        ).run()
+        assert [answer.score for answer in sharded] == profile, (
+            f"shard count {n_shards} changed the tie classes (seed={seed})"
+        )
+        for answer in sharded:
+            assert match.all_nodes & answer.tree.nodes, (
+                "sharded answer contains no keyword node"
+            )
+
+
+def test_shard_fanout_counts_searched_shards():
+    """Fanout equals the shards whose localized match sets are viable."""
+    for seed in (0, 2, 5):
+        env = _arena_system(seed)
+        if env is None:
+            continue
+        system, query, match = env
+        params = dataclasses.replace(
+            system.search_params, engine="sharded", shards=4
+        )
+        partition = partition_graph(
+            system.graph, system.importance, system.dampening,
+            4, params.diameter, inverted_index=system.index,
+        )
+        viable = sum(
+            1 for shard in partition.shards
+            if shard.localize_match(match, params.semantics) is not None
+        )
+        search = ShardedSearch(partition, match, params)
+        search.run()
+        assert search.stats.shard_fanout == viable
+        assert len(search.stats.shard_wall_seconds) == viable
+
+
+class TestMutationsAreCaught:
+    def test_deflated_shard_bound_is_caught(self, monkeypatch):
+        """An unsound cancellation threshold loses top-k answers."""
+        monkeypatch.setattr(ShardedSearch, "_bound_scale", 0.2)
+        with pytest.raises(DifferentialFailure):
+            for seed in range(SWEEP):
+                check_case(
+                    random_case(seed),
+                    check_indexes=False,
+                    check_naive=False,
+                    check_strict=False,
+                )
+
+    def test_inflated_shard_bound_stays_exact(self, monkeypatch):
+        """A loose (but admissible) threshold only delays cancels."""
+        monkeypatch.setattr(ShardedSearch, "_bound_scale", 4.0)
+        for seed in range(10):
+            check_case(
+                random_case(seed),
+                check_indexes=False,
+                check_naive=False,
+                check_strict=False,
+            )

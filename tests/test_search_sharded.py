@@ -1,0 +1,234 @@
+"""The sharded coordinator: equivalence, stats, pool lifecycle, wiring.
+
+Complements the exactness legs already wired into the differential
+harness (``sharded-N`` in :func:`repro.testing.differential_check`)
+with the operational contracts:
+
+* the ``engine="sharded"`` system path returns the same tie classes as
+  the arena engine and feeds the answer cache;
+* coordinator stats — ``shard_fanout``, ``shards_terminated_early``,
+  ``shard_wall_seconds`` — are populated for the observability stack;
+* the process pool mirrors inline results, cancels through the shared
+  threshold array, and joins its workers on ``close`` within a budget;
+* the executor memoizes partitions per graph version and the system
+  facade owns exactly one executor per configured mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import CIRankSystem
+from repro.config import SearchParams
+from repro.exceptions import ReproError, SearchError
+from repro.graph.datagraph import DataGraph
+from repro.graph.partition import partition_graph
+from repro.search.branch_and_bound import BranchAndBoundSearch
+from repro.search.sharded import (
+    ShardedExecutor,
+    ShardedSearch,
+    ShardWorkerPool,
+)
+from repro.testing import random_case
+
+#: Non-trivial generator seeds (matchable queries, several answers).
+CASE_SEEDS = (0, 2, 5, 11)
+
+
+def _system_for(seed: int, shards: int = 4, mode: str = "inline"):
+    case = random_case(seed)
+    system = CIRankSystem.from_database(
+        case.db,
+        weights=case.weights,
+        search_params=dataclasses.replace(
+            case.params, strict_merge=False, shards=shards
+        ),
+    )
+    system.sharded_mode = mode
+    return system, case.query
+
+
+def _profile(answers):
+    return [answer.score for answer in answers]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", CASE_SEEDS)
+    def test_system_sharded_matches_arena(self, seed):
+        system, query = _system_for(seed)
+        arena = system.search(query, engine="arena")
+        system.answer_cache.clear()
+        sharded = system.search(query, engine="sharded")
+        assert _profile(sharded) == _profile(arena)
+
+    @pytest.mark.parametrize("shards", (1, 2, 7))
+    def test_shard_count_does_not_change_answers(self, shards):
+        system, query = _system_for(2, shards=shards)
+        arena = system.search(query, engine="arena")
+        system.answer_cache.clear()
+        sharded = system.search(query, engine="sharded")
+        assert _profile(sharded) == _profile(arena)
+
+    def test_proven_results_enter_answer_cache(self):
+        system, query = _system_for(0)
+        system.search(query, engine="sharded")
+        again = system.search(query, engine="sharded")
+        assert system.last_search_stats.served_from_cache
+        assert again == system.search(query, engine="sharded")
+
+    def test_anytime_path_final_snapshot_is_proven(self):
+        system, query = _system_for(5)
+        last = None
+        for snapshot in system.search_anytime(query, engine="sharded"):
+            last = snapshot
+        assert last is not None and last.proven_optimal
+        assert _profile(last.answers) == _profile(
+            system.search(query, engine="arena")
+        )
+
+
+class TestCoordinatorStats:
+    def test_stats_surface_fanout_and_walls(self):
+        system, query = _system_for(0)
+        system.search(query, engine="sharded")
+        stats = system.last_search_stats
+        assert stats.engine == "sharded"
+        assert stats.shard_fanout >= 1
+        assert len(stats.shard_wall_seconds) == stats.shard_fanout
+        assert all(wall >= 0.0 for wall in stats.shard_wall_seconds)
+        assert 0 <= stats.shards_terminated_early <= stats.shard_fanout
+
+    def test_uncoverable_query_short_circuits(self):
+        # Two disconnected clusters, one keyword each: globally
+        # matchable under AND, but no single shard can host an answer —
+        # the coordinator proves emptiness without running any search.
+        g = DataGraph()
+        g.add_node("t", "apple")
+        g.add_node("hub", "mid one")
+        g.add_node("t", "berry")
+        g.add_node("hub", "mid two")
+        g.add_link(0, 1, 1.0, 1.0)
+        g.add_link(2, 3, 1.0, 1.0)
+        from repro import InvertedIndex, RWMPParams, pagerank
+        system = CIRankSystem(
+            g, InvertedIndex.build(g), pagerank(g), RWMPParams(),
+            SearchParams(k=3, diameter=1, shards=2, strict_merge=False),
+        )
+        system.sharded_mode = "inline"
+        assert system.search("apple berry", engine="sharded") == []
+        stats = system.last_search_stats
+        assert stats.shard_fanout == 0
+        assert stats.shard_wall_seconds == ()
+
+
+class TestGuards:
+    def test_branch_and_bound_rejects_sharded_engine(self):
+        system, query = _system_for(0)
+        match = system.matcher.match(query)
+        scorer = system.scorer_for(match)
+        search = BranchAndBoundSearch(
+            system.graph, scorer, match,
+            dataclasses.replace(system.search_params, engine="sharded"),
+        )
+        with pytest.raises(SearchError, match="sharded"):
+            next(search.snapshots())
+
+    def test_sharded_search_requires_sharded_engine(self):
+        system, query = _system_for(0)
+        executor = ShardedExecutor(system, mode="inline")
+        partition = executor.partition_for(system.search_params)
+        match = system.matcher.match(query)
+        with pytest.raises(SearchError):
+            ShardedSearch(partition, match, system.search_params)
+
+    def test_executor_rejects_unknown_mode(self):
+        system, _ = _system_for(0)
+        with pytest.raises(ReproError):
+            ShardedExecutor(system, mode="threads")
+
+    def test_config_validates_shards(self):
+        with pytest.raises(ReproError, match="shards"):
+            SearchParams(shards=0)
+
+
+class TestProcessPool:
+    def _partitioned(self, seed: int):
+        system, query = _system_for(seed)
+        params = dataclasses.replace(
+            system.search_params, engine="sharded"
+        )
+        partition = partition_graph(
+            system.graph, system.importance, system.dampening,
+            params.shards, params.diameter,
+            inverted_index=system.index,
+        )
+        match = system.matcher.match(query)
+        return system, partition, match, params
+
+    def test_pool_matches_inline(self):
+        system, partition, match, params = self._partitioned(0)
+        inline = ShardedSearch(partition, match, params).run()
+        pool = ShardWorkerPool(partition)
+        try:
+            pooled = ShardedSearch(
+                partition, match, params, pool=pool
+            ).run()
+        finally:
+            assert pool.close(timeout=20.0)
+        assert _profile(pooled) == _profile(inline)
+
+    def test_pool_reuse_across_queries(self):
+        system, partition, match, params = self._partitioned(2)
+        pool = ShardWorkerPool(partition)
+        try:
+            first = ShardedSearch(partition, match, params, pool=pool).run()
+            second = ShardedSearch(partition, match, params, pool=pool).run()
+        finally:
+            assert pool.close(timeout=20.0)
+        assert _profile(first) == _profile(second)
+
+    def test_close_is_idempotent_and_fences_acquire(self):
+        _, partition, _, _ = self._partitioned(0)
+        pool = ShardWorkerPool(partition)
+        assert pool.close(timeout=20.0)
+        assert pool.close(timeout=20.0)
+        assert not pool.alive
+        with pytest.raises(ReproError):
+            pool.acquire()
+
+    def test_forced_process_mode_through_system(self):
+        system, query = _system_for(5, mode="process")
+        arena = system.search(query, engine="arena")
+        system.answer_cache.clear()
+        sharded = system.search(query, engine="sharded")
+        assert _profile(sharded) == _profile(arena)
+        assert system.close_sharded(timeout=20.0)
+
+
+class TestExecutor:
+    def test_partition_memoized_per_version(self):
+        system, query = _system_for(0)
+        executor = ShardedExecutor(system, mode="inline")
+        params = dataclasses.replace(system.search_params, engine="sharded")
+        first = executor.partition_for(params)
+        assert executor.partition_for(params) is first
+        system.graph.add_node("t", "late arrival")
+        assert system.graph.version != first.graph_version
+
+    def test_close_sharded_without_executor_is_true(self):
+        system, _ = _system_for(0)
+        assert system.close_sharded(timeout=1.0)
+
+    def test_system_recreates_executor_on_mode_change(self):
+        system, query = _system_for(0)
+        system.search(query, engine="sharded")
+        first = system._sharded
+        assert first is not None and first.mode == "inline"
+        system.sharded_mode = "process"
+        system.answer_cache.clear()
+        system.search(query, engine="sharded")
+        assert system._sharded is not first
+        assert system._sharded.mode == "process"
+        assert system.close_sharded(timeout=20.0)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -222,11 +223,14 @@ class TestShutdown:
         params = ServingParams(port=0, workers=2, max_wait_ms=0.0)
         running = InProcessServer(tiny_dblp_system, params)
         running.start()
+        # Snapshot the address: the listener socket (and its file
+        # descriptor) is gone once stop() wins the race below.
+        host, port = running.host, running.port
         query = _pick_query(tiny_dblp_system, keywords=3)
         results = []
 
         def fire():
-            with ServingClient(running.host, running.port) as c:
+            with ServingClient(host, port) as c:
                 try:
                     results.append(("ok", c.search(query, k=5)))
                 except ServingRequestFailed as exc:
@@ -298,3 +302,120 @@ class TestResponseEncoding:
         )
         assert length == len(body)
         json.loads(body.decode("utf-8"))
+
+
+class TestShardedServing:
+    """The sharded engine behind the daemon: serving + drain lifecycle.
+
+    These tests run on their own generator-backed system (not the
+    session ``tiny_dblp_system``): sharded searches over dense DBLP
+    halos cost tens of seconds, which starves the drain budget and
+    turns the audit assertions into timing flakes.
+    """
+
+    @pytest.fixture(scope="class")
+    def sharded_case(self):
+        import dataclasses
+
+        from repro import CIRankSystem
+        from repro.testing import random_case
+
+        case = random_case(2)
+        system = CIRankSystem.from_database(
+            case.db,
+            weights=case.weights,
+            search_params=dataclasses.replace(
+                case.params, strict_merge=False, shards=4
+            ),
+        )
+        return system, case.query
+
+    def test_sharded_engine_over_http_matches_arena(self, sharded_case):
+        system, query = sharded_case
+        system.answer_cache.clear()
+        system.sharded_mode = "inline"
+        params = ServingParams(port=0, workers=2, max_wait_ms=0.0)
+        try:
+            with InProcessServer(system, params) as running:
+                with ServingClient(running.host, running.port) as c:
+                    response = c.search(query, k=3, engine="sharded")
+        finally:
+            system.sharded_mode = "auto"
+        assert response["proven"] is True
+        system.answer_cache.clear()
+        direct = system.search(query, k=3, engine="arena")
+        assert [
+            round(a["score"], 9) for a in response["answers"]
+        ] == [round(a.score, 9) for a in direct]
+
+    def test_drain_joins_shard_workers_and_keeps_audit_invariant(
+        self, sharded_case
+    ):
+        """Graceful stop with in-flight sharded queries.
+
+        The shard worker pool must be joined within ``drain_seconds``
+        (the daemon logs-and-terminates otherwise) and every sharded
+        request must land in the ``received == executed + coalesced``
+        audit identity — no flight may be lost in the pool handoff.
+        """
+        system, query = sharded_case
+        system.answer_cache.clear()
+        system.sharded_mode = "process"
+        params = ServingParams(
+            port=0, workers=2, max_wait_ms=0.0, drain_seconds=20.0
+        )
+        running = InProcessServer(system, params)
+        running.start()
+        host, port = running.host, running.port
+        entered = threading.Event()
+        release = threading.Event()
+        original = system.search_anytime
+
+        def gated(*args, **kwargs):
+            entered.set()
+            assert release.wait(timeout=30.0), "drain gate never released"
+            return original(*args, **kwargs)
+
+        results = []
+
+        def fire():
+            with ServingClient(host, port) as c:
+                results.append(c.search(query, k=4, engine="sharded"))
+
+        try:
+            # Warm the worker pool through the daemon so the drain
+            # below has live forked workers to join.
+            with ServingClient(host, port) as warm:
+                warm.search(query, k=4, engine="sharded")
+            assert system._sharded is not None
+            system.answer_cache.clear()  # force a real sharded flight
+
+            system.search_anytime = gated
+            flight = threading.Thread(target=fire)
+            flight.start()
+            # The request is provably mid-execution when drain begins.
+            assert entered.wait(timeout=30.0), "request never took off"
+            stopper = threading.Thread(target=running.stop)
+            stopper.start()
+            deadline = time.monotonic() + 30.0
+            while not running.daemon.draining:
+                assert time.monotonic() < deadline, "drain never began"
+                time.sleep(0.005)
+            release.set()
+            flight.join(timeout=60.0)
+            stopper.join(timeout=60.0)
+            assert not flight.is_alive() and not stopper.is_alive()
+        finally:
+            system.search_anytime = original
+            system.sharded_mode = "auto"
+            system.close_sharded(timeout=20.0)
+        (response,) = results
+        assert response["proven"] is True and response["answers"]
+        stats = running.daemon.stats.as_dict()
+        # Warm-up and the drained in-flight request both resolved:
+        # nothing received may vanish mid-drain.
+        assert stats["received"] == 2
+        assert stats["received"] == stats["executed"] + stats["coalesced"]
+        assert stats["in_flight"] == 0
+        # stop() detached the executor: the worker pool is gone.
+        assert system._sharded is None
