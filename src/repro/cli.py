@@ -17,6 +17,8 @@ Subcommands::
     cirank client   --stats
     cirank stats    --metrics
     cirank replay   --log /tmp/queries.jsonl --rate 2 --gate p99_ms=500
+    cirank plan     --log /tmp/queries.jsonl --apply plan.json
+    cirank serve    --plan plan.json
 
 ``search`` runs a top-k query (over a freshly generated dataset or a
 saved deployment); ``evaluate`` runs the Fig. 8/9 comparison on a small
@@ -28,9 +30,13 @@ loading it — ``search --index-path`` then warm-starts from it.
 ``serve`` runs the long-lived asyncio front end (single-flight dedup,
 query batching, deadline-bounded anytime answers — ``docs/SERVING.md``)
 and ``client`` talks to it.  ``stats`` scrapes a running daemon's
-counters, ``/metrics`` exposition, or slow-query span trees; ``replay``
-re-fires a captured workload log against a server at a multiple of its
-recorded rate and checks latency gates — ``docs/OBSERVABILITY.md``.
+counters, ``/metrics`` exposition, slow-query span trees, or (with
+``--plan``) the planner's feature summary; ``replay`` re-fires a
+captured workload log against a server at a multiple of its recorded
+rate and checks latency gates — ``docs/OBSERVABILITY.md``.  ``plan``
+runs the self-tuning planner over a capture (analyze → candidate
+configs → replay-validated recommendation; ``docs/PLANNER.md``) and
+``serve --plan`` adopts its output at startup.
 """
 
 from __future__ import annotations
@@ -349,6 +355,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         system.attach_index(args.index_kind, path=args.index_path)
     elif args.star_index and system.graph_index is None:
         system.build_star_index()
+    plan_doc = None
+    if args.plan:
+        import json as json_module
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan_doc = json_module.load(handle)
+        system.apply_plan(plan_doc)
     params = ServingParams(
         host=args.host,
         port=args.port,
@@ -365,6 +377,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics=not args.no_metrics,
         capture_path=args.capture_path,
     )
+    if plan_doc is not None:
+        # The plan's serving knobs (workers, batching) override the
+        # flag values — the planner validated that combination.
+        from .planner import PlanCandidate
+        chosen = PlanCandidate.from_dict(
+            plan_doc.get("chosen_config", plan_doc)
+        )
+        import dataclasses
+        params = dataclasses.replace(
+            chosen.serving_params(params), plan=args.plan,
+        )
 
     async def run() -> None:
         server = ServingServer(CIRankDaemon(system, params))
@@ -456,6 +479,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             elif args.slow:
                 document = client.slow_queries()
                 print(json_module.dumps(document, indent=2, sort_keys=True))
+            elif args.plan:
+                from .planner import features_from_stats
+                print(features_from_stats(client.stats()).render())
             else:
                 document = client.stats()
                 print(json_module.dumps(document, indent=2, sort_keys=True))
@@ -536,6 +562,100 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         for violation in report.gate_violations:
             print(f"GATE VIOLATION: {violation}")
     return 1 if report.gate_violations else 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .obs import configure_logging
+
+    configure_logging(args.log_level)
+    if args.from_stats:
+        report = _plan_from_stats(args)
+        if report is None:
+            return 1
+    else:
+        if not args.log:
+            print("plan needs --log or --from-stats", file=sys.stderr)
+            return 1
+        report = _plan_from_capture(args)
+        if report is None:
+            return 1
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    for path in (args.report, args.apply):
+        if path:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+    if args.report:
+        print(f"\nwrote plan report to {args.report}")
+    if args.apply:
+        print(
+            f"wrote applicable plan to {args.apply} "
+            f"(adopt with: cirank serve --plan {args.apply})"
+        )
+    return 0
+
+
+def _plan_from_capture(args: argparse.Namespace):
+    """The full analyze → candidates → replay-validated loop."""
+    from .obs import read_query_log
+    from .planner import plan_capture
+
+    records = read_query_log(args.log)
+    if not records:
+        print(f"no records in {args.log}", file=sys.stderr)
+        return None
+    if args.load:
+        from .storage import load_system
+        system = load_system(args.load)
+    else:
+        system = _build_system(args.dataset, args.seed)
+    return plan_capture(
+        system,
+        records,
+        max_candidates=args.max_candidates,
+        rounds=args.rounds,
+        budget=args.budget or None,
+        transport=args.transport,
+        concurrency=args.concurrency,
+        probe=args.probe,
+    )
+
+
+def _plan_from_stats(args: argparse.Namespace):
+    """Heuristic-only plan from a live daemon's ``/stats`` counters."""
+    from .config import SearchParams
+    from .planner import (
+        PlanCandidate,
+        features_from_stats,
+        plan_from_features,
+    )
+    from .serving import ServingClient, ServingRequestFailed
+
+    with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+        try:
+            document = client.stats()
+        except (ServingRequestFailed, ConnectionError) as exc:
+            print(
+                f"cannot scrape {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return None
+    features = features_from_stats(document)
+    defaults = SearchParams()
+    cache = document.get("answer_cache") or {}
+    reference = PlanCandidate(
+        name="reference",
+        engine=defaults.engine,
+        shards=defaults.shards,
+        diameter=defaults.diameter,
+        answer_cache_size=int(cache.get("maxsize", 256)),
+        notes=("assumed defaults; /stats carries no search config",),
+    )
+    return plan_from_features(
+        features, reference, max_candidates=args.max_candidates,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -725,6 +845,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="rotating JSONL query log for capture + replay "
              "(empty = capture off)",
     )
+    p_serve.add_argument(
+        "--plan", default="",
+        help="planner report JSON (cirank plan --apply) to adopt at "
+             "startup; its search knobs apply to the system and its "
+             "serving knobs override --workers/--max-batch-size/"
+             "--max-wait-ms",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_client = sub.add_parser(
@@ -774,6 +901,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow", action="store_true",
         help="print the slow-query span trees (GET /slow)",
     )
+    stats_view.add_argument(
+        "--plan", action="store_true",
+        help="print the planner's workload-feature summary derived "
+             "from the live counters (what the planner would see)",
+    )
     p_stats.set_defaults(func=_cmd_stats)
 
     p_replay = sub.add_parser(
@@ -808,6 +940,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the raw report JSON"
     )
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="derive a replay-validated configuration from a capture",
+    )
+    common(p_plan)
+    source = p_plan.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--log",
+        help="capture JSONL written by cirank serve --capture-path",
+    )
+    source.add_argument(
+        "--from-stats", action="store_true",
+        help="scrape a live daemon's /stats instead (heuristic only — "
+             "no replay validation)",
+    )
+    p_plan.add_argument(
+        "--load", default="", help="saved deployment directory"
+    )
+    p_plan.add_argument("--host", default="127.0.0.1")
+    p_plan.add_argument("--port", type=int, default=8377)
+    p_plan.add_argument("--timeout", type=float, default=60.0)
+    p_plan.add_argument(
+        "--max-candidates", type=int, default=6,
+        help="candidate configurations proposed (reference excluded)",
+    )
+    p_plan.add_argument(
+        "--rounds", type=int, default=2,
+        help="successive-halving rounds over growing capture prefixes",
+    )
+    p_plan.add_argument(
+        "--budget", type=int, default=0,
+        help="replayed-request ceiling (0 = the whole capture)",
+    )
+    p_plan.add_argument(
+        "--transport", choices=("direct", "http"), default="direct",
+        help="measurement path: threaded in-process search, or a "
+             "per-leg in-process server with socket replay",
+    )
+    p_plan.add_argument("--concurrency", type=int, default=4)
+    p_plan.add_argument(
+        "--probe", type=int, default=4,
+        help="top query classes searched for observed answer diameters",
+    )
+    p_plan.add_argument(
+        "--report", default="",
+        help="write the full PlanReport JSON here",
+    )
+    p_plan.add_argument(
+        "--apply", default="",
+        help="write an adoptable plan here (cirank serve --plan FILE)",
+    )
+    p_plan.add_argument(
+        "--json", action="store_true",
+        help="print the raw report JSON instead of the summary",
+    )
+    p_plan.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+    )
+    p_plan.set_defaults(func=_cmd_plan)
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate one of the paper's experiments"

@@ -179,6 +179,12 @@ class ServingParams:
             ``logged == received``.
         capture_max_bytes: rotate the capture log at this size.
         capture_backups: rotated generations kept (``.1`` … ``.N``).
+        plan: path of the planner report this deployment adopted at
+            startup (``cirank serve --plan``; :mod:`repro.planner`).
+            Informational — the knobs themselves are already folded
+            into this object and the system's ``SearchParams`` — but it
+            surfaces in ``/stats`` and the ``cirank_plan_applied``
+            gauge so operators can see *which* plan is live.
     """
 
     host: str = "127.0.0.1"
@@ -199,6 +205,7 @@ class ServingParams:
     capture_path: str = ""
     capture_max_bytes: int = 16 << 20
     capture_backups: int = 3
+    plan: str = ""
 
     def __post_init__(self) -> None:
         if self.workers < 1:

@@ -230,7 +230,12 @@ class Workload:
 
         Counts multiply by ``period_seconds / observed_period`` with a
         floor of one arrival per entry — every observed query class
-        survives any downscale.
+        survives any downscale.  When the requested period is so small
+        that *every* class would land on the floor, a naive multiply
+        would flatten a 40:20:4 capture into 1:1:1 and silently erase
+        the relative arrival rates; the multiplier is clamped instead so
+        the smallest class scales to exactly one arrival and the ratio
+        ordering survives (40:20:4 → 10:5:1).
         """
         if period_seconds <= 0:
             raise ValueError(
@@ -240,6 +245,9 @@ class Workload:
             multiplier = 1.0
         else:
             multiplier = period_seconds / self.period_seconds
+            counts = [e.arrival_count for e in self.entries]
+            if counts and max(counts) * multiplier < 1.0:
+                multiplier = 1.0 / min(counts)
         entries = [
             WorkloadEntry(
                 query=e.query,

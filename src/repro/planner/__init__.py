@@ -1,0 +1,49 @@
+"""``repro.planner`` — workload-driven, replay-validated self-tuning.
+
+The planner closes the loop the observability layer opened: capture a
+workload (:mod:`repro.obs.workload`), fold it into features
+(:mod:`~repro.planner.analyzer`), propose candidate configurations over
+the real knob space (:mod:`~repro.planner.cost`), and **prove** the
+recommendation by replaying the capture under each candidate with a
+tie-class parity gate against the reference configuration
+(:mod:`~repro.planner.plan`).
+
+Entry points: :func:`plan_capture` (the full analyze → propose → replay
+→ gate loop), :func:`plan_from_features` (heuristic-only, from a live
+``/stats`` scrape), and :meth:`repro.system.CIRankSystem.apply_plan` to
+adopt a report.  See ``docs/PLANNER.md``.
+"""
+
+from .analyzer import (
+    WorkloadFeatures,
+    analyze_workload,
+    features_from_stats,
+)
+from .cost import (
+    PlanCandidate,
+    estimate_cost,
+    generate_candidates,
+    reference_candidate,
+)
+from .plan import (
+    CandidateResult,
+    PlanReport,
+    check_parity,
+    plan_capture,
+    plan_from_features,
+)
+
+__all__ = [
+    "WorkloadFeatures",
+    "analyze_workload",
+    "features_from_stats",
+    "PlanCandidate",
+    "estimate_cost",
+    "generate_candidates",
+    "reference_candidate",
+    "CandidateResult",
+    "PlanReport",
+    "check_parity",
+    "plan_capture",
+    "plan_from_features",
+]

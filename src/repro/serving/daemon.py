@@ -326,6 +326,15 @@ class CIRankDaemon:
         payload["draining"] = self._draining
         payload["answer_cache"] = self.system.answer_cache.stats().as_dict()
         payload["tracer"] = self.tracer.counters()
+        if self.params.plan:
+            payload["plan"] = {
+                "path": self.params.plan,
+                "engine": self.system.search_params.engine,
+                "diameter": self.system.search_params.diameter,
+                "answer_cache_size": (
+                    self.system.answer_cache.stats().maxsize
+                ),
+            }
         if self.capture is not None:
             payload["capture"] = {
                 "path": self.capture.path,
@@ -414,6 +423,13 @@ class CIRankDaemon:
             "cirank_slow_queries_total",
             "Requests over the slow-query threshold.",
             fn=lambda: tracer.counters()["slow_queries"],
+        )
+        params = self.params
+        reg.gauge(
+            "cirank_plan_applied",
+            "1 when this deployment adopted a planner report at "
+            "startup (cirank serve --plan), else 0.",
+            fn=lambda: 1.0 if params.plan else 0.0,
         )
         graph = self.system.graph
         reg.gauge(

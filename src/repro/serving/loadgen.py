@@ -65,6 +65,8 @@ def build_mix(
     total: int,
     duplicate_fraction: float,
     seed: int = 0,
+    connector_queries: Sequence[str] = (),
+    free_connector_ratio: float = 0.0,
 ) -> List[str]:
     """Build a deterministic hot-key request mix.
 
@@ -73,6 +75,16 @@ def build_mix(
     one query was given).  The order is shuffled with ``seed`` so
     duplicates interleave with distinct queries the way real traffic
     does, instead of arriving as one contiguous burst.
+
+    ``free_connector_ratio`` carves that share of ``total`` out for
+    ``connector_queries`` — queries whose keywords never co-occur in
+    one node, so every answer needs free connector nodes.  This is the
+    paper's AOL-mix vs synthetic-mix distinction (AOL queries mostly
+    resolve within a node; synthetic multi-entity queries need
+    connectors), and it lets benchmarks and planner tests synthesize
+    both workload classes.  The connector requests cycle through
+    ``connector_queries`` and the hot-key model applies to the
+    remaining share.
     """
     if not queries:
         raise ValueError("build_mix needs at least one query")
@@ -82,11 +94,26 @@ def build_mix(
         raise ValueError(
             f"duplicate_fraction must be in [0, 1], got {duplicate_fraction}"
         )
+    if not 0.0 <= free_connector_ratio <= 1.0:
+        raise ValueError(
+            f"free_connector_ratio must be in [0, 1], "
+            f"got {free_connector_ratio}"
+        )
+    if free_connector_ratio > 0 and not connector_queries:
+        raise ValueError(
+            "free_connector_ratio > 0 needs connector_queries"
+        )
+    n_connector = round(total * free_connector_ratio)
+    mix = [
+        connector_queries[i % len(connector_queries)]
+        for i in range(n_connector)
+    ]
+    remainder = total - n_connector
     hot = queries[0]
     others = list(queries[1:]) or [hot]
-    n_hot = round(total * duplicate_fraction)
-    mix = [hot] * n_hot
-    mix.extend(others[i % len(others)] for i in range(total - n_hot))
+    n_hot = round(remainder * duplicate_fraction)
+    mix.extend([hot] * n_hot)
+    mix.extend(others[i % len(others)] for i in range(remainder - n_hot))
     random.Random(seed).shuffle(mix)
     return mix
 

@@ -294,6 +294,56 @@ class CIRankSystem:
                 "(build_star_index / build_pairs_index) after apply_feedback"
             )
 
+    def apply_plan(self, plan) -> "CIRankSystem":
+        """Adopt a planner recommendation (:mod:`repro.planner`).
+
+        Accepts a :class:`~repro.planner.cost.PlanCandidate`, a
+        :class:`~repro.planner.plan.PlanReport` (its chosen candidate is
+        applied), or a plain dict in either shape (a serialized report
+        is recognized by its ``chosen_config`` key).  Applies the search
+        knobs (engine, shard count, diameter cap), resizes the answer
+        cache when the capacity changed, and attaches or detaches the
+        graph index to match the plan.  Returns ``self`` for chaining.
+
+        Serving-side knobs (workers, batching) live on
+        :class:`~repro.config.ServingParams`; the daemon applies those
+        itself — see ``cirank serve --plan``.
+        """
+        # Local import: the planner imports config/obs, never this
+        # module at import time, but keeping it lazy makes the facade
+        # importable without the planner package in degraded trees.
+        from .planner.cost import PlanCandidate
+        from .planner.plan import PlanReport
+        if isinstance(plan, PlanReport):
+            candidate = plan.chosen_candidate
+        elif isinstance(plan, PlanCandidate):
+            candidate = plan
+        elif isinstance(plan, dict):
+            payload = plan.get("chosen_config", plan)
+            candidate = PlanCandidate.from_dict(payload)
+        else:
+            raise ReproError(
+                f"cannot apply a plan of type {type(plan).__name__}"
+            )
+        self.search_params = candidate.search_params(self.search_params)
+        if candidate.answer_cache_size != self._answer_cache.stats().maxsize:
+            from .storage.answer_cache import AnswerCache
+            self._answer_cache = AnswerCache(candidate.answer_cache_size)
+        if candidate.index_kind is None:
+            self.graph_index = None
+        elif self._index_fingerprint() != (
+            {"star": "StarIndex", "pairs": "PairsIndex"}[
+                candidate.index_kind
+            ],
+            candidate.index_horizon,
+        ):
+            self.attach_index(
+                candidate.index_kind,
+                workers=candidate.index_workers,
+                horizon=candidate.index_horizon,
+            )
+        return self
+
     # ------------------------------------------------------------- sharded
 
     def _sharded_search(self, match: MatchSets, params: SearchParams, span=None):

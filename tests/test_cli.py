@@ -126,6 +126,99 @@ class TestObservabilityParsers:
             _parse_gates(["p50_ms=fast"])
 
 
+class TestPlannerParsers:
+    def test_plan_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])
+
+    def test_plan_sources_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "plan", "--log", "/tmp/cap.jsonl", "--from-stats",
+            ])
+
+    def test_plan_flags(self):
+        args = build_parser().parse_args([
+            "plan", "--log", "/tmp/cap.jsonl", "--max-candidates", "3",
+            "--rounds", "1", "--budget", "64", "--transport", "http",
+            "--concurrency", "2", "--report", "/tmp/r.json",
+            "--apply", "/tmp/p.json", "--json",
+        ])
+        assert args.log == "/tmp/cap.jsonl" and args.max_candidates == 3
+        assert args.rounds == 1 and args.budget == 64
+        assert args.transport == "http" and args.concurrency == 2
+        assert args.report == "/tmp/r.json" and args.apply == "/tmp/p.json"
+        assert args.json
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan", "--from-stats"])
+        assert args.from_stats and args.transport == "direct"
+        assert args.rounds == 2 and args.budget == 0
+
+    def test_serve_accepts_a_plan(self):
+        args = build_parser().parse_args(["serve", "--plan", "/tmp/p.json"])
+        assert args.plan == "/tmp/p.json"
+        assert build_parser().parse_args(["serve"]).plan == ""
+
+    def test_stats_plan_view_is_exclusive_with_the_others(self):
+        args = build_parser().parse_args(["stats", "--plan"])
+        assert args.plan
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--plan", "--metrics"])
+
+
+class TestPlanFlow:
+    def test_capture_to_plan_to_adoptable_config(self, tmp_path, capsys):
+        out = tmp_path / "deployment"
+        assert main([
+            "save", "--dataset", "dblp", "--seed", "3", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+
+        from repro.storage import load_system
+        system = load_system(out)
+        tokens = [
+            t for t in sorted(system.index.vocabulary())
+            if len(system.index.matching_nodes(t)) == 1
+        ][:4]
+        log = tmp_path / "capture.jsonl"
+        with open(log, "w", encoding="utf-8") as handle:
+            ts = 100.0
+            for _ in range(2):
+                for token in tokens:
+                    handle.write(json.dumps({
+                        "ts": ts, "query": token, "k": 3,
+                        "fingerprint": "f",
+                    }) + "\n")
+                    ts += 0.1
+
+        report_path = tmp_path / "report.json"
+        apply_path = tmp_path / "plan.json"
+        code = main([
+            "plan", "--log", str(log), "--load", str(out),
+            "--max-candidates", "2", "--rounds", "1",
+            "--concurrency", "2", "--probe", "1",
+            "--report", str(report_path), "--apply", str(apply_path),
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "chosen:" in output and "workload features" in output
+        assert report_path.exists() and apply_path.exists()
+
+        # The emitted plan round-trips into a config the daemon adopts.
+        with open(apply_path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert "chosen_config" in doc
+        system.apply_plan(doc)
+
+    def test_plan_with_empty_capture_fails(self, tmp_path, capsys):
+        log = tmp_path / "empty.jsonl"
+        log.write_text("")
+        code = main(["plan", "--log", str(log)])
+        assert code == 1
+        assert "no records" in capsys.readouterr().err
+
+
 class TestSaveLoadFlow:
     def test_save_then_search(self, tmp_path, capsys):
         out = tmp_path / "deployment"

@@ -119,7 +119,24 @@ class TestWorkloadAggregation:
         workload = Workload.from_records(self.RECORDS)
         tiny = workload.rescale(0.001)
         assert len(tiny.entries) == len(workload.entries)
-        assert all(e.arrival_count == 1 for e in tiny.entries)
+        assert all(e.arrival_count >= 1 for e in tiny.entries)
+        assert min(e.arrival_count for e in tiny.entries) == 1
+
+    def test_extreme_downscale_preserves_ratio_ordering(self):
+        # Regression: a naive multiply-then-floor flattens 40:20:4 into
+        # 1:1:1, erasing the relative arrival rates a planner feeds on.
+        # The multiplier is clamped so the smallest class lands on
+        # exactly one arrival and the ratios survive (40:20:4 -> 10:5:1).
+        records = []
+        for query, count in (("hot", 40), ("warm", 20), ("cold", 4)):
+            records.extend(
+                {"ts": float(i), "query": query, "k": 3, "fingerprint": "f"}
+                for i in range(count)
+            )
+        workload = Workload.from_records(records)
+        tiny = workload.rescale(0.001)
+        by_query = {e.query: e.arrival_count for e in tiny.entries}
+        assert by_query == {"hot": 10, "warm": 5, "cold": 1}
 
     def test_to_mix_is_deterministic_per_seed(self):
         workload = Workload.from_records(self.RECORDS)

@@ -1,0 +1,119 @@
+"""Property tests for the planner's replay gate.
+
+Two falsifiable contracts:
+
+* **parity safety** — whatever workload the planner is fed, the
+  configuration it recommends never loses tie-class parity with the
+  reference configuration on the replayed capture: the chosen
+  candidate either *is* the reference or carries ``parity_ok=True``
+  (tie classes — score-grouped answer-tree sets — are the repo's
+  standard ranked-result equality);
+* **mutation sensitivity** — an adversarial cost model (inverted sign,
+  so it ranks the worst-looking candidates first) plus a seeded
+  correctness-breaking candidate (a diameter cap below the workload's
+  real answer diameter) must be caught by the replay gate, not by the
+  cost model.  This is what makes the planner falsifiable: safety
+  comes from measuring and gating, never from the heuristic being
+  right.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SearchParams
+from repro.datasets import DblpConfig, generate_dblp
+from repro.planner import estimate_cost, plan_capture, reference_candidate
+from repro.system import CIRankSystem
+
+QUERIES = [
+    "conference management",
+    "graph search",
+    "database systems",
+    "query processing",
+]
+
+
+@pytest.fixture(scope="module")
+def plan_system() -> CIRankSystem:
+    db = generate_dblp(DblpConfig(
+        conferences=2, papers=20, authors=15, seed=3,
+    ))
+    return CIRankSystem.from_database(
+        db, search_params=SearchParams(diameter=3),
+    )
+
+
+def _records(arrivals):
+    records = []
+    ts = 1000.0
+    for query, k in arrivals:
+        records.append(
+            {"ts": ts, "query": query, "k": k, "fingerprint": f"k{k}"}
+        )
+        ts += 0.05
+    return records
+
+
+@given(
+    arrivals=st.lists(
+        st.tuples(st.sampled_from(QUERIES), st.integers(1, 5)),
+        min_size=2,
+        max_size=8,
+    ),
+)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_recommendation_never_loses_parity(plan_system, arrivals):
+    """The chosen config is the reference or is replay-parity-clean."""
+    report = plan_capture(
+        plan_system, _records(arrivals),
+        max_candidates=2, rounds=1, concurrency=2, probe=1,
+    )
+    assert report.validated
+    if report.chosen == "reference":
+        assert report.reference.parity_ok is True
+        return
+    winner = next(
+        r for r in report.candidates if r.candidate.name == report.chosen
+    )
+    assert winner.parity_ok is True
+    assert winner.parity_failures == []
+
+
+def test_inverted_cost_model_is_caught_by_the_replay_gate(plan_system):
+    """A sign-flipped cost model cannot smuggle in a wrong config.
+
+    The seeded ``shallow`` candidate caps the diameter at 1, which the
+    inverted model scores as the *best* choice — but its answers
+    diverge from the reference's tie classes on this connector-heavy
+    workload, so the replay gate must reject it and the plan must fall
+    back to a parity-clean configuration.
+    """
+    reference = reference_candidate(plan_system)
+    shallow = dataclasses.replace(reference, name="shallow", diameter=1)
+    arrivals = [(q, 5) for q in QUERIES] * 2
+    report = plan_capture(
+        plan_system, _records(arrivals),
+        candidates=[shallow], rounds=1, concurrency=2, probe=2,
+        cost_model=lambda features, candidate: -estimate_cost(
+            features, candidate
+        ),
+    )
+    shallow_result = next(
+        r for r in report.candidates if r.candidate.name == "shallow"
+    )
+    assert shallow_result.parity_ok is False
+    assert shallow_result.parity_failures
+    assert report.chosen != "shallow"
+    assert report.chosen_candidate.diameter != 1
+    assert any("replay gate" in reason for reason in report.why)

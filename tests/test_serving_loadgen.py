@@ -64,6 +64,32 @@ class TestBuildMix:
         with pytest.raises(ValueError):
             build_mix(["q"], 10, 1.5)
 
+    def test_free_connector_ratio_carves_out_connector_share(self):
+        mix = build_mix(
+            ["hot", "a"], total=10, duplicate_fraction=1.0,
+            connector_queries=["x y", "u v"], free_connector_ratio=0.4,
+        )
+        assert len(mix) == 10
+        assert mix.count("x y") == 2 and mix.count("u v") == 2
+        # The hot-key model applies to the remaining 6 requests.
+        assert mix.count("hot") == 6
+
+    def test_free_connector_ratio_validation(self):
+        with pytest.raises(ValueError):
+            build_mix(["q"], 10, 0.5, free_connector_ratio=1.5)
+        with pytest.raises(ValueError):
+            build_mix(["q"], 10, 0.5, free_connector_ratio=0.5)
+
+    def test_free_connector_mix_is_deterministic_per_seed(self):
+        kwargs = dict(
+            total=20, duplicate_fraction=0.5,
+            connector_queries=["x y"], free_connector_ratio=0.25,
+        )
+        assert (
+            build_mix(["hot", "a"], seed=7, **kwargs)
+            == build_mix(["hot", "a"], seed=7, **kwargs)
+        )
+
 
 class TestAllFailedRun:
     def test_unreachable_server_reports_error_classes(self):

@@ -287,6 +287,32 @@ async def _begin_drain(running):
     running.daemon.begin_drain()
 
 
+class TestPlanAdoption:
+    def test_stats_and_metrics_surface_the_adopted_plan(
+        self, tiny_dblp_system
+    ):
+        from repro.serving.daemon import CIRankDaemon
+
+        daemon = CIRankDaemon(
+            tiny_dblp_system,
+            ServingParams(port=0, plan="/etc/cirank/plan.json"),
+        )
+        payload = daemon.stats_payload()
+        assert payload["plan"]["path"] == "/etc/cirank/plan.json"
+        assert (
+            payload["plan"]["engine"]
+            == tiny_dblp_system.search_params.engine
+        )
+        assert "cirank_plan_applied 1" in daemon.metrics_text()
+
+    def test_no_plan_means_no_plan_section(self, tiny_dblp_system):
+        from repro.serving.daemon import CIRankDaemon
+
+        daemon = CIRankDaemon(tiny_dblp_system, ServingParams(port=0))
+        assert "plan" not in daemon.stats_payload()
+        assert "cirank_plan_applied 0" in daemon.metrics_text()
+
+
 class TestResponseEncoding:
     def test_responses_are_json_with_content_length(self, server):
         raw = _raw_request(
